@@ -1,0 +1,186 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//! each pits the chosen implementation against its reference alternative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use wmn_ga::chromosome::Individual;
+use wmn_ga::parallel::evaluate_population;
+use wmn_ga::population::Population;
+use wmn_graph::adjacency::{LinkModel, MeshAdjacency};
+use wmn_graph::components::Components;
+use wmn_graph::density::{CellWindow, DensityMap};
+use wmn_graph::spatial::GridIndex;
+use wmn_metrics::Evaluator;
+use wmn_model::geometry::{Area, Point};
+use wmn_model::instance::InstanceSpec;
+use wmn_model::rng::rng_from_seed;
+
+fn random_layout(area: &Area, n: usize, seed: u64) -> (Vec<Point>, Vec<f64>) {
+    let mut rng = rng_from_seed(seed);
+    let pts = (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..=area.width()),
+                rng.gen_range(0.0..=area.height()),
+            )
+        })
+        .collect();
+    let radii = (0..n).map(|_| rng.gen_range(2.0..=8.0)).collect();
+    (pts, radii)
+}
+
+/// Uniform-grid spatial index vs brute-force O(n²) adjacency construction.
+fn ablation_spatial_index(c: &mut Criterion) {
+    let area = Area::square(256.0).expect("valid area");
+    let mut group = c.benchmark_group("ablation_spatial_index");
+    for n in [64usize, 512] {
+        let (pts, radii) = random_layout(&area, n, 1);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| MeshAdjacency::build(&area, &pts, &radii, LinkModel::MutualRange));
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| MeshAdjacency::build_brute_force(&pts, &radii, LinkModel::MutualRange));
+        });
+    }
+    group.finish();
+}
+
+/// Incremental topology repair after a single move vs a full rebuild.
+fn ablation_incremental(c: &mut Criterion) {
+    let instance = InstanceSpec::paper_normal()
+        .expect("valid spec")
+        .generate(2)
+        .expect("generates");
+    let evaluator = Evaluator::paper_default(&instance);
+    let placement = instance.random_placement(&mut rng_from_seed(3));
+    let mut group = c.benchmark_group("ablation_incremental_move");
+    group.bench_function("incremental", |b| {
+        let mut topo = evaluator.topology(&placement).expect("builds");
+        let mut rng = rng_from_seed(4);
+        b.iter(|| {
+            let id = wmn_model::RouterId(rng.gen_range(0..64));
+            let to = Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0));
+            topo.move_router(id, to)
+        });
+    });
+    group.bench_function("full_rebuild", |b| {
+        let mut topo = evaluator.topology(&placement).expect("builds");
+        let mut rng = rng_from_seed(4);
+        b.iter(|| {
+            let id = wmn_model::RouterId(rng.gen_range(0..64));
+            let to = Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0));
+            let old = topo.move_router(id, to);
+            topo.rebuild_full();
+            old
+        });
+    });
+    group.finish();
+}
+
+/// BFS vs union-find for connected components.
+fn ablation_components(c: &mut Criterion) {
+    let area = Area::square(128.0).expect("valid area");
+    let (pts, radii) = random_layout(&area, 1024, 5);
+    let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+    let mut group = c.benchmark_group("ablation_components_n1024");
+    group.bench_function("bfs", |b| {
+        b.iter(|| Components::from_adjacency(&adj));
+    });
+    group.bench_function("union_find", |b| {
+        b.iter(|| Components::from_adjacency_dsu(&adj));
+    });
+    group.finish();
+}
+
+/// Summed-area-table window sums vs naive rescans.
+fn ablation_density(c: &mut Criterion) {
+    let area = Area::square(128.0).expect("valid area");
+    let instance = InstanceSpec::paper_normal()
+        .expect("valid spec")
+        .generate(6)
+        .expect("generates");
+    let map = DensityMap::from_points(&area, &instance.client_positions(), 32, 32);
+    let windows: Vec<CellWindow> = (0..24)
+        .map(|i| CellWindow {
+            cx: i % 16,
+            cy: (i * 7) % 16,
+            w: 8,
+            h: 8,
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_density_window_sum");
+    group.bench_function("summed_area_table", |b| {
+        b.iter(|| windows.iter().map(|w| map.window_count(w)).sum::<u64>());
+    });
+    group.bench_function("naive_rescan", |b| {
+        b.iter(|| {
+            windows
+                .iter()
+                .map(|w| map.window_count_naive(w))
+                .sum::<u64>()
+        });
+    });
+    group.finish();
+}
+
+/// Threaded vs serial GA population evaluation.
+fn ablation_parallel_eval(c: &mut Criterion) {
+    let instance = InstanceSpec::paper_normal()
+        .expect("valid spec")
+        .generate(7)
+        .expect("generates");
+    let evaluator = Evaluator::paper_default(&instance);
+    let mut rng = rng_from_seed(8);
+    let base: Population = (0..64)
+        .map(|_| Individual::new(instance.random_placement(&mut rng)))
+        .collect();
+    let mut group = c.benchmark_group("ablation_parallel_eval_pop64");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut pop = base.clone();
+                    evaluate_population(&evaluator, &mut pop, threads).expect("evaluates");
+                    pop.best_index()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The spatial-index point query vs a linear scan (query path only).
+fn ablation_point_query(c: &mut Criterion) {
+    let area = Area::square(128.0).expect("valid area");
+    let (pts, _) = random_layout(&area, 2048, 9);
+    let index = GridIndex::build(&area, &pts, 8.0);
+    let mut group = c.benchmark_group("ablation_radius_query_n2048");
+    group.bench_function("grid_index", |b| {
+        let mut rng = rng_from_seed(10);
+        b.iter(|| {
+            let center = Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0));
+            index.within_radius(center, 8.0).count()
+        });
+    });
+    group.bench_function("linear_scan", |b| {
+        let mut rng = rng_from_seed(10);
+        b.iter(|| {
+            let center = Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0));
+            GridIndex::brute_force_within_radius(&pts, center, 8.0).len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_spatial_index,
+    ablation_incremental,
+    ablation_components,
+    ablation_density,
+    ablation_parallel_eval,
+    ablation_point_query
+);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Substrate micro-benchmarks: the building blocks every experiment leans
+//! on (instance generation, topology construction, evaluation, union-find,
+//! spatial queries, density maps, client distribution sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use wmn_graph::adjacency::{LinkModel, MeshAdjacency};
+use wmn_graph::density::DensityMap;
+use wmn_graph::dsu::UnionFind;
+use wmn_graph::spatial::GridIndex;
+use wmn_metrics::Evaluator;
+use wmn_model::distribution::ClientDistribution;
+use wmn_model::geometry::{Area, Point};
+use wmn_model::instance::InstanceSpec;
+use wmn_model::radio::RadioProfile;
+use wmn_model::rng::rng_from_seed;
+
+fn random_layout(area: &Area, n: usize, seed: u64) -> (Vec<Point>, Vec<f64>) {
+    let mut rng = rng_from_seed(seed);
+    let pts = (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..=area.width()),
+                rng.gen_range(0.0..=area.height()),
+            )
+        })
+        .collect();
+    let radii = (0..n).map(|_| rng.gen_range(2.0..=8.0)).collect();
+    (pts, radii)
+}
+
+fn bench_instance_generation(c: &mut Criterion) {
+    let spec = InstanceSpec::paper_normal().expect("valid spec");
+    c.bench_function("instance_generation_paper", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            spec.generate(seed).expect("generates")
+        });
+    });
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let instance = InstanceSpec::paper_normal()
+        .expect("valid spec")
+        .generate(1)
+        .expect("generates");
+    let evaluator = Evaluator::paper_default(&instance);
+    let mut rng = rng_from_seed(2);
+    let placement = instance.random_placement(&mut rng);
+    c.bench_function("evaluate_paper_placement", |b| {
+        b.iter(|| evaluator.evaluate(&placement).expect("evaluates"));
+    });
+    c.bench_function("topology_move_router_incremental", |b| {
+        let mut topo = evaluator.topology(&placement).expect("builds");
+        let mut rng = rng_from_seed(3);
+        b.iter(|| {
+            let id = wmn_model::RouterId(rng.gen_range(0..64));
+            let to = Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0));
+            topo.move_router(id, to)
+        });
+    });
+}
+
+fn bench_adjacency_scaling(c: &mut Criterion) {
+    let area = Area::square(512.0).expect("valid area");
+    let mut group = c.benchmark_group("adjacency_build");
+    for n in [64usize, 256, 1024] {
+        let (pts, radii) = random_layout(&area, n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| MeshAdjacency::build(&area, &pts, &radii, LinkModel::MutualRange));
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    c.bench_function("union_find_10k_random_unions", |b| {
+        let mut rng = rng_from_seed(9);
+        let pairs: Vec<(usize, usize)> = (0..10_000)
+            .map(|_| (rng.gen_range(0..4096), rng.gen_range(0..4096)))
+            .collect();
+        b.iter(|| {
+            let mut uf = UnionFind::new(4096);
+            for &(a, b2) in &pairs {
+                uf.union(a, b2);
+            }
+            uf.largest_set_size()
+        });
+    });
+}
+
+fn bench_spatial_index(c: &mut Criterion) {
+    let area = Area::square(128.0).expect("valid area");
+    let (pts, _) = random_layout(&area, 1024, 5);
+    let index = GridIndex::build(&area, &pts, 8.0);
+    c.bench_function("spatial_index_query_r8_n1024", |b| {
+        let mut rng = rng_from_seed(6);
+        b.iter(|| {
+            let center = Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0));
+            index.within_radius(center, 8.0).count()
+        });
+    });
+    c.bench_function("spatial_index_build_n1024", |b| {
+        b.iter(|| GridIndex::build(&area, &pts, 8.0));
+    });
+}
+
+fn bench_density_map(c: &mut Criterion) {
+    let area = Area::square(128.0).expect("valid area");
+    let instance = InstanceSpec::paper_normal()
+        .expect("valid spec")
+        .generate(3)
+        .expect("generates");
+    let clients = instance.client_positions();
+    c.bench_function("density_map_build_16x16", |b| {
+        b.iter(|| DensityMap::from_points(&area, &clients, 16, 16));
+    });
+    let map = DensityMap::from_points(&area, &clients, 16, 16);
+    c.bench_function("density_densest_window_2x2", |b| {
+        b.iter(|| map.densest_window(2, 2));
+    });
+    c.bench_function("density_ranked_disjoint_windows", |b| {
+        b.iter(|| map.ranked_disjoint_windows(1, 1, 64));
+    });
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let area = Area::square(128.0).expect("valid area");
+    let mut group = c.benchmark_group("sample_192_clients");
+    let dists = [
+        ("uniform", ClientDistribution::Uniform),
+        (
+            "normal",
+            ClientDistribution::paper_normal(&area).expect("valid"),
+        ),
+        (
+            "exponential",
+            ClientDistribution::paper_exponential(&area).expect("valid"),
+        ),
+        (
+            "weibull",
+            ClientDistribution::paper_weibull(&area).expect("valid"),
+        ),
+    ];
+    for (name, dist) in dists {
+        group.bench_function(name, |b| {
+            let mut rng = rng_from_seed(8);
+            b.iter(|| dist.sample_points(&area, 192, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement_methods(c: &mut Criterion) {
+    let instance = InstanceSpec::paper_normal()
+        .expect("valid spec")
+        .generate(4)
+        .expect("generates");
+    let mut group = c.benchmark_group("adhoc_place");
+    for method in wmn_placement::AdHocMethod::all() {
+        group.bench_function(method.name(), |b| {
+            let heuristic = method.heuristic();
+            let mut rng = rng_from_seed(10);
+            b.iter(|| heuristic.place(&instance, &mut rng));
+        });
+    }
+    group.finish();
+    // The radio profile sampler feeds every method.
+    c.bench_function("radio_profile_sample", |b| {
+        let profile = RadioProfile::paper_default();
+        let mut rng = rng_from_seed(11);
+        b.iter(|| profile.sample(&mut rng));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_instance_generation,
+    bench_evaluation,
+    bench_adjacency_scaling,
+    bench_union_find,
+    bench_spatial_index,
+    bench_density_map,
+    bench_distributions,
+    bench_placement_methods
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! One benchmark per paper table: the cost of regenerating Table N at
+//! reduced scale (the full-scale regeneration is `cargo run --release -p
+//! wmn-experiments --bin run_all`; these benches track the per-table code
+//! path's performance over time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmn_experiments::scenario::{ExperimentConfig, Scenario};
+use wmn_experiments::tables::run_table;
+
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        population: 8,
+        generations: 5,
+        threads: 1,
+        ..ExperimentConfig::quick()
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    for scenario in Scenario::paper_tables() {
+        let n = scenario.table_number().expect("paper scenario");
+        group.bench_function(format!("table{n}_{scenario}"), |b| {
+            b.iter(|| run_table(scenario, &bench_config()).expect("table runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates the paper's Figure 1 (GA evolution, Normal clients).
+
+use wmn_experiments::ascii_plot::plot;
+use wmn_experiments::cli;
+use wmn_experiments::figures::run_ga_figure;
+use wmn_experiments::report::write_ga_figure;
+use wmn_experiments::scenario::Scenario;
+
+fn main() {
+    let opts = cli::parse_env();
+    let fig = run_ga_figure(Scenario::Normal, &opts.config).expect("figure run");
+    println!(
+        "{}",
+        plot(
+            "Figure 1: size of giant component vs GA generations (Normal clients)",
+            &fig.series,
+            72,
+            20
+        )
+    );
+    write_ga_figure(&opts.out_dir, &fig).expect("write results");
+    println!("wrote {}/fig1.{{csv,txt}}", opts.out_dir.display());
+}

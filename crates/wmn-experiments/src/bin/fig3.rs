@@ -1,0 +1,23 @@
+//! Regenerates the paper's Figure 3 (GA evolution, Weibull clients).
+
+use wmn_experiments::ascii_plot::plot;
+use wmn_experiments::cli;
+use wmn_experiments::figures::run_ga_figure;
+use wmn_experiments::report::write_ga_figure;
+use wmn_experiments::scenario::Scenario;
+
+fn main() {
+    let opts = cli::parse_env();
+    let fig = run_ga_figure(Scenario::Weibull, &opts.config).expect("figure run");
+    println!(
+        "{}",
+        plot(
+            "Figure 3: size of giant component vs GA generations (Weibull clients)",
+            &fig.series,
+            72,
+            20
+        )
+    );
+    write_ga_figure(&opts.out_dir, &fig).expect("write results");
+    println!("wrote {}/fig3.{{csv,txt}}", opts.out_dir.display());
+}

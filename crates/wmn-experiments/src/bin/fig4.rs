@@ -1,0 +1,28 @@
+//! Regenerates the paper's Figure 4 (neighborhood search: swap vs random
+//! movement, Normal clients).
+
+use wmn_experiments::ascii_plot::plot;
+use wmn_experiments::cli;
+use wmn_experiments::figures::run_ns_figure;
+use wmn_experiments::report::write_ns_figure;
+
+fn main() {
+    let opts = cli::parse_env();
+    let fig = run_ns_figure(&opts.config).expect("figure run");
+    println!(
+        "{}",
+        plot(
+            "Figure 4: neighborhood search, swap vs random movement (normal clients)",
+            &[fig.swap.clone(), fig.random.clone()],
+            72,
+            20
+        )
+    );
+    println!(
+        "final giant component: swap = {}, random = {}",
+        fig.swap.last_y().unwrap_or(0.0),
+        fig.random.last_y().unwrap_or(0.0)
+    );
+    write_ns_figure(&opts.out_dir, &fig).expect("write results");
+    println!("wrote {}/fig4.{{csv,txt}}", opts.out_dir.display());
+}

@@ -1,0 +1,55 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```bash
+//! cargo run --release -p wmn-experiments --bin run_all            # paper scale
+//! cargo run --release -p wmn-experiments --bin run_all -- --quick # CI scale
+//! ```
+
+use std::time::Instant;
+use wmn_experiments::cli;
+use wmn_experiments::figures::{run_ga_figure, run_ns_figure};
+use wmn_experiments::report::{write_ga_figure, write_ns_figure, write_table};
+use wmn_experiments::scenario::Scenario;
+use wmn_experiments::tables::run_table;
+
+fn main() {
+    let opts = cli::parse_env();
+    let t0 = Instant::now();
+
+    for scenario in Scenario::paper_tables() {
+        let n = scenario.table_number().expect("paper scenario");
+        let started = Instant::now();
+        let table = run_table(scenario, &opts.config).expect("table run");
+        write_table(&opts.out_dir, &table).expect("write table");
+        println!(
+            "table{n} ({scenario}): done in {:.1?}; best GA method = {}",
+            started.elapsed(),
+            table.best_ga_method().map(|m| m.name()).unwrap_or("n/a")
+        );
+
+        let started = Instant::now();
+        let fig = run_ga_figure(scenario, &opts.config).expect("figure run");
+        write_ga_figure(&opts.out_dir, &fig).expect("write figure");
+        println!(
+            "fig{n} ({scenario}): done in {:.1?}; best final curve = {}",
+            started.elapsed(),
+            fig.best_final_method().unwrap_or("n/a")
+        );
+    }
+
+    let started = Instant::now();
+    let ns = run_ns_figure(&opts.config).expect("ns figure run");
+    write_ns_figure(&opts.out_dir, &ns).expect("write ns figure");
+    println!(
+        "fig4: done in {:.1?}; swap = {}, random = {}",
+        started.elapsed(),
+        ns.swap.last_y().unwrap_or(0.0),
+        ns.random.last_y().unwrap_or(0.0)
+    );
+
+    println!(
+        "all artifacts written to {}/ in {:.1?}",
+        opts.out_dir.display(),
+        t0.elapsed()
+    );
+}

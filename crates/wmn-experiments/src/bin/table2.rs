@@ -1,0 +1,15 @@
+//! Regenerates the paper's Table 2 (Exponential client distribution).
+
+use wmn_experiments::cli;
+use wmn_experiments::report::write_table;
+use wmn_experiments::scenario::Scenario;
+use wmn_experiments::tables::run_table;
+
+fn main() {
+    let opts = cli::parse_env();
+    let table = run_table(Scenario::Exponential, &opts.config).expect("table run");
+    println!("# Table 2 — Exponential distribution (paper: Xhafa/Sánchez/Barolli 2009)\n");
+    print!("{}", table.to_markdown());
+    write_table(&opts.out_dir, &table).expect("write results");
+    println!("\nwrote {}/table2.{{md,csv}}", opts.out_dir.display());
+}

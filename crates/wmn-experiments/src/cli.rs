@@ -1,0 +1,117 @@
+//! Tiny shared argument parsing for the experiment binaries.
+//!
+//! Flags (all optional):
+//!
+//! * `--quick` — reduced scale (`ExperimentConfig::quick()`).
+//! * `--seed <n>` — algorithm run seed (default 42).
+//! * `--instance-seed <n>` — instance generation seed (default 2009).
+//! * `--out <dir>` — output directory (default `results`).
+
+use crate::scenario::ExperimentConfig;
+use std::path::PathBuf;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Scale + seeding.
+    pub config: ExperimentConfig,
+    /// Output directory.
+    pub out_dir: PathBuf,
+}
+
+/// Parses options from an argument iterator (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or malformed numbers.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, String> {
+    let mut config = ExperimentConfig::paper();
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let keep = config;
+                config = ExperimentConfig::quick();
+                config.run_seed = keep.run_seed;
+                config.instance_seed = keep.instance_seed;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                config.run_seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--instance-seed" => {
+                let v = it.next().ok_or("--instance-seed needs a value")?;
+                config.instance_seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--ns-budget" => {
+                let v = it.next().ok_or("--ns-budget needs a value")?;
+                config.ns_budget = v.parse().map_err(|_| format!("bad budget {v:?}"))?;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: [--quick] [--seed <n>] [--instance-seed <n>] [--ns-budget <n>] [--out <dir>]"
+                        .to_owned(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(CliOptions { config, out_dir })
+}
+
+/// Parses the process arguments, exiting with a message on error.
+pub fn parse_env() -> CliOptions {
+    match parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_vec(args: &[&str]) -> Result<CliOptions, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse_vec(&[]).unwrap();
+        assert_eq!(opts.config, ExperimentConfig::paper());
+        assert_eq!(opts.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn quick_preserves_seeds() {
+        let opts = parse_vec(&["--seed", "7", "--quick"]).unwrap();
+        assert_eq!(
+            opts.config.generations,
+            ExperimentConfig::quick().generations
+        );
+        assert_eq!(opts.config.run_seed, 7);
+    }
+
+    #[test]
+    fn seed_and_out() {
+        let opts = parse_vec(&["--seed", "9", "--instance-seed", "11", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(opts.config.run_seed, 9);
+        assert_eq!(opts.config.instance_seed, 11);
+        assert_eq!(opts.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse_vec(&["--frob"]).is_err());
+        assert!(parse_vec(&["--seed", "abc"]).is_err());
+        assert!(parse_vec(&["--seed"]).is_err());
+        assert!(parse_vec(&["--help"]).is_err());
+    }
+}

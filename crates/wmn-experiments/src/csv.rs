@@ -1,0 +1,108 @@
+//! Minimal CSV rendering (no external dependency).
+//!
+//! Experiment outputs are small, simple tables; quoting handles commas,
+//! quotes, and newlines per RFC 4180.
+
+/// Escapes one CSV field.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Renders rows (first row = header) as CSV text.
+pub fn render<R, F>(rows: &[R]) -> String
+where
+    R: AsRef<[F]>,
+    F: AsRef<str>,
+{
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row.as_ref().iter().map(|f| escape(f.as_ref())).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders aligned series as CSV: the first column is x, then one column
+/// per series (y values matched by position). Series must share x values;
+/// missing trailing points render as empty fields.
+pub fn render_series(header_x: &str, series: &[wmn_metrics::stats::Trace]) -> String {
+    let mut header: Vec<String> = vec![header_x.to_owned()];
+    header.extend(series.iter().map(|s| s.name().to_owned()));
+    let longest = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut rows: Vec<Vec<String>> = vec![header];
+    for i in 0..longest {
+        let x = series
+            .iter()
+            .find_map(|s| s.points().get(i).map(|&(x, _)| x));
+        let mut row = vec![x.map_or(String::new(), |x| trim_float(x))];
+        for s in series {
+            row.push(
+                s.points()
+                    .get(i)
+                    .map_or(String::new(), |&(_, y)| trim_float(y)),
+            );
+        }
+        rows.push(row);
+    }
+    render(&rows)
+}
+
+/// Formats a float without trailing zeros (`5` not `5.000`).
+pub fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_metrics::stats::Trace;
+
+    #[test]
+    fn renders_simple_rows() {
+        let rows = vec![vec!["a", "b"], vec!["1", "2"]];
+        assert_eq!(render(&rows), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn escapes_special_fields() {
+        let rows = vec![vec!["x,y", "he said \"hi\"", "line\nbreak"]];
+        let out = render(&rows);
+        assert_eq!(out, "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+    }
+
+    #[test]
+    fn renders_series_columns() {
+        let mut a = Trace::new("swap");
+        a.push(1.0, 3.0);
+        a.push(2.0, 5.0);
+        let mut b = Trace::new("random");
+        b.push(1.0, 2.0);
+        let out = render_series("phase", &[a, b]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "phase,swap,random");
+        assert_eq!(lines[1], "1,3,2");
+        assert_eq!(lines[2], "2,5,");
+    }
+
+    #[test]
+    fn trim_float_behaviour() {
+        assert_eq!(trim_float(5.0), "5");
+        assert_eq!(trim_float(0.25), "0.2500");
+        assert_eq!(trim_float(-3.0), "-3");
+    }
+
+    #[test]
+    fn empty_series_renders_header_only() {
+        let out = render_series("x", &[]);
+        assert_eq!(out, "x\n");
+    }
+}

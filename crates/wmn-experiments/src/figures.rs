@@ -1,0 +1,219 @@
+//! Reproduction of Figures 1–4.
+//!
+//! Figures 1–3: evolution of the giant component size over GA generations,
+//! one curve per ad hoc initialization method, for the Normal, Exponential
+//! and Weibull scenarios. Figure 4: evolution of the giant component over
+//! neighborhood search phases, swap versus random movement, on the Normal
+//! scenario.
+
+use crate::scenario::{ExperimentConfig, Scenario};
+use wmn_ga::engine::{GaConfig, GaEngine};
+use wmn_ga::init::PopulationInit;
+use wmn_metrics::evaluator::Evaluator;
+use wmn_metrics::stats::Trace;
+use wmn_model::rng::SeedSequence;
+use wmn_model::ModelError;
+use wmn_placement::registry::AdHocMethod;
+use wmn_search::movement::{Movement, RandomMovement, SwapConfig, SwapMovement};
+use wmn_search::neighborhood::ExplorationBudget;
+use wmn_search::search::{NeighborhoodSearch, SearchConfig, StoppingCondition};
+
+/// A reproduced GA-evolution figure (Figures 1–3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaFigure {
+    /// The scenario (Normal → Figure 1, Exponential → 2, Weibull → 3).
+    pub scenario: Scenario,
+    /// One `(generation, giant size)` series per init method, downsampled
+    /// to the configured stride.
+    pub series: Vec<Trace>,
+}
+
+impl GaFigure {
+    /// The paper figure number (`None` for Uniform).
+    pub fn figure_number(&self) -> Option<usize> {
+        self.scenario.table_number()
+    }
+
+    /// The series for a method, if present.
+    pub fn series_for(&self, method: AdHocMethod) -> Option<&Trace> {
+        self.series.iter().find(|t| t.name() == method.name())
+    }
+
+    /// The method whose curve ends highest (the paper: HotSpot).
+    pub fn best_final_method(&self) -> Option<&str> {
+        self.series
+            .iter()
+            .max_by(|a, b| {
+                a.last_y()
+                    .unwrap_or(f64::NEG_INFINITY)
+                    .partial_cmp(&b.last_y().unwrap_or(f64::NEG_INFINITY))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|t| t.name())
+    }
+}
+
+/// Runs one GA-evolution figure: one GA per ad hoc method, recording the
+/// per-generation best giant component size.
+///
+/// # Errors
+///
+/// Propagates instance generation and evaluation failures (none occur for
+/// the built-in scenarios).
+pub fn run_ga_figure(
+    scenario: Scenario,
+    config: &ExperimentConfig,
+) -> Result<GaFigure, ModelError> {
+    let instance = scenario.instance(config.instance_seed)?;
+    let evaluator = Evaluator::paper_default(&instance);
+    let ga_config = GaConfig::builder()
+        .population_size(config.population)
+        .generations(config.generations)
+        .threads(config.threads)
+        .build()
+        .expect("experiment GA config is valid");
+    let seq = SeedSequence::new(config.run_seed);
+
+    let mut series = Vec::with_capacity(7);
+    for method in AdHocMethod::all() {
+        // Same per-method seed derivation as the tables, so Figure N and
+        // Table N report the same runs (as in the paper).
+        let mut rng = seq
+            .fork(&format!("ga-{}-{}", scenario.name(), method.name()))
+            .next_rng();
+        let engine = GaEngine::new(&evaluator, ga_config.clone());
+        let outcome = engine.run(&PopulationInit::AdHoc(method), &mut rng)?;
+        series.push(
+            outcome
+                .trace
+                .giant_series(method.name())
+                .downsampled(config.sample_every.max(1)),
+        );
+    }
+    Ok(GaFigure { scenario, series })
+}
+
+/// A reproduced Figure 4: neighborhood search evolution, swap vs random.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NsFigure {
+    /// `(phase, giant size)` for the swap movement.
+    pub swap: Trace,
+    /// `(phase, giant size)` for the random movement.
+    pub random: Trace,
+}
+
+impl NsFigure {
+    /// Both series, swap first (legend order of the paper's Figure 4).
+    pub fn series(&self) -> [&Trace; 2] {
+        [&self.swap, &self.random]
+    }
+}
+
+/// Runs Figure 4: neighborhood search with swap and random movements from
+/// the same random initial placement on the Normal scenario.
+///
+/// # Errors
+///
+/// Propagates instance generation and evaluation failures (none occur for
+/// the built-in configuration).
+pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ModelError> {
+    let instance = Scenario::Normal.instance(config.instance_seed)?;
+    let evaluator = Evaluator::paper_default(&instance);
+    let seq = SeedSequence::new(config.run_seed);
+
+    // Both searches start from the same random placement ("client mesh
+    // routers distributed according to a normal distribution" — the initial
+    // router placement is random).
+    let mut init_rng = seq.fork("ns-initial").next_rng();
+    let initial = instance.random_placement(&mut init_rng);
+
+    let search_config = SearchConfig {
+        budget: ExplorationBudget::sampled(config.ns_budget),
+        stopping: StoppingCondition::fixed_phases(config.ns_phases),
+    };
+
+    let run = |movement: Box<dyn Movement>, label: &str| -> Result<Trace, ModelError> {
+        let mut rng = seq.fork(&format!("ns-{label}")).next_rng();
+        let search = NeighborhoodSearch::new(&evaluator, movement, search_config);
+        let outcome = search.run(&initial, &mut rng)?;
+        Ok(outcome.trace.giant_series(label))
+    };
+
+    let swap = run(
+        Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+        "Swap",
+    )?;
+    let random = run(Box::new(RandomMovement::new(&instance)), "Random")?;
+    Ok(NsFigure { swap, random })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ga_figure_has_one_series_per_method() {
+        let fig = run_ga_figure(Scenario::Normal, &ExperimentConfig::quick()).unwrap();
+        assert_eq!(fig.series.len(), 7);
+        assert_eq!(fig.figure_number(), Some(1));
+        for t in &fig.series {
+            assert!(!t.is_empty());
+            // Downsampling keeps the final generation.
+            assert_eq!(
+                t.points().last().unwrap().0,
+                ExperimentConfig::quick().generations as f64
+            );
+        }
+        assert!(fig.series_for(AdHocMethod::HotSpot).is_some());
+    }
+
+    #[test]
+    fn ga_curves_are_monotone_nondecreasing() {
+        // Elitism means the best-of-generation giant size never regresses
+        // in fitness; the giant component of the best individual may wiggle
+        // slightly (fitness mixes coverage), so allow small dips.
+        let fig = run_ga_figure(Scenario::Normal, &ExperimentConfig::quick()).unwrap();
+        for t in &fig.series {
+            let first = t.points().first().unwrap().1;
+            let last = t.points().last().unwrap().1;
+            assert!(
+                last >= first,
+                "{}: giant fell from {first} to {last}",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ns_figure_swap_beats_random() {
+        // The paper's Figure 4 claim: swap reaches a higher giant component
+        // within the phase budget.
+        let fig = run_ns_figure(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(fig.swap.len(), ExperimentConfig::quick().ns_phases);
+        let swap_final = fig.swap.last_y().unwrap();
+        let random_final = fig.random.last_y().unwrap();
+        assert!(
+            swap_final >= random_final,
+            "swap ({swap_final}) must not lose to random ({random_final})"
+        );
+    }
+
+    #[test]
+    fn ns_series_start_from_the_same_value() {
+        let fig = run_ns_figure(&ExperimentConfig::quick()).unwrap();
+        // Phase 1 values may already differ (one accepted move), but both
+        // searches share the same initial placement, so the first recorded
+        // giant size can differ by at most what one move can change; sanity
+        // bound: within 16.
+        let s0 = fig.swap.points()[0].1;
+        let r0 = fig.random.points()[0].1;
+        assert!((s0 - r0).abs() <= 16.0);
+    }
+
+    #[test]
+    fn deterministic_per_config() {
+        let a = run_ns_figure(&ExperimentConfig::quick()).unwrap();
+        let b = run_ns_figure(&ExperimentConfig::quick()).unwrap();
+        assert_eq!(a, b);
+    }
+}

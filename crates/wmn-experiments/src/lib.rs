@@ -1,0 +1,34 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! | Artifact | Runner | Binary |
+//! |---|---|---|
+//! | Table 1 (Normal) | [`tables::run_table`] | `table1` |
+//! | Table 2 (Exponential) | [`tables::run_table`] | `table2` |
+//! | Table 3 (Weibull) | [`tables::run_table`] | `table3` |
+//! | Figure 1 (GA evolution, Normal) | [`figures::run_ga_figure`] | `fig1` |
+//! | Figure 2 (GA evolution, Exponential) | [`figures::run_ga_figure`] | `fig2` |
+//! | Figure 3 (GA evolution, Weibull) | [`figures::run_ga_figure`] | `fig3` |
+//! | Figure 4 (NS swap vs random) | [`figures::run_ns_figure`] | `fig4` |
+//!
+//! Every binary accepts `--quick` (reduced scale), `--seed <n>` (run seed)
+//! and `--out <dir>` (default `results/`). `run_all` regenerates
+//! everything.
+//!
+//! ```bash
+//! cargo run --release -p wmn-experiments --bin run_all
+//! cargo run --release -p wmn-experiments --bin table1 -- --quick
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ascii_plot;
+pub mod cli;
+pub mod csv;
+pub mod figures;
+pub mod report;
+pub mod scenario;
+pub mod tables;
+
+pub use scenario::{ExperimentConfig, Scenario};

@@ -1,0 +1,115 @@
+//! Writing experiment outputs to the `results/` directory.
+
+use crate::ascii_plot::plot;
+use crate::csv::render_series;
+use crate::figures::{GaFigure, NsFigure};
+use crate::tables::TableResult;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes a reproduced table as `tableN.md` and `tableN.csv`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_table(dir: &Path, table: &TableResult) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let n = table.scenario.table_number().unwrap_or(0);
+    let title = format!(
+        "# Table {} — {} distribution ({} routers, {} clients)\n\n",
+        n, table.scenario, 64, 192
+    );
+    fs::write(
+        dir.join(format!("table{n}.md")),
+        format!("{title}{}", table.to_markdown()),
+    )?;
+    fs::write(dir.join(format!("table{n}.csv")), table.to_csv())?;
+    Ok(())
+}
+
+/// Writes a GA-evolution figure as `figN.csv` and an ASCII `figN.txt`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_ga_figure(dir: &Path, figure: &GaFigure) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let n = figure.figure_number().unwrap_or(0);
+    fs::write(
+        dir.join(format!("fig{n}.csv")),
+        render_series("generation", &figure.series),
+    )?;
+    let title = format!(
+        "Figure {n}: size of giant component vs GA generations ({} clients)",
+        figure.scenario
+    );
+    fs::write(
+        dir.join(format!("fig{n}.txt")),
+        plot(&title, &figure.series, 72, 20),
+    )?;
+    Ok(())
+}
+
+/// Writes Figure 4 as `fig4.csv` and an ASCII `fig4.txt`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_ns_figure(dir: &Path, figure: &NsFigure) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let series = [figure.swap.clone(), figure.random.clone()];
+    fs::write(dir.join("fig4.csv"), render_series("phase", &series))?;
+    fs::write(
+        dir.join("fig4.txt"),
+        plot(
+            "Figure 4: neighborhood search, swap vs random movement (normal clients)",
+            &series,
+            72,
+            20,
+        ),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{run_ga_figure, run_ns_figure};
+    use crate::scenario::{ExperimentConfig, Scenario};
+    use crate::tables::run_table;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wmn-report-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_table_files() {
+        let dir = tmpdir("table");
+        let t = run_table(Scenario::Normal, &ExperimentConfig::quick()).unwrap();
+        write_table(&dir, &t).unwrap();
+        assert!(dir.join("table1.md").exists());
+        assert!(dir.join("table1.csv").exists());
+        let md = fs::read_to_string(dir.join("table1.md")).unwrap();
+        assert!(md.contains("HotSpot"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_figure_files() {
+        let dir = tmpdir("figs");
+        let fig = run_ga_figure(Scenario::Weibull, &ExperimentConfig::quick()).unwrap();
+        write_ga_figure(&dir, &fig).unwrap();
+        assert!(dir.join("fig3.csv").exists());
+        assert!(dir.join("fig3.txt").exists());
+
+        let ns = run_ns_figure(&ExperimentConfig::quick()).unwrap();
+        write_ns_figure(&dir, &ns).unwrap();
+        let csv = fs::read_to_string(dir.join("fig4.csv")).unwrap();
+        assert!(csv.starts_with("phase,Swap,Random"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,446 @@
+//! The generational GA engine.
+//!
+//! A classical elitist generational GA over placement chromosomes: evaluate,
+//! record, select (tournament by default), cross (single-point by default),
+//! mutate (jitter + reset stack), repeat. The engine records a
+//! [`GaTrace`] — per-generation best giant component size — which is
+//! exactly the data plotted in the paper's Figures 1–3.
+
+use crate::crossover::CrossoverOp;
+use crate::init::PopulationInit;
+use crate::mutation::MutationOp;
+use crate::parallel;
+use crate::population::Population;
+use crate::selection::SelectionOp;
+use crate::trace::{GaTrace, GenerationRecord};
+use rand::{Rng, RngCore};
+use wmn_metrics::evaluator::{Evaluation, Evaluator};
+use wmn_model::placement::Placement;
+use wmn_model::ModelError;
+
+/// GA parameters (see [`GaConfigBuilder`] for construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population_size: usize,
+    /// Number of generations to run (the paper's figures run ~800).
+    pub generations: usize,
+    /// Probability that a selected pair is crossed (else cloned).
+    pub crossover_rate: f64,
+    /// Number of elites copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Parent selection.
+    pub selection: SelectionOp,
+    /// Crossover operator.
+    pub crossover: CrossoverOp,
+    /// Mutation stack applied to every non-elite child, in order.
+    pub mutations: Vec<MutationOp>,
+    /// Worker threads for fitness evaluation (1 = serial).
+    pub threads: usize,
+}
+
+impl GaConfig {
+    /// The configuration used for the paper reproduction: population 64,
+    /// 800 generations, single-point crossover at 0.8, tournament(3),
+    /// elitism 2, jitter+reset mutation.
+    pub fn paper_default() -> Self {
+        GaConfig {
+            population_size: 64,
+            generations: 800,
+            crossover_rate: 0.8,
+            elitism: 2,
+            selection: SelectionOp::paper_default(),
+            crossover: CrossoverOp::paper_default(),
+            mutations: MutationOp::paper_default_stack(),
+            threads: 1,
+        }
+    }
+
+    /// Starts a builder from the paper defaults.
+    pub fn builder() -> GaConfigBuilder {
+        GaConfigBuilder {
+            config: GaConfig::paper_default(),
+        }
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig::paper_default()
+    }
+}
+
+/// Builder for [`GaConfig`] (non-consuming, per C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct GaConfigBuilder {
+    config: GaConfig,
+}
+
+impl GaConfigBuilder {
+    /// Sets the population size.
+    pub fn population_size(&mut self, n: usize) -> &mut Self {
+        self.config.population_size = n;
+        self
+    }
+
+    /// Sets the generation count.
+    pub fn generations(&mut self, n: usize) -> &mut Self {
+        self.config.generations = n;
+        self
+    }
+
+    /// Sets the crossover rate.
+    pub fn crossover_rate(&mut self, rate: f64) -> &mut Self {
+        self.config.crossover_rate = rate;
+        self
+    }
+
+    /// Sets the elite count.
+    pub fn elitism(&mut self, n: usize) -> &mut Self {
+        self.config.elitism = n;
+        self
+    }
+
+    /// Sets the selection operator.
+    pub fn selection(&mut self, op: SelectionOp) -> &mut Self {
+        self.config.selection = op;
+        self
+    }
+
+    /// Sets the crossover operator.
+    pub fn crossover(&mut self, op: CrossoverOp) -> &mut Self {
+        self.config.crossover = op;
+        self
+    }
+
+    /// Replaces the mutation stack.
+    pub fn mutations(&mut self, ops: Vec<MutationOp>) -> &mut Self {
+        self.config.mutations = ops;
+        self
+    }
+
+    /// Sets the evaluation thread count.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.config.threads = n.max(1);
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration is inconsistent
+    /// (zero population, elitism not smaller than the population,
+    /// crossover rate outside `[0, 1]`).
+    pub fn build(&self) -> Result<GaConfig, String> {
+        let c = &self.config;
+        if c.population_size == 0 {
+            return Err("population_size must be positive".to_owned());
+        }
+        if c.elitism >= c.population_size {
+            return Err(format!(
+                "elitism ({}) must be smaller than population_size ({})",
+                c.elitism, c.population_size
+            ));
+        }
+        if !(0.0..=1.0).contains(&c.crossover_rate) || !c.crossover_rate.is_finite() {
+            return Err(format!(
+                "crossover_rate must be in [0, 1], got {}",
+                c.crossover_rate
+            ));
+        }
+        Ok(c.clone())
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaOutcome {
+    /// Best placement found across all generations.
+    pub best_placement: Placement,
+    /// Evaluation of the best placement.
+    pub best_evaluation: Evaluation,
+    /// Per-generation history (the Figures 1–3 data).
+    pub trace: GaTrace,
+    /// The final population (exposed for diversity analyses).
+    pub final_population: Population,
+}
+
+/// The GA engine, bound to an evaluator.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_ga::engine::{GaConfig, GaEngine};
+/// use wmn_ga::init::PopulationInit;
+/// use wmn_metrics::Evaluator;
+/// use wmn_model::prelude::*;
+/// use wmn_placement::registry::AdHocMethod;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(2)?;
+/// let evaluator = Evaluator::paper_default(&instance);
+/// let config = GaConfig::builder()
+///     .population_size(16)
+///     .generations(5)
+///     .build()
+///     .expect("valid config");
+/// let engine = GaEngine::new(&evaluator, config);
+///
+/// let mut rng = rng_from_seed(1);
+/// let outcome = engine.run(&PopulationInit::AdHoc(AdHocMethod::HotSpot), &mut rng)?;
+/// assert_eq!(outcome.trace.len(), 6); // initial + 5 generations
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct GaEngine<'e, 'i> {
+    evaluator: &'e Evaluator<'i>,
+    config: GaConfig,
+}
+
+impl<'e, 'i> GaEngine<'e, 'i> {
+    /// Creates an engine with the given configuration.
+    pub fn new(evaluator: &'e Evaluator<'i>, config: GaConfig) -> Self {
+        GaEngine { evaluator, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    fn record(&self, generation: usize, population: &Population, trace: &mut GaTrace) {
+        let best = population
+            .best_evaluation()
+            .expect("population evaluated before recording");
+        trace.push(GenerationRecord {
+            generation,
+            best_fitness: best.fitness,
+            best_giant: best.giant_size(),
+            best_coverage: best.covered_clients(),
+            mean_fitness: population.mean_fitness(),
+            diversity: population.positional_diversity(),
+        });
+    }
+
+    /// Runs the GA from an initial population built by `init`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation failures from evaluation (none occur
+    /// with the built-in initializers and operators).
+    pub fn run(
+        &self,
+        init: &PopulationInit,
+        rng: &mut dyn RngCore,
+    ) -> Result<GaOutcome, ModelError> {
+        let mut population =
+            init.build(self.evaluator.instance(), self.config.population_size, rng);
+        parallel::evaluate_population(self.evaluator, &mut population, self.config.threads)?;
+
+        let mut trace = GaTrace::new();
+        self.record(0, &population, &mut trace);
+        let mut best_placement = population
+            .best()
+            .expect("nonempty population")
+            .placement()
+            .clone();
+        let mut best_evaluation = population.best_evaluation().expect("evaluated");
+
+        let instance = self.evaluator.instance();
+        for generation in 1..=self.config.generations {
+            let mut next = Population::new();
+            // Elites survive unchanged (evaluation cache carries over).
+            for &idx in population.ranked_indices().iter().take(self.config.elitism) {
+                next.push(population.individuals()[idx].clone());
+            }
+            // Offspring.
+            while next.len() < self.config.population_size {
+                let pa = self.config.selection.select(&population, rng);
+                let pb = self.config.selection.select(&population, rng);
+                let (mut c1, mut c2) = if rng.gen::<f64>() < self.config.crossover_rate {
+                    self.config.crossover.cross(
+                        population.individuals()[pa].placement(),
+                        population.individuals()[pb].placement(),
+                        rng,
+                    )
+                } else {
+                    (
+                        population.individuals()[pa].placement().clone(),
+                        population.individuals()[pb].placement().clone(),
+                    )
+                };
+                for op in &self.config.mutations {
+                    op.mutate(&mut c1, instance, rng);
+                }
+                next.push(c1.into());
+                if next.len() < self.config.population_size {
+                    for op in &self.config.mutations {
+                        op.mutate(&mut c2, instance, rng);
+                    }
+                    next.push(c2.into());
+                }
+            }
+            population = next;
+            parallel::evaluate_population(self.evaluator, &mut population, self.config.threads)?;
+            self.record(generation, &population, &mut trace);
+
+            let gen_best = population.best_evaluation().expect("evaluated");
+            if gen_best.fitness > best_evaluation.fitness {
+                best_evaluation = gen_best;
+                best_placement = population.best().expect("nonempty").placement().clone();
+            }
+        }
+
+        Ok(GaOutcome {
+            best_placement,
+            best_evaluation,
+            trace,
+            final_population: population,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+    use wmn_placement::registry::AdHocMethod;
+
+    fn quick_config(pop: usize, gens: usize) -> GaConfig {
+        GaConfig::builder()
+            .population_size(pop)
+            .generations(gens)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(GaConfig::builder().population_size(0).build().is_err());
+        assert!(GaConfig::builder()
+            .population_size(4)
+            .elitism(4)
+            .build()
+            .is_err());
+        assert!(GaConfig::builder().crossover_rate(1.5).build().is_err());
+        assert!(GaConfig::builder()
+            .crossover_rate(f64::NAN)
+            .build()
+            .is_err());
+        assert!(GaConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn best_so_far_is_monotone_and_matches_trace() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        let engine = GaEngine::new(&evaluator, quick_config(12, 15));
+        let mut rng = rng_from_seed(2);
+        let outcome = engine
+            .run(&PopulationInit::AdHoc(AdHocMethod::HotSpot), &mut rng)
+            .unwrap();
+        assert_eq!(outcome.trace.len(), 16);
+        // With elitism >= 1 the per-generation best fitness is monotone.
+        let mut prev = f64::NEG_INFINITY;
+        for r in outcome.trace.records() {
+            assert!(
+                r.best_fitness >= prev - 1e-12,
+                "elitist best dropped at generation {}",
+                r.generation
+            );
+            prev = r.best_fitness;
+        }
+        assert!(
+            (outcome.best_evaluation.fitness - prev).abs() < 1e-12,
+            "outcome best must equal the final trace best"
+        );
+        assert!(instance.validate_placement(&outcome.best_placement).is_ok());
+    }
+
+    #[test]
+    fn ga_improves_over_initial_population() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(3).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        let engine = GaEngine::new(&evaluator, quick_config(24, 30));
+        let mut rng = rng_from_seed(4);
+        let outcome = engine
+            .run(&PopulationInit::UniformRandom, &mut rng)
+            .unwrap();
+        let initial_best = outcome.trace.records()[0].best_fitness;
+        assert!(
+            outcome.best_evaluation.fitness > initial_best,
+            "30 generations must improve on random init: {} -> {}",
+            initial_best,
+            outcome.best_evaluation.fitness
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(5).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        let run = |seed| {
+            let engine = GaEngine::new(&evaluator, quick_config(10, 8));
+            engine
+                .run(
+                    &PopulationInit::AdHoc(AdHocMethod::Cross),
+                    &mut rng_from_seed(seed),
+                )
+                .unwrap()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.best_placement, b.best_placement);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(9).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        let serial = GaEngine::new(&evaluator, quick_config(10, 6));
+        let mut parallel_cfg = quick_config(10, 6);
+        parallel_cfg.threads = 4;
+        let parallel_engine = GaEngine::new(&evaluator, parallel_cfg);
+        let a = serial
+            .run(
+                &PopulationInit::AdHoc(AdHocMethod::Near),
+                &mut rng_from_seed(11),
+            )
+            .unwrap();
+        let b = parallel_engine
+            .run(
+                &PopulationInit::AdHoc(AdHocMethod::Near),
+                &mut rng_from_seed(11),
+            )
+            .unwrap();
+        assert_eq!(a.trace, b.trace, "thread count must not affect results");
+    }
+
+    #[test]
+    fn elites_preserve_best_across_generations() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(13).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        // No crossover, no mutation: with elitism the best individual can
+        // never get worse, and the population converges to clones.
+        let config = GaConfig::builder()
+            .population_size(8)
+            .generations(10)
+            .crossover_rate(0.0)
+            .mutations(vec![])
+            .build()
+            .unwrap();
+        let engine = GaEngine::new(&evaluator, config);
+        let mut rng = rng_from_seed(14);
+        let outcome = engine
+            .run(&PopulationInit::UniformRandom, &mut rng)
+            .unwrap();
+        let first = outcome.trace.records()[0].best_fitness;
+        let last = outcome.trace.last().unwrap().best_fitness;
+        assert!(
+            (first - last).abs() < 1e-12,
+            "nothing can improve or degrade"
+        );
+    }
+}

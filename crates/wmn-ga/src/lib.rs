@@ -1,0 +1,76 @@
+//! Genetic algorithm for WMN router placement.
+//!
+//! The paper's second evaluation scenario (Tables 1–3, Figures 1–3) runs a
+//! GA whose **initial population is produced by each ad hoc method**,
+//! measuring how initialization quality drives convergence of the giant
+//! component size. This crate provides that machinery:
+//!
+//! * [`chromosome`] / [`population`] — individuals (placement + cached
+//!   evaluation) and populations with diversity measures.
+//! * [`selection`] — tournament (paper default), roulette-wheel, rank.
+//! * [`crossover`] — single-point (paper default), two-point, uniform,
+//!   blend, region-exchange.
+//! * [`mutation`] — Gaussian jitter + uniform reset (paper stack) and a
+//!   swap-pair operator mirroring the paper's swap movement.
+//! * [`init`] — ad-hoc-seeded population initialization
+//!   ([`PopulationInit`]).
+//! * [`engine`] — the elitist generational [`GaEngine`] with per-generation
+//!   [`trace`] recording (the Figures 1–3 data).
+//! * [`parallel`] — threaded fitness evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use wmn_ga::prelude::*;
+//! use wmn_metrics::Evaluator;
+//! use wmn_model::prelude::*;
+//! use wmn_placement::registry::AdHocMethod;
+//!
+//! let instance = InstanceSpec::paper_normal()?.generate(0)?;
+//! let evaluator = Evaluator::paper_default(&instance);
+//! let config = GaConfig::builder()
+//!     .population_size(16)
+//!     .generations(10)
+//!     .build()
+//!     .expect("valid config");
+//! let engine = GaEngine::new(&evaluator, config);
+//! let mut rng = rng_from_seed(1);
+//! let outcome = engine.run(&PopulationInit::AdHoc(AdHocMethod::HotSpot), &mut rng)?;
+//! println!("best giant component: {}", outcome.best_evaluation.giant_size());
+//! # Ok::<(), wmn_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chromosome;
+pub mod crossover;
+pub mod engine;
+pub mod init;
+pub mod mutation;
+pub mod parallel;
+pub mod population;
+pub mod selection;
+pub mod trace;
+
+pub use chromosome::Individual;
+pub use crossover::CrossoverOp;
+pub use engine::{GaConfig, GaConfigBuilder, GaEngine, GaOutcome};
+pub use init::PopulationInit;
+pub use mutation::MutationOp;
+pub use population::Population;
+pub use selection::SelectionOp;
+pub use trace::{GaTrace, GenerationRecord};
+
+/// Convenient glob import of the GA toolkit.
+pub mod prelude {
+    pub use crate::chromosome::Individual;
+    pub use crate::crossover::CrossoverOp;
+    pub use crate::engine::{GaConfig, GaConfigBuilder, GaEngine, GaOutcome};
+    pub use crate::init::PopulationInit;
+    pub use crate::mutation::MutationOp;
+    pub use crate::population::Population;
+    pub use crate::selection::SelectionOp;
+    pub use crate::trace::{GaTrace, GenerationRecord};
+}

@@ -1,0 +1,123 @@
+//! Per-generation GA traces (the data behind Figures 1–3).
+
+use serde::{Deserialize, Serialize};
+use wmn_metrics::stats::Trace;
+
+/// Summary of one generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationRecord {
+    /// 0-based generation number (0 = initial population).
+    pub generation: usize,
+    /// Best fitness in the population.
+    pub best_fitness: f64,
+    /// Giant component size of the best individual.
+    pub best_giant: usize,
+    /// Covered clients of the best individual.
+    pub best_coverage: usize,
+    /// Mean fitness over the population.
+    pub mean_fitness: f64,
+    /// Positional diversity of the population (see
+    /// [`Population::positional_diversity`](crate::population::Population::positional_diversity)).
+    pub diversity: f64,
+}
+
+/// The full per-generation history of one GA run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GaTrace {
+    records: Vec<GenerationRecord>,
+}
+
+impl GaTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        GaTrace::default()
+    }
+
+    /// Appends a generation record.
+    pub fn push(&mut self, record: GenerationRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in generation order.
+    pub fn records(&self) -> &[GenerationRecord] {
+        &self.records
+    }
+
+    /// Number of recorded generations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no generations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// `(generation, best giant size)` series — the y-axis of Figures 1–3.
+    pub fn giant_series(&self, name: impl Into<String>) -> Trace {
+        let mut t = Trace::new(name);
+        for r in &self.records {
+            t.push(r.generation as f64, r.best_giant as f64);
+        }
+        t
+    }
+
+    /// `(generation, best fitness)` series.
+    pub fn fitness_series(&self, name: impl Into<String>) -> Trace {
+        let mut t = Trace::new(name);
+        for r in &self.records {
+            t.push(r.generation as f64, r.best_fitness);
+        }
+        t
+    }
+
+    /// `(generation, diversity)` series.
+    pub fn diversity_series(&self, name: impl Into<String>) -> Trace {
+        let mut t = Trace::new(name);
+        for r in &self.records {
+            t.push(r.generation as f64, r.diversity);
+        }
+        t
+    }
+
+    /// The last record, if any.
+    pub fn last(&self) -> Option<&GenerationRecord> {
+        self.records.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(generation: usize, giant: usize) -> GenerationRecord {
+        GenerationRecord {
+            generation,
+            best_fitness: giant as f64 / 64.0,
+            best_giant: giant,
+            best_coverage: giant,
+            mean_fitness: giant as f64 / 128.0,
+            diversity: 1.0,
+        }
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut t = GaTrace::new();
+        t.push(record(0, 4));
+        t.push(record(1, 9));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.giant_series("x").points(), &[(0.0, 4.0), (1.0, 9.0)]);
+        assert_eq!(t.fitness_series("x").last_y(), Some(9.0 / 64.0));
+        assert_eq!(t.diversity_series("x").last_y(), Some(1.0));
+        assert_eq!(t.last().unwrap().generation, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = GaTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.last(), None);
+        assert!(t.giant_series("x").is_empty());
+    }
+}

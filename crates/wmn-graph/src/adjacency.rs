@@ -1,0 +1,354 @@
+//! Geometric link models and router-mesh adjacency construction.
+//!
+//! Two routers are neighbors when the [`LinkModel`] says their positions and
+//! current radii admit a wireless link. The default model —
+//! [`LinkModel::CoverageOverlap`] — links routers whose coverage disks
+//! intersect (`d ≤ r_i + r_j`), the standard geometric model in the WMN
+//! placement literature and the one that keeps heterogeneous ("oscillating")
+//! radii meaningful.
+
+use crate::spatial::GridIndex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wmn_model::geometry::{Area, Point};
+
+/// Rule deciding whether two routers can form a wireless link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum LinkModel {
+    /// Link iff the coverage disks intersect: `d(i, j) <= r_i + r_j`.
+    #[default]
+    CoverageOverlap,
+    /// Link iff each router hears the other: `d(i, j) <= min(r_i, r_j)`.
+    MutualRange,
+    /// Link iff within a fixed range, ignoring per-router radii.
+    FixedRange(f64),
+}
+
+impl LinkModel {
+    /// Returns `true` if routers at squared distance `d2` with current radii
+    /// `ri`, `rj` are linked.
+    #[inline]
+    pub fn links(&self, d2: f64, ri: f64, rj: f64) -> bool {
+        let range = self.link_range(ri, rj);
+        d2 <= range * range
+    }
+
+    /// The effective link range for a router pair.
+    #[inline]
+    pub fn link_range(&self, ri: f64, rj: f64) -> f64 {
+        match self {
+            LinkModel::CoverageOverlap => ri + rj,
+            LinkModel::MutualRange => ri.min(rj),
+            LinkModel::FixedRange(r) => *r,
+        }
+    }
+
+    /// Upper bound on the link range of router `i` against *any* partner
+    /// whose radius is at most `max_other`; the query radius used with the
+    /// spatial index.
+    #[inline]
+    pub fn max_link_range(&self, ri: f64, max_other: f64) -> f64 {
+        match self {
+            LinkModel::CoverageOverlap => ri + max_other,
+            LinkModel::MutualRange => ri.min(max_other).max(ri), // min(ri, rj) <= ri is not a bound on range; range <= min <= ri
+            LinkModel::FixedRange(r) => *r,
+        }
+    }
+}
+
+impl fmt::Display for LinkModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkModel::CoverageOverlap => write!(f, "coverage-overlap"),
+            LinkModel::MutualRange => write!(f, "mutual-range"),
+            LinkModel::FixedRange(r) => write!(f, "fixed-range({r})"),
+        }
+    }
+}
+
+/// Undirected adjacency lists of the router mesh.
+///
+/// Node `i` corresponds to router `i`; neighbor lists are sorted and
+/// deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MeshAdjacency {
+    neighbors: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl MeshAdjacency {
+    /// Builds adjacency for routers at `positions` with current `radii`
+    /// under `model`, using a spatial index over `area`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != radii.len()`.
+    pub fn build(
+        area: &Area,
+        positions: &[Point],
+        radii: &[f64],
+        model: LinkModel,
+    ) -> MeshAdjacency {
+        assert_eq!(
+            positions.len(),
+            radii.len(),
+            "positions and radii must be parallel vectors"
+        );
+        let n = positions.len();
+        if n == 0 {
+            return MeshAdjacency::default();
+        }
+        let max_radius = radii.iter().copied().fold(0.0_f64, f64::max);
+        // Cell size near the typical query radius keeps bucket scans tight.
+        let cell = match model {
+            LinkModel::FixedRange(r) => r.max(1e-9),
+            _ => (2.0 * max_radius).max(1e-9),
+        };
+        let index = GridIndex::build(area, positions, cell);
+
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut edge_count = 0;
+        for i in 0..n {
+            let query_r = model.max_link_range(radii[i], max_radius);
+            for j in index.within_radius(positions[i], query_r) {
+                if j <= i {
+                    continue; // handle each unordered pair once
+                }
+                let d2 = positions[i].distance_squared(positions[j]);
+                if model.links(d2, radii[i], radii[j]) {
+                    neighbors[i].push(j);
+                    neighbors[j].push(i);
+                    edge_count += 1;
+                }
+            }
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+        MeshAdjacency {
+            neighbors,
+            edge_count,
+        }
+    }
+
+    /// Reference O(n²) construction; used by tests and ablation benches.
+    pub fn build_brute_force(
+        positions: &[Point],
+        radii: &[f64],
+        model: LinkModel,
+    ) -> MeshAdjacency {
+        assert_eq!(positions.len(), radii.len());
+        let n = positions.len();
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut edge_count = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d2 = positions[i].distance_squared(positions[j]);
+                if model.links(d2, radii[i], radii[j]) {
+                    neighbors[i].push(j);
+                    neighbors[j].push(i);
+                    edge_count += 1;
+                }
+            }
+        }
+        MeshAdjacency {
+            neighbors,
+            edge_count,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Neighbors of node `i` (sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.neighbors[i]
+    }
+
+    /// Degree of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors[i].len()
+    }
+
+    /// Mean node degree (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.edge_count as f64 / self.neighbors.len() as f64
+    }
+
+    /// Removes every edge incident to `i`, returning the former neighbors.
+    /// Part of the incremental-move repair path.
+    pub fn detach_node(&mut self, i: usize) -> Vec<usize> {
+        let old = std::mem::take(&mut self.neighbors[i]);
+        for &j in &old {
+            if let Ok(pos) = self.neighbors[j].binary_search(&i) {
+                self.neighbors[j].remove(pos);
+            }
+            self.edge_count -= 1;
+        }
+        old
+    }
+
+    /// Connects `i` to each node in `new_neighbors` (which must not contain
+    /// `i` or duplicates). Part of the incremental-move repair path.
+    pub fn attach_node(&mut self, i: usize, new_neighbors: Vec<usize>) {
+        debug_assert!(self.neighbors[i].is_empty(), "attach after detach only");
+        debug_assert!(!new_neighbors.contains(&i));
+        for &j in &new_neighbors {
+            match self.neighbors[j].binary_search(&i) {
+                Ok(_) => unreachable!("duplicate edge insertion"),
+                Err(pos) => self.neighbors[j].insert(pos, i),
+            }
+            self.edge_count += 1;
+        }
+        let mut sorted = new_neighbors;
+        sorted.sort_unstable();
+        self.neighbors[i] = sorted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wmn_model::rng::rng_from_seed;
+
+    fn area100() -> Area {
+        Area::square(100.0).unwrap()
+    }
+
+    fn random_layout(n: usize, seed: u64) -> (Vec<Point>, Vec<f64>) {
+        let mut rng = rng_from_seed(seed);
+        let pts = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)))
+            .collect();
+        let radii = (0..n).map(|_| rng.gen_range(2.0..=8.0)).collect();
+        (pts, radii)
+    }
+
+    #[test]
+    fn coverage_overlap_links_touching_disks() {
+        let m = LinkModel::CoverageOverlap;
+        assert!(m.links(100.0, 5.0, 5.0)); // d = 10 = 5 + 5
+        assert!(!m.links(101.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn mutual_range_requires_both_to_hear() {
+        let m = LinkModel::MutualRange;
+        assert!(m.links(9.0, 3.0, 8.0)); // d = 3 <= min = 3
+        assert!(!m.links(16.0, 3.0, 8.0)); // d = 4 > 3
+    }
+
+    #[test]
+    fn fixed_range_ignores_radii() {
+        let m = LinkModel::FixedRange(10.0);
+        assert!(m.links(100.0, 0.1, 0.1));
+        assert!(!m.links(100.1, 50.0, 50.0));
+    }
+
+    #[test]
+    fn default_model_is_coverage_overlap() {
+        assert_eq!(LinkModel::default(), LinkModel::CoverageOverlap);
+    }
+
+    #[test]
+    fn indexed_build_matches_brute_force_all_models() {
+        let area = area100();
+        let (pts, radii) = random_layout(300, 9);
+        for model in [
+            LinkModel::CoverageOverlap,
+            LinkModel::MutualRange,
+            LinkModel::FixedRange(12.0),
+        ] {
+            let fast = MeshAdjacency::build(&area, &pts, &radii, model);
+            let slow = MeshAdjacency::build_brute_force(&pts, &radii, model);
+            assert_eq!(fast, slow, "model {model}");
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let area = area100();
+        let (pts, radii) = random_layout(200, 4);
+        let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+        for i in 0..adj.node_count() {
+            for &j in adj.neighbors(i) {
+                assert!(adj.neighbors(j).contains(&i), "edge {i}-{j} asymmetric");
+                assert_ne!(i, j, "self-loop at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_lists() {
+        let area = area100();
+        let (pts, radii) = random_layout(150, 5);
+        let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+        let total: usize = (0..adj.node_count()).map(|i| adj.degree(i)).sum();
+        assert_eq!(total, 2 * adj.edge_count());
+        assert!((adj.mean_degree() - total as f64 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj = MeshAdjacency::build(&area100(), &[], &[], LinkModel::CoverageOverlap);
+        assert_eq!(adj.node_count(), 0);
+        assert_eq!(adj.edge_count(), 0);
+        assert_eq!(adj.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn two_isolated_routers() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(100.0, 100.0)];
+        let radii = vec![5.0, 5.0];
+        let adj = MeshAdjacency::build(&area100(), &pts, &radii, LinkModel::CoverageOverlap);
+        assert_eq!(adj.edge_count(), 0);
+        assert_eq!(adj.degree(0), 0);
+    }
+
+    #[test]
+    fn detach_then_attach_restores_graph() {
+        let area = area100();
+        let (pts, radii) = random_layout(80, 6);
+        let original = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+        let mut adj = original.clone();
+        let old = adj.detach_node(17);
+        assert_eq!(adj.degree(17), 0);
+        assert_eq!(
+            adj.edge_count(),
+            original.edge_count() - old.len(),
+            "detach removes exactly the node's edges"
+        );
+        adj.attach_node(17, old);
+        assert_eq!(adj, original);
+    }
+
+    #[test]
+    fn detach_isolated_node_is_noop_on_edges() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(50.0, 50.0)];
+        let radii = vec![1.0, 1.0];
+        let mut adj = MeshAdjacency::build(&area100(), &pts, &radii, LinkModel::CoverageOverlap);
+        let old = adj.detach_node(0);
+        assert!(old.is_empty());
+        assert_eq!(adj.edge_count(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Connected components and the giant component.
+//!
+//! The paper's primary objective is the **size of the giant component** of
+//! the router mesh. This module computes component structure from a
+//! [`MeshAdjacency`], either by BFS or by union–find (both kept so the
+//! `ablation_components` bench can compare them; they are verified equal in
+//! tests).
+
+use crate::adjacency::MeshAdjacency;
+use crate::dsu::UnionFind;
+
+/// Component structure of a router mesh.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_graph::adjacency::{LinkModel, MeshAdjacency};
+/// use wmn_graph::components::Components;
+/// use wmn_model::geometry::{Area, Point};
+///
+/// let area = Area::square(50.0)?;
+/// let positions = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(6.0, 0.0),   // linked to the first (3 + 3 >= 6)
+///     Point::new(40.0, 40.0), // isolated
+/// ];
+/// let radii = vec![3.0, 3.0, 3.0];
+/// let adj = MeshAdjacency::build(&area, &positions, &radii, LinkModel::CoverageOverlap);
+/// let comps = Components::from_adjacency(&adj);
+/// assert_eq!(comps.count(), 2);
+/// assert_eq!(comps.giant_size(), 2);
+/// assert!(comps.in_giant(0) && comps.in_giant(1) && !comps.in_giant(2));
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label per node, labels in `0..count`, assigned in order of
+    /// first appearance (lowest node index first).
+    label: Vec<usize>,
+    /// Size per component label.
+    sizes: Vec<usize>,
+    /// Label of the giant component (lowest label among maxima), or
+    /// `usize::MAX` for an empty graph.
+    giant: usize,
+}
+
+impl Components {
+    /// Computes components by breadth-first search.
+    pub fn from_adjacency(adj: &MeshAdjacency) -> Components {
+        let n = adj.node_count();
+        let mut label = vec![usize::MAX; n];
+        let mut sizes = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            let id = sizes.len();
+            sizes.push(0);
+            label[start] = id;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                sizes[id] += 1;
+                for &v in adj.neighbors(u) {
+                    if label[v] == usize::MAX {
+                        label[v] = id;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let giant = Self::giant_label(&sizes);
+        Components {
+            label,
+            sizes,
+            giant,
+        }
+    }
+
+    /// Computes components by union–find; result is identical to
+    /// [`Components::from_adjacency`] (verified by tests).
+    pub fn from_adjacency_dsu(adj: &MeshAdjacency) -> Components {
+        let n = adj.node_count();
+        let mut uf = UnionFind::new(n);
+        for i in 0..n {
+            for &j in adj.neighbors(i) {
+                if j > i {
+                    uf.union(i, j);
+                }
+            }
+        }
+        let label = uf.labeling();
+        let mut sizes = vec![0usize; uf.set_count()];
+        for &l in &label {
+            sizes[l] += 1;
+        }
+        let giant = Self::giant_label(&sizes);
+        Components {
+            label,
+            sizes,
+            giant,
+        }
+    }
+
+    fn giant_label(sizes: &[usize]) -> usize {
+        let mut best = usize::MAX;
+        let mut best_size = 0;
+        for (l, &s) in sizes.iter().enumerate() {
+            if s > best_size {
+                best_size = s;
+                best = l;
+            }
+        }
+        best
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.label.len()
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component label of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn label_of(&self, i: usize) -> usize {
+        self.label[i]
+    }
+
+    /// Size of the component containing node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn size_of(&self, i: usize) -> usize {
+        self.sizes[self.label[i]]
+    }
+
+    /// Component sizes, indexed by label.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Size of the giant (largest) component; 0 for an empty graph.
+    ///
+    /// This is the paper's connectivity objective.
+    pub fn giant_size(&self) -> usize {
+        if self.giant == usize::MAX {
+            0
+        } else {
+            self.sizes[self.giant]
+        }
+    }
+
+    /// Label of the giant component, or `None` for an empty graph.
+    /// Ties break toward the lowest label (deterministic).
+    pub fn giant_label_opt(&self) -> Option<usize> {
+        (self.giant != usize::MAX).then_some(self.giant)
+    }
+
+    /// Returns `true` if node `i` belongs to the giant component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn in_giant(&self, i: usize) -> bool {
+        self.giant != usize::MAX && self.label[i] == self.giant
+    }
+
+    /// Indices of the nodes in the giant component, ascending.
+    pub fn giant_members(&self) -> Vec<usize> {
+        if self.giant == usize::MAX {
+            return Vec::new();
+        }
+        (0..self.label.len())
+            .filter(|&i| self.label[i] == self.giant)
+            .collect()
+    }
+
+    /// Membership bitmap for the giant component.
+    pub fn giant_mask(&self) -> Vec<bool> {
+        (0..self.label.len()).map(|i| self.in_giant(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::LinkModel;
+    use rand::Rng;
+    use wmn_model::geometry::{Area, Point};
+    use wmn_model::rng::rng_from_seed;
+
+    fn chain(n: usize, spacing: f64, radius: f64) -> MeshAdjacency {
+        let area = Area::square((n as f64 + 1.0) * spacing).unwrap();
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new(i as f64 * spacing + 1.0, 1.0))
+            .collect();
+        let radii = vec![radius; n];
+        MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap)
+    }
+
+    #[test]
+    fn connected_chain_is_one_component() {
+        let adj = chain(10, 5.0, 3.0); // 3 + 3 = 6 >= 5 spacing
+        let c = Components::from_adjacency(&adj);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.giant_size(), 10);
+        assert_eq!(c.giant_members().len(), 10);
+        assert!(c.giant_mask().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn broken_chain_has_singletons() {
+        let adj = chain(10, 5.0, 2.0); // 2 + 2 = 4 < 5 spacing
+        let c = Components::from_adjacency(&adj);
+        assert_eq!(c.count(), 10);
+        assert_eq!(c.giant_size(), 1);
+    }
+
+    #[test]
+    fn bfs_and_dsu_agree_on_random_graphs() {
+        let area = Area::square(100.0).unwrap();
+        let mut rng = rng_from_seed(21);
+        for trial in 0..20 {
+            let n = 100 + trial * 10;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)))
+                .collect();
+            let radii: Vec<f64> = (0..n).map(|_| rng.gen_range(2.0..8.0)).collect();
+            let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+            let bfs = Components::from_adjacency(&adj);
+            let dsu = Components::from_adjacency_dsu(&adj);
+            assert_eq!(bfs, dsu, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn giant_tie_breaks_to_lowest_label() {
+        // Two components of size 2: nodes {0,1} near origin, {2,3} far away.
+        let area = Area::square(100.0).unwrap();
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(90.0, 90.0),
+            Point::new(91.0, 90.0),
+        ];
+        let radii = vec![2.0; 4];
+        let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+        let c = Components::from_adjacency(&adj);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.giant_size(), 2);
+        assert_eq!(c.giant_label_opt(), Some(0));
+        assert!(c.in_giant(0) && c.in_giant(1));
+        assert!(!c.in_giant(2) && !c.in_giant(3));
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let adj = MeshAdjacency::default();
+        let c = Components::from_adjacency(&adj);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.giant_size(), 0);
+        assert_eq!(c.giant_label_opt(), None);
+        assert!(c.giant_members().is_empty());
+    }
+
+    #[test]
+    fn sizes_sum_to_node_count() {
+        let adj = chain(17, 5.0, 2.4); // some links hold (4.8 < 5.0 — none hold)
+        let c = Components::from_adjacency(&adj);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 17);
+        assert_eq!(c.node_count(), 17);
+    }
+
+    #[test]
+    fn size_of_matches_label_sizes() {
+        let adj = chain(6, 5.0, 3.0);
+        let c = Components::from_adjacency(&adj);
+        for i in 0..6 {
+            assert_eq!(c.size_of(i), c.sizes()[c.label_of(i)]);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Client-density maps over the deployment area.
+//!
+//! The HotSpot placement method ranks "most dense zones" of clients, and the
+//! swap movement (paper Algorithm 3) locates the most dense and most sparse
+//! `Hg × Wg` sub-areas. Both reduce to rectangular window sums over a cell
+//! grid of client counts, which a summed-area table answers in O(1) per
+//! window.
+
+use wmn_model::geometry::{Area, Point, Rect};
+
+/// A rectangular window of cells: position and extent in cell units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellWindow {
+    /// Leftmost cell column.
+    pub cx: usize,
+    /// Bottom cell row.
+    pub cy: usize,
+    /// Width in cells.
+    pub w: usize,
+    /// Height in cells.
+    pub h: usize,
+}
+
+impl CellWindow {
+    /// Returns `true` if the two windows share at least one cell.
+    pub fn overlaps(&self, other: &CellWindow) -> bool {
+        self.cx < other.cx + other.w
+            && other.cx < self.cx + self.w
+            && self.cy < other.cy + other.h
+            && other.cy < self.cy + self.h
+    }
+}
+
+/// Cell-binned point counts with a summed-area table for O(1) window sums.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_graph::density::DensityMap;
+/// use wmn_model::geometry::{Area, Point};
+///
+/// let area = Area::square(40.0)?;
+/// let clients = vec![Point::new(5.0, 5.0), Point::new(6.0, 6.0), Point::new(35.0, 35.0)];
+/// let map = DensityMap::from_points(&area, &clients, 4, 4); // 10x10 cells
+///
+/// let dense = map.densest_window(1, 1);
+/// assert_eq!(map.window_count(&dense), 2); // the two near (5, 5)
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityMap {
+    area: Area,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    counts: Vec<u32>,
+    /// `(cols + 1) x (rows + 1)` summed-area table; `sat[(y, x)]` is the
+    /// count in cells `[0, x) x [0, y)`.
+    sat: Vec<u64>,
+}
+
+impl DensityMap {
+    /// Bins `points` into a `cols × rows` cell grid over `area`.
+    ///
+    /// Out-of-area points are clamped into boundary cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero.
+    pub fn from_points(area: &Area, points: &[Point], cols: usize, rows: usize) -> DensityMap {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        let cell_w = area.width() / cols as f64;
+        let cell_h = area.height() / rows as f64;
+        let mut counts = vec![0u32; cols * rows];
+        for p in points {
+            let cx = ((p.x / cell_w).floor().max(0.0) as usize).min(cols - 1);
+            let cy = ((p.y / cell_h).floor().max(0.0) as usize).min(rows - 1);
+            counts[cy * cols + cx] += 1;
+        }
+        let mut sat = vec![0u64; (cols + 1) * (rows + 1)];
+        for y in 0..rows {
+            for x in 0..cols {
+                sat[(y + 1) * (cols + 1) + (x + 1)] = u64::from(counts[y * cols + x])
+                    + sat[y * (cols + 1) + (x + 1)]
+                    + sat[(y + 1) * (cols + 1) + x]
+                    - sat[y * (cols + 1) + x];
+            }
+        }
+        DensityMap {
+            area: *area,
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+            counts,
+            sat,
+        }
+    }
+
+    /// Bins points using square cells of side `cell_size` (last row/column
+    /// may be fractionally larger to cover the area exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn with_cell_size(area: &Area, points: &[Point], cell_size: f64) -> DensityMap {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite"
+        );
+        let cols = (area.width() / cell_size).round().max(1.0) as usize;
+        let rows = (area.height() / cell_size).round().max(1.0) as usize;
+        DensityMap::from_points(area, points, cols, rows)
+    }
+
+    /// Grid shape as `(columns, rows)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// The deployment area this map covers.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Count in a single cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn cell_count(&self, cx: usize, cy: usize) -> u32 {
+        assert!(cx < self.cols && cy < self.rows, "cell out of range");
+        self.counts[cy * self.cols + cx]
+    }
+
+    /// Total number of binned points.
+    pub fn total(&self) -> u64 {
+        self.sat[(self.rows) * (self.cols + 1) + self.cols]
+    }
+
+    /// Count inside a window, in O(1) via the summed-area table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the grid.
+    pub fn window_count(&self, w: &CellWindow) -> u64 {
+        assert!(
+            w.cx + w.w <= self.cols && w.cy + w.h <= self.rows && w.w > 0 && w.h > 0,
+            "window out of range: {w:?} on {}x{}",
+            self.cols,
+            self.rows
+        );
+        let (x0, y0, x1, y1) = (w.cx, w.cy, w.cx + w.w, w.cy + w.h);
+        self.sat[y1 * (self.cols + 1) + x1] + self.sat[y0 * (self.cols + 1) + x0]
+            - self.sat[y0 * (self.cols + 1) + x1]
+            - self.sat[y1 * (self.cols + 1) + x0]
+    }
+
+    /// Reference implementation of [`DensityMap::window_count`] (direct
+    /// rescan); used by tests and the `ablation_density` bench.
+    pub fn window_count_naive(&self, w: &CellWindow) -> u64 {
+        let mut sum = 0u64;
+        for cy in w.cy..w.cy + w.h {
+            for cx in w.cx..w.cx + w.w {
+                sum += u64::from(self.cell_count(cx, cy));
+            }
+        }
+        sum
+    }
+
+    fn clamp_window(&self, w_cells: usize, h_cells: usize) -> (usize, usize) {
+        (w_cells.clamp(1, self.cols), h_cells.clamp(1, self.rows))
+    }
+
+    /// The window of the given size with the **maximum** count. Ties break
+    /// toward the lowest `(cy, cx)` (deterministic).
+    ///
+    /// Window dimensions are clamped into the grid.
+    pub fn densest_window(&self, w_cells: usize, h_cells: usize) -> CellWindow {
+        self.extreme_window(w_cells, h_cells, true)
+    }
+
+    /// The window of the given size with the **minimum** count. Ties break
+    /// toward the lowest `(cy, cx)` (deterministic).
+    pub fn sparsest_window(&self, w_cells: usize, h_cells: usize) -> CellWindow {
+        self.extreme_window(w_cells, h_cells, false)
+    }
+
+    fn extreme_window(&self, w_cells: usize, h_cells: usize, max: bool) -> CellWindow {
+        let (w, h) = self.clamp_window(w_cells, h_cells);
+        let mut best = CellWindow { cx: 0, cy: 0, w, h };
+        let mut best_count = self.window_count(&best);
+        for cy in 0..=(self.rows - h) {
+            for cx in 0..=(self.cols - w) {
+                let cand = CellWindow { cx, cy, w, h };
+                let c = self.window_count(&cand);
+                if (max && c > best_count) || (!max && c < best_count) {
+                    best = cand;
+                    best_count = c;
+                }
+            }
+        }
+        best
+    }
+
+    /// Up to `k` pairwise-disjoint windows of the given size, ordered by
+    /// decreasing count (greedy selection; ties toward the lowest
+    /// `(cy, cx)`). This is the zone ranking HotSpot walks: the most
+    /// powerful router goes to the first window, the next to the second,
+    /// and so on.
+    ///
+    /// Fewer than `k` windows are returned when the grid cannot host `k`
+    /// disjoint windows of this size.
+    pub fn ranked_disjoint_windows(
+        &self,
+        w_cells: usize,
+        h_cells: usize,
+        k: usize,
+    ) -> Vec<CellWindow> {
+        let (w, h) = self.clamp_window(w_cells, h_cells);
+        let mut candidates: Vec<(u64, CellWindow)> = Vec::new();
+        for cy in 0..=(self.rows - h) {
+            for cx in 0..=(self.cols - w) {
+                let win = CellWindow { cx, cy, w, h };
+                candidates.push((self.window_count(&win), win));
+            }
+        }
+        // Sort by count descending, then (cy, cx) ascending for determinism.
+        candidates.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then(a.1.cy.cmp(&b.1.cy))
+                .then(a.1.cx.cmp(&b.1.cx))
+        });
+        let mut chosen: Vec<CellWindow> = Vec::with_capacity(k.min(candidates.len()));
+        for (_, win) in candidates {
+            if chosen.len() == k {
+                break;
+            }
+            if chosen.iter().all(|c| !c.overlaps(&win)) {
+                chosen.push(win);
+            }
+        }
+        chosen
+    }
+
+    /// Maps a window back to deployment-area coordinates.
+    pub fn window_rect(&self, w: &CellWindow) -> Rect {
+        Rect::new(
+            Point::new(w.cx as f64 * self.cell_w, w.cy as f64 * self.cell_h),
+            Point::new(
+                (w.cx + w.w) as f64 * self.cell_w,
+                (w.cy + w.h) as f64 * self.cell_h,
+            ),
+        )
+    }
+
+    /// The cell containing `p` (clamped into the grid).
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x / self.cell_w).floor().max(0.0) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell_h).floor().max(0.0) as usize).min(self.rows - 1);
+        (cx, cy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wmn_model::rng::rng_from_seed;
+
+    fn area40() -> Area {
+        Area::square(40.0).unwrap()
+    }
+
+    #[test]
+    fn counts_every_point_once() {
+        let area = area40();
+        let mut rng = rng_from_seed(1);
+        let pts: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.gen_range(0.0..=40.0), rng.gen_range(0.0..=40.0)))
+            .collect();
+        let map = DensityMap::from_points(&area, &pts, 8, 8);
+        assert_eq!(map.total(), 500);
+        let sum: u64 = (0..8)
+            .flat_map(|y| (0..8).map(move |x| (x, y)))
+            .map(|(x, y)| u64::from(map.cell_count(x, y)))
+            .sum();
+        assert_eq!(sum, 500);
+    }
+
+    #[test]
+    fn sat_matches_naive_window_count() {
+        let area = area40();
+        let mut rng = rng_from_seed(2);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..=40.0), rng.gen_range(0.0..=40.0)))
+            .collect();
+        let map = DensityMap::from_points(&area, &pts, 10, 10);
+        for _ in 0..200 {
+            let w = rng.gen_range(1..=10usize);
+            let h = rng.gen_range(1..=10usize);
+            let cx = rng.gen_range(0..=(10 - w));
+            let cy = rng.gen_range(0..=(10 - h));
+            let win = CellWindow { cx, cy, w, h };
+            assert_eq!(map.window_count(&win), map.window_count_naive(&win));
+        }
+    }
+
+    #[test]
+    fn densest_window_finds_cluster() {
+        let area = area40();
+        // 5 points in the top-right 4x4 region, 1 elsewhere.
+        let pts = vec![
+            Point::new(38.0, 38.0),
+            Point::new(37.0, 39.0),
+            Point::new(39.0, 37.0),
+            Point::new(38.5, 38.5),
+            Point::new(37.5, 37.5),
+            Point::new(2.0, 2.0),
+        ];
+        let map = DensityMap::from_points(&area, &pts, 10, 10);
+        let dense = map.densest_window(1, 1);
+        assert_eq!(map.window_count(&dense), 5);
+        let rect = map.window_rect(&dense);
+        assert!(rect.contains(Point::new(38.0, 38.0)));
+    }
+
+    #[test]
+    fn sparsest_window_avoids_cluster() {
+        let area = area40();
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new(1.0 + (i % 5) as f64 * 0.5, 1.0 + (i / 5) as f64 * 0.5))
+            .collect();
+        let map = DensityMap::from_points(&area, &pts, 4, 4);
+        let sparse = map.sparsest_window(1, 1);
+        assert_eq!(map.window_count(&sparse), 0);
+        let dense = map.densest_window(1, 1);
+        assert_eq!(map.window_count(&dense), 50);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let area = area40();
+        let map = DensityMap::from_points(&area, &[], 4, 4);
+        let w = map.densest_window(2, 2);
+        assert_eq!((w.cx, w.cy), (0, 0));
+        let s = map.sparsest_window(2, 2);
+        assert_eq!((s.cx, s.cy), (0, 0));
+    }
+
+    #[test]
+    fn window_dimensions_are_clamped() {
+        let area = area40();
+        let map = DensityMap::from_points(&area, &[Point::new(1.0, 1.0)], 4, 4);
+        let w = map.densest_window(100, 100);
+        assert_eq!((w.w, w.h), (4, 4));
+        assert_eq!(map.window_count(&w), 1);
+        let z = map.densest_window(0, 0);
+        assert_eq!((z.w, z.h), (1, 1));
+    }
+
+    #[test]
+    fn ranked_disjoint_windows_are_disjoint_and_sorted() {
+        let area = area40();
+        let mut rng = rng_from_seed(5);
+        let pts: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.gen_range(0.0..=40.0), rng.gen_range(0.0..=40.0)))
+            .collect();
+        let map = DensityMap::from_points(&area, &pts, 8, 8);
+        let wins = map.ranked_disjoint_windows(2, 2, 10);
+        assert!(wins.len() <= 10);
+        assert!(!wins.is_empty());
+        for (i, a) in wins.iter().enumerate() {
+            for b in wins.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "windows {a:?} and {b:?} overlap");
+            }
+        }
+        let counts: Vec<u64> = wins.iter().map(|w| map.window_count(w)).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(counts, sorted, "ranked windows must be count-descending");
+    }
+
+    #[test]
+    fn ranked_windows_cap_at_grid_capacity() {
+        let area = area40();
+        let map = DensityMap::from_points(&area, &[Point::new(1.0, 1.0)], 4, 4);
+        // 2x2 windows in a 4x4 grid: at most 4 disjoint.
+        let wins = map.ranked_disjoint_windows(2, 2, 100);
+        assert_eq!(wins.len(), 4);
+    }
+
+    #[test]
+    fn window_overlap_logic() {
+        let a = CellWindow {
+            cx: 0,
+            cy: 0,
+            w: 2,
+            h: 2,
+        };
+        let b = CellWindow {
+            cx: 1,
+            cy: 1,
+            w: 2,
+            h: 2,
+        };
+        let c = CellWindow {
+            cx: 2,
+            cy: 0,
+            w: 2,
+            h: 2,
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn cell_of_clamps() {
+        let area = area40();
+        let map = DensityMap::from_points(&area, &[], 4, 4);
+        assert_eq!(map.cell_of(Point::new(-5.0, 100.0)), (0, 3));
+        assert_eq!(map.cell_of(Point::new(40.0, 40.0)), (3, 3));
+        assert_eq!(map.cell_of(Point::new(0.0, 0.0)), (0, 0));
+    }
+
+    #[test]
+    fn with_cell_size_shapes_grid() {
+        let area = area40();
+        let map = DensityMap::with_cell_size(&area, &[], 10.0);
+        assert_eq!(map.shape(), (4, 4));
+        let map = DensityMap::with_cell_size(&area, &[], 7.0);
+        assert_eq!(map.shape(), (6, 6));
+    }
+
+    #[test]
+    fn out_of_area_points_clamp_into_boundary_cells() {
+        let area = area40();
+        let map = DensityMap::from_points(&area, &[Point::new(100.0, -5.0)], 4, 4);
+        assert_eq!(map.cell_count(3, 0), 1);
+        assert_eq!(map.total(), 1);
+    }
+}

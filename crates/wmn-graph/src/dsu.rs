@@ -1,0 +1,247 @@
+//! Disjoint-set union (union–find) with union by rank and path compression.
+//!
+//! The giant-component computation reduces to merging the endpoints of every
+//! router–router link and reading off the largest set. This implementation
+//! tracks set sizes so the giant component is available in O(1) after the
+//! merge phase.
+
+use std::cell::Cell;
+
+/// A disjoint-set forest over `0..n`.
+///
+/// Uses union by rank and path compression (halving), giving effectively
+/// constant amortized operations. `find` takes `&self` — compression is
+/// interior mutability over the parent table, which keeps read-side APIs
+/// (component queries) ergonomic.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_graph::dsu::UnionFind;
+///
+/// let mut uf = UnionFind::new(5);
+/// uf.union(0, 1);
+/// uf.union(3, 4);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 3));
+/// assert_eq!(uf.largest_set_size(), 2);
+/// assert_eq!(uf.set_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<Cell<usize>>,
+    rank: Vec<u8>,
+    size: Vec<usize>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).map(Cell::new).collect(),
+            rank: vec![0; n],
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements (fixed at construction).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&self, x: usize) -> usize {
+        let mut x = x;
+        loop {
+            let p = self.parent[x].get();
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p].get();
+            self.parent[x].set(gp); // path halving
+            x = gp;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= len()` or `b >= len()`.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.rank[ra] < self.rank[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb].set(ra);
+        self.size[ra] += self.size[rb];
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[ra] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= len()` or `b >= len()`.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn set_size(&self, x: usize) -> usize {
+        self.size[self.find(x)]
+    }
+
+    /// Size of the largest set (0 for an empty structure).
+    pub fn largest_set_size(&self) -> usize {
+        (0..self.len())
+            .filter(|&i| self.parent[i].get() == i)
+            .map(|i| self.size[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Representative of a largest set, or `None` when empty.
+    pub fn largest_set_root(&self) -> Option<usize> {
+        (0..self.len())
+            .filter(|&i| self.parent[i].get() == i)
+            .max_by_key(|&i| self.size[i])
+    }
+
+    /// Canonical labeling: maps every element to a set label in
+    /// `0..set_count()`, labels assigned in order of first appearance.
+    pub fn labeling(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut label_of_root = vec![usize::MAX; n];
+        let mut labels = Vec::with_capacity(n);
+        let mut next = 0;
+        for x in 0..n {
+            let r = self.find(x);
+            if label_of_root[r] == usize::MAX {
+                label_of_root[r] = next;
+                next += 1;
+            }
+            labels.push(label_of_root[r]);
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_at_start() {
+        let uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        assert_eq!(uf.largest_set_size(), 1);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.set_count(), 4);
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.largest_set_size(), 3);
+    }
+
+    #[test]
+    fn connected_is_transitive() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn largest_set_root_points_at_giant() {
+        let mut uf = UnionFind::new(7);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(3, 4);
+        let root = uf.largest_set_root().unwrap();
+        assert_eq!(uf.set_size(root), 3);
+        assert!(uf.connected(root, 2));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.largest_set_size(), 0);
+        assert_eq!(uf.largest_set_root(), None);
+        assert_eq!(uf.labeling(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn labeling_is_canonical() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 5);
+        uf.union(0, 2);
+        let labels = uf.labeling();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[4]);
+        // First appearance order: element 0 gets label 0.
+        assert_eq!(labels[0], 0);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), uf.set_count());
+    }
+
+    #[test]
+    fn chain_union_all_connected() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert_eq!(uf.largest_set_size(), n);
+        assert!(uf.connected(0, n - 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn find_out_of_range_panics() {
+        let uf = UnionFind::new(2);
+        let _ = uf.find(5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Graph and geometry substrate for WMN router placement.
+//!
+//! Everything the placement algorithms need to turn a candidate
+//! [`Placement`](wmn_model::Placement) into a measurable network:
+//!
+//! * [`dsu`] — union–find with rank + path compression.
+//! * [`spatial`] — a uniform-grid index for radius/rectangle queries.
+//! * [`adjacency`] — geometric link models and mesh adjacency construction.
+//! * [`components`] — connected components and the giant component (the
+//!   paper's connectivity objective).
+//! * [`density`] — client-density cell grids with summed-area tables
+//!   (HotSpot's zone ranking and the swap movement's dense/sparse areas).
+//! * [`topology`] — [`WmnTopology`], the materialized network with
+//!   incremental repair after router moves.
+//!
+//! # Quick start
+//!
+//! ```
+//! use wmn_graph::topology::{TopologyConfig, WmnTopology};
+//! use wmn_model::prelude::*;
+//!
+//! let instance = InstanceSpec::paper_normal()?.generate(7)?;
+//! let mut rng = rng_from_seed(1);
+//! let placement = instance.random_placement(&mut rng);
+//! let topo = WmnTopology::build(&instance, &placement, TopologyConfig::paper_default())?;
+//! println!("giant = {}, covered = {}", topo.giant_size(), topo.covered_count());
+//! # Ok::<(), wmn_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adjacency;
+pub mod components;
+pub mod density;
+pub mod dsu;
+pub mod spatial;
+pub mod topology;
+
+pub use adjacency::{LinkModel, MeshAdjacency};
+pub use components::Components;
+pub use density::{CellWindow, DensityMap};
+pub use dsu::UnionFind;
+pub use spatial::GridIndex;
+pub use topology::{CoverageRule, TopologyConfig, WmnTopology};

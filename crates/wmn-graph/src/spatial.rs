@@ -1,0 +1,360 @@
+//! Uniform-grid spatial index for fixed point sets.
+//!
+//! Building the router mesh and attaching clients both need "all points
+//! within distance `r` of `p`" queries. A uniform bucket grid over the
+//! deployment area answers these in output-sensitive time for the densities
+//! this problem works at (the alternative — an O(n²) scan — is kept around
+//! in tests and the `ablation_spatial_index` bench as the reference
+//! implementation).
+
+use wmn_model::geometry::{Area, Point, Rect};
+
+/// A uniform-grid index over a fixed slice of points.
+///
+/// The index stores point *indices* (into the original slice) bucketed by
+/// grid cell. It is immutable after construction — placement algorithms
+/// rebuild indices over new position sets, which is cheap (one pass).
+///
+/// # Examples
+///
+/// ```
+/// use wmn_graph::spatial::GridIndex;
+/// use wmn_model::geometry::{Area, Point};
+///
+/// let area = Area::square(100.0)?;
+/// let points = vec![Point::new(10.0, 10.0), Point::new(11.0, 10.0), Point::new(90.0, 90.0)];
+/// let index = GridIndex::build(&area, &points, 8.0);
+///
+/// let near: Vec<usize> = index.within_radius(Point::new(10.0, 10.0), 2.0).collect();
+/// assert_eq!(near, vec![0, 1]);
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<usize>>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` living in `area`, with square cells of
+    /// side `cell_size`.
+    ///
+    /// A good `cell_size` is the typical query radius; the paper instances
+    /// use the routers' maximum radius. Out-of-area points are clamped into
+    /// the boundary cells (queries remain correct because the real point
+    /// coordinates are used for the distance filter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn build(area: &Area, points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        let cols = (area.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (area.height() / cell_size).ceil().max(1.0) as usize;
+        let mut buckets = vec![Vec::new(); cols * rows];
+        for (i, p) in points.iter().enumerate() {
+            let (cx, cy) = Self::cell_of(p, cell_size, cols, rows);
+            buckets[cy * cols + cx].push(i);
+        }
+        GridIndex {
+            cell_size,
+            cols,
+            rows,
+            buckets,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Grid shape as `(columns, rows)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    fn cell_of(p: &Point, cell_size: f64, cols: usize, rows: usize) -> (usize, usize) {
+        let cx = ((p.x / cell_size).floor().max(0.0) as usize).min(cols - 1);
+        let cy = ((p.y / cell_size).floor().max(0.0) as usize).min(rows - 1);
+        (cx, cy)
+    }
+
+    /// Indices of all points within Euclidean distance `radius` of `center`
+    /// (inclusive), in ascending index order.
+    pub fn within_radius(&self, center: Point, radius: f64) -> impl Iterator<Item = usize> + '_ {
+        let mut found = self.collect_within_radius(center, radius);
+        found.sort_unstable();
+        found.into_iter()
+    }
+
+    fn collect_within_radius(&self, center: Point, radius: f64) -> Vec<usize> {
+        if radius < 0.0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let r2 = radius * radius;
+        let min_cx =
+            (((center.x - radius) / self.cell_size).floor().max(0.0) as usize).min(self.cols - 1);
+        let max_cx =
+            (((center.x + radius) / self.cell_size).floor().max(0.0) as usize).min(self.cols - 1);
+        let min_cy =
+            (((center.y - radius) / self.cell_size).floor().max(0.0) as usize).min(self.rows - 1);
+        let max_cy =
+            (((center.y + radius) / self.cell_size).floor().max(0.0) as usize).min(self.rows - 1);
+        let mut found = Vec::new();
+        for cy in min_cy..=max_cy {
+            for cx in min_cx..=max_cx {
+                for &i in &self.buckets[cy * self.cols + cx] {
+                    if self.points[i].distance_squared(center) <= r2 {
+                        found.push(i);
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// Indices of all points inside `rect` (closed), ascending.
+    pub fn within_rect(&self, rect: &Rect) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let min_cx = ((rect.min().x / self.cell_size).floor().max(0.0) as usize).min(self.cols - 1);
+        let max_cx = ((rect.max().x / self.cell_size).floor().max(0.0) as usize).min(self.cols - 1);
+        let min_cy = ((rect.min().y / self.cell_size).floor().max(0.0) as usize).min(self.rows - 1);
+        let max_cy = ((rect.max().y / self.cell_size).floor().max(0.0) as usize).min(self.rows - 1);
+        let mut found = Vec::new();
+        for cy in min_cy..=max_cy {
+            for cx in min_cx..=max_cx {
+                for &i in &self.buckets[cy * self.cols + cx] {
+                    if rect.contains(self.points[i]) {
+                        found.push(i);
+                    }
+                }
+            }
+        }
+        found.sort_unstable();
+        found
+    }
+
+    /// Index of a nearest point to `center`, or `None` when empty.
+    /// Ties break toward the lowest index.
+    pub fn nearest(&self, center: Point) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        // Expanding-ring search: try increasing radii until something is hit,
+        // then verify with one extra ring to guarantee true nearest.
+        let mut radius = self.cell_size;
+        let max_radius = {
+            let w = self.cols as f64 * self.cell_size;
+            let h = self.rows as f64 * self.cell_size;
+            (w * w + h * h).sqrt() + self.cell_size
+        };
+        loop {
+            let hits = self.collect_within_radius(center, radius);
+            if !hits.is_empty() {
+                // Points one ring further out could still be closer than the
+                // farthest current hit; re-query with the best hit distance.
+                let best = hits
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let da = self.points[a].distance_squared(center);
+                        let db = self.points[b].distance_squared(center);
+                        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                    })
+                    .expect("nonempty hits");
+                let best_d = self.points[best].distance(center);
+                let confirm = self.collect_within_radius(center, best_d);
+                return confirm
+                    .into_iter()
+                    .min_by(|&a, &b| {
+                        let da = self.points[a].distance_squared(center);
+                        let db = self.points[b].distance_squared(center);
+                        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                    })
+                    .or(Some(best));
+            }
+            if radius > max_radius {
+                // All points are clamped into the grid, so this is unreachable
+                // for a non-empty index; guard against float pathology anyway.
+                return (0..self.points.len()).min_by(|&a, &b| {
+                    let da = self.points[a].distance_squared(center);
+                    let db = self.points[b].distance_squared(center);
+                    da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                });
+            }
+            radius *= 2.0;
+        }
+    }
+
+    /// Reference implementation of [`GridIndex::within_radius`]: a full
+    /// scan. Used by tests and the ablation bench.
+    pub fn brute_force_within_radius(points: &[Point], center: Point, radius: f64) -> Vec<usize> {
+        if radius < 0.0 {
+            return Vec::new();
+        }
+        let r2 = radius * radius;
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_squared(center) <= r2)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wmn_model::rng::rng_from_seed;
+
+    fn area100() -> Area {
+        Area::square(100.0).unwrap()
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = rng_from_seed(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)))
+            .collect()
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let area = area100();
+        let pts = random_points(500, 42);
+        let index = GridIndex::build(&area, &pts, 7.0);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            let c = Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0));
+            let r = rng.gen_range(0.0..30.0);
+            let fast: Vec<usize> = index.within_radius(c, r).collect();
+            let slow = GridIndex::brute_force_within_radius(&pts, c, r);
+            assert_eq!(fast, slow, "mismatch at center {c} radius {r}");
+        }
+    }
+
+    #[test]
+    fn rect_query_matches_filter() {
+        let area = area100();
+        let pts = random_points(300, 7);
+        let index = GridIndex::build(&area, &pts, 5.0);
+        let rect = Rect::new(Point::new(20.0, 30.0), Point::new(60.0, 70.0));
+        let fast = index.within_rect(&rect);
+        let slow: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| rect.contains(**p))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn zero_radius_finds_exact_point() {
+        let area = area100();
+        let pts = vec![Point::new(10.0, 10.0), Point::new(20.0, 20.0)];
+        let index = GridIndex::build(&area, &pts, 4.0);
+        let hits: Vec<usize> = index.within_radius(Point::new(10.0, 10.0), 0.0).collect();
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let area = area100();
+        let pts = random_points(10, 3);
+        let index = GridIndex::build(&area, &pts, 4.0);
+        assert_eq!(index.within_radius(Point::new(5.0, 5.0), -1.0).count(), 0);
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let area = area100();
+        let index = GridIndex::build(&area, &[], 4.0);
+        assert!(index.is_empty());
+        assert_eq!(index.within_radius(Point::new(1.0, 1.0), 50.0).count(), 0);
+        assert_eq!(index.nearest(Point::new(1.0, 1.0)), None);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let area = area100();
+        let pts = random_points(200, 11);
+        let index = GridIndex::build(&area, &pts, 6.0);
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            let c = Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0));
+            let fast = index.nearest(c).unwrap();
+            let slow = (0..pts.len())
+                .min_by(|&a, &b| {
+                    let da = pts[a].distance_squared(c);
+                    let db = pts[b].distance_squared(c);
+                    da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                })
+                .unwrap();
+            assert_eq!(
+                pts[fast].distance(c),
+                pts[slow].distance(c),
+                "nearest distance mismatch at {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_area_points_are_still_found() {
+        let area = area100();
+        // Point outside the nominal area gets clamped into a boundary cell
+        // but keeps its true coordinates for distance filtering.
+        let pts = vec![Point::new(150.0, 150.0)];
+        let index = GridIndex::build(&area, &pts, 10.0);
+        let hits: Vec<usize> = index.within_radius(Point::new(150.0, 150.0), 1.0).collect();
+        assert_eq!(hits, vec![0]);
+        assert_eq!(index.nearest(Point::new(0.0, 0.0)), Some(0));
+    }
+
+    #[test]
+    fn coarse_and_fine_cells_agree() {
+        let area = area100();
+        let pts = random_points(400, 13);
+        let coarse = GridIndex::build(&area, &pts, 50.0);
+        let fine = GridIndex::build(&area, &pts, 1.0);
+        let c = Point::new(33.0, 66.0);
+        let a: Vec<usize> = coarse.within_radius(c, 12.5).collect();
+        let b: Vec<usize> = fine.within_radius(c, 12.5).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn rejects_nonpositive_cell_size() {
+        let _ = GridIndex::build(&area100(), &[], 0.0);
+    }
+
+    #[test]
+    fn shape_reflects_cell_size() {
+        let index = GridIndex::build(&area100(), &[], 10.0);
+        assert_eq!(index.shape(), (10, 10));
+        let index = GridIndex::build(&area100(), &[], 33.0);
+        assert_eq!(index.shape(), (4, 4));
+    }
+}

@@ -1,0 +1,567 @@
+//! The WMN topology: router mesh plus client attachment.
+//!
+//! [`WmnTopology`] is the evaluated "network state" behind every fitness
+//! computation: given an instance and a placement it derives the
+//! router–router mesh (under a [`LinkModel`]), its connected components,
+//! and which clients are covered (under a [`CoverageRule`]).
+//!
+//! The paper's Algorithm 3 ends with *"re-establish mesh nodes network
+//! connections"* after swapping two routers; [`WmnTopology::move_router`]
+//! and [`WmnTopology::swap_routers`] implement that repair incrementally
+//! (only the moved routers' edges are recomputed), which tests verify
+//! equivalent to a full rebuild and the `ablation_incremental` bench
+//! measures.
+
+use crate::adjacency::{LinkModel, MeshAdjacency};
+use crate::components::Components;
+use crate::spatial::GridIndex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wmn_model::geometry::{Area, Point};
+use wmn_model::instance::ProblemInstance;
+use wmn_model::node::RouterId;
+use wmn_model::placement::Placement;
+
+/// Which routers count for client coverage.
+///
+/// The paper defines user coverage as clients "connected to the WMN"; the
+/// operational mesh is the giant component, hence the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum CoverageRule {
+    /// A client is covered iff it lies within the radius of at least one
+    /// router belonging to the **giant component**.
+    #[default]
+    GiantComponentOnly,
+    /// A client is covered iff it lies within the radius of **any** router.
+    AnyRouter,
+}
+
+impl fmt::Display for CoverageRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverageRule::GiantComponentOnly => write!(f, "giant-component-only"),
+            CoverageRule::AnyRouter => write!(f, "any-router"),
+        }
+    }
+}
+
+/// Link model + coverage rule: everything configurable about how a
+/// placement is turned into a network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TopologyConfig {
+    /// Router–router link rule.
+    pub link_model: LinkModel,
+    /// Client coverage rule.
+    pub coverage_rule: CoverageRule,
+}
+
+impl TopologyConfig {
+    /// The calibrated reproduction configuration: **mutual-range** links
+    /// (`d <= min(r_i, r_j)` — a bidirectional link needs both endpoints in
+    /// range) and giant-component-only client coverage.
+    ///
+    /// Mutual range, not disk overlap, is what reproduces the paper's
+    /// regime: its standalone giant components are small for *every* ad hoc
+    /// method (3–26 of 64), which only holds under a link rule strict
+    /// enough that regular patterns at 3–9 unit spacing do not trivially
+    /// chain together (see DESIGN.md §2).
+    pub fn paper_default() -> Self {
+        TopologyConfig {
+            link_model: LinkModel::MutualRange,
+            coverage_rule: CoverageRule::GiantComponentOnly,
+        }
+    }
+}
+
+/// A materialized network: mesh adjacency, components, and client coverage
+/// for one (instance, placement) pair.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_graph::topology::{TopologyConfig, WmnTopology};
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(2);
+/// let placement = instance.random_placement(&mut rng);
+///
+/// let topo = WmnTopology::build(&instance, &placement, TopologyConfig::paper_default())?;
+/// assert!(topo.giant_size() >= 1);
+/// assert!(topo.covered_count() <= instance.client_count());
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WmnTopology {
+    area: Area,
+    config: TopologyConfig,
+    positions: Vec<Point>,
+    radii: Vec<f64>,
+    client_index: GridIndex,
+    adjacency: MeshAdjacency,
+    components: Components,
+    covered: Vec<bool>,
+    covered_count: usize,
+}
+
+impl WmnTopology {
+    /// Builds the topology for `instance` with routers at `placement`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation
+    /// ([`ModelError`](wmn_model::ModelError)) — length mismatch or
+    /// out-of-area positions.
+    pub fn build(
+        instance: &ProblemInstance,
+        placement: &Placement,
+        config: TopologyConfig,
+    ) -> Result<WmnTopology, wmn_model::ModelError> {
+        instance.validate_placement(placement)?;
+        let area = instance.area();
+        let positions: Vec<Point> = placement.as_slice().to_vec();
+        let radii: Vec<f64> = instance
+            .routers()
+            .iter()
+            .map(|r| r.current_radius())
+            .collect();
+        let clients = instance.client_positions();
+        let max_radius = radii.iter().copied().fold(1.0_f64, f64::max);
+        let client_index = GridIndex::build(&area, &clients, max_radius);
+        let adjacency = MeshAdjacency::build(&area, &positions, &radii, config.link_model);
+        let components = Components::from_adjacency(&adjacency);
+        let mut topo = WmnTopology {
+            area,
+            config,
+            positions,
+            radii,
+            client_index,
+            adjacency,
+            components,
+            covered: vec![false; clients.len()],
+            covered_count: 0,
+        };
+        topo.recompute_coverage();
+        Ok(topo)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> TopologyConfig {
+        self.config
+    }
+
+    /// The deployment area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Current position of router `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn position(&self, id: RouterId) -> Point {
+        self.positions[id.index()]
+    }
+
+    /// Current radius of router `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn radius(&self, id: RouterId) -> f64 {
+        self.radii[id.index()]
+    }
+
+    /// All current router positions, as a [`Placement`].
+    pub fn placement(&self) -> Placement {
+        Placement::from_points(self.positions.clone())
+    }
+
+    /// The router mesh adjacency.
+    pub fn adjacency(&self) -> &MeshAdjacency {
+        &self.adjacency
+    }
+
+    /// The component structure.
+    pub fn components(&self) -> &Components {
+        &self.components
+    }
+
+    /// Size of the giant component — the paper's connectivity objective.
+    pub fn giant_size(&self) -> usize {
+        self.components.giant_size()
+    }
+
+    /// Number of covered clients — the paper's user-coverage objective.
+    pub fn covered_count(&self) -> usize {
+        self.covered_count
+    }
+
+    /// Per-client coverage mask.
+    pub fn covered_mask(&self) -> &[bool] {
+        &self.covered
+    }
+
+    /// Returns `true` if router `id` is in the giant component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn in_giant(&self, id: RouterId) -> bool {
+        self.components.in_giant(id.index())
+    }
+
+    fn recompute_coverage(&mut self) {
+        self.covered.fill(false);
+        let n = self.positions.len();
+        for i in 0..n {
+            let counted = match self.config.coverage_rule {
+                CoverageRule::GiantComponentOnly => self.components.in_giant(i),
+                CoverageRule::AnyRouter => true,
+            };
+            if !counted {
+                continue;
+            }
+            for c in self
+                .client_index
+                .within_radius(self.positions[i], self.radii[i])
+            {
+                self.covered[c] = true;
+            }
+        }
+        self.covered_count = self.covered.iter().filter(|&&b| b).count();
+    }
+
+    fn recompute_router_edges(&mut self, i: usize) {
+        let _ = self.adjacency.detach_node(i);
+        let model = self.config.link_model;
+        let pi = self.positions[i];
+        let ri = self.radii[i];
+        let mut new_neighbors = Vec::new();
+        for j in 0..self.positions.len() {
+            if j == i {
+                continue;
+            }
+            let d2 = pi.distance_squared(self.positions[j]);
+            if model.links(d2, ri, self.radii[j]) {
+                new_neighbors.push(j);
+            }
+        }
+        self.adjacency.attach_node(i, new_neighbors);
+    }
+
+    /// Moves router `id` to `new_position` and repairs the network
+    /// incrementally ("re-establish mesh nodes network connections").
+    ///
+    /// Returns the previous position, so callers can undo the move by
+    /// moving back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range. The position is clamped into the
+    /// deployment area.
+    pub fn move_router(&mut self, id: RouterId, new_position: Point) -> Point {
+        let i = id.index();
+        let old = self.positions[i];
+        self.positions[i] = self.area.clamp_point(new_position);
+        self.recompute_router_edges(i);
+        self.components = Components::from_adjacency(&self.adjacency);
+        self.recompute_coverage();
+        old
+    }
+
+    /// Exchanges the positions of two routers (the paper's swap movement)
+    /// and repairs the network incrementally. Swapping a router with itself
+    /// is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn swap_routers(&mut self, a: RouterId, b: RouterId) {
+        if a == b {
+            return;
+        }
+        let (ia, ib) = (a.index(), b.index());
+        self.positions.swap(ia, ib);
+        self.recompute_router_edges(ia);
+        self.recompute_router_edges(ib);
+        self.components = Components::from_adjacency(&self.adjacency);
+        self.recompute_coverage();
+    }
+
+    /// Rebuilds adjacency, components, and coverage from scratch. Used by
+    /// tests and the `ablation_incremental` bench as the reference path.
+    pub fn rebuild_full(&mut self) {
+        self.adjacency = MeshAdjacency::build(
+            &self.area,
+            &self.positions,
+            &self.radii,
+            self.config.link_model,
+        );
+        self.components = Components::from_adjacency(&self.adjacency);
+        self.recompute_coverage();
+    }
+
+    /// Debug helper: asserts the incremental state equals a fresh rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the incremental state has drifted from the ground truth.
+    pub fn assert_consistent(&self) {
+        let fresh = MeshAdjacency::build(
+            &self.area,
+            &self.positions,
+            &self.radii,
+            self.config.link_model,
+        );
+        assert_eq!(
+            self.adjacency, fresh,
+            "incremental adjacency drifted from full rebuild"
+        );
+        let comps = Components::from_adjacency(&fresh);
+        assert_eq!(
+            self.components, comps,
+            "components drifted from full rebuild"
+        );
+    }
+}
+
+impl fmt::Display for WmnTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology[{} routers, {} links, giant {}, covered {}/{}]",
+            self.router_count(),
+            self.adjacency.edge_count(),
+            self.giant_size(),
+            self.covered_count,
+            self.client_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wmn_model::instance::{InstanceBuilder, InstanceSpec};
+    use wmn_model::radio::RadioProfile;
+    use wmn_model::rng::rng_from_seed;
+
+    fn paper_topology(seed: u64) -> (ProblemInstance, WmnTopology) {
+        let instance = InstanceSpec::paper_normal()
+            .unwrap()
+            .generate(seed)
+            .unwrap();
+        let mut rng = rng_from_seed(seed ^ 0xABCD);
+        let placement = instance.random_placement(&mut rng);
+        let topo =
+            WmnTopology::build(&instance, &placement, TopologyConfig::paper_default()).unwrap();
+        (instance, topo)
+    }
+
+    #[test]
+    fn build_validates_placement() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let bad = Placement::from_points(vec![Point::new(1.0, 1.0)]);
+        assert!(WmnTopology::build(&instance, &bad, TopologyConfig::default()).is_err());
+    }
+
+    #[test]
+    fn counts_are_bounded() {
+        let (instance, topo) = paper_topology(3);
+        assert!(topo.giant_size() >= 1);
+        assert!(topo.giant_size() <= instance.router_count());
+        assert!(topo.covered_count() <= instance.client_count());
+        assert_eq!(topo.router_count(), 64);
+        assert_eq!(topo.client_count(), 192);
+    }
+
+    #[test]
+    fn line_of_routers_is_fully_connected() {
+        // 8 routers spaced 9 apart with radius 10: under the mutual-range
+        // paper default a link needs d <= min(r_i, r_j) = 10 >= 9.
+        let area = Area::square(100.0).unwrap();
+        let prof = RadioProfile::fixed(10.0).unwrap();
+        let instance = InstanceBuilder::new(area)
+            .routers(prof, 8)
+            .client(Point::new(50.0, 4.0))
+            .build()
+            .unwrap();
+        let placement: Placement = (0..8)
+            .map(|i| Point::new(10.0 + 9.0 * i as f64, 5.0))
+            .collect();
+        let topo =
+            WmnTopology::build(&instance, &placement, TopologyConfig::paper_default()).unwrap();
+        assert_eq!(topo.giant_size(), 8);
+        // The client at (50, 4) sits within 5 of the router at (46, 5).
+        assert_eq!(topo.covered_count(), 1);
+    }
+
+    #[test]
+    fn giant_only_rule_ignores_isolated_coverage() {
+        // Two router clusters: a pair near origin (giant) and one isolated
+        // router next to the only client.
+        let area = Area::square(100.0).unwrap();
+        let prof = RadioProfile::fixed(5.0).unwrap();
+        let instance = InstanceBuilder::new(area)
+            .routers(prof, 3)
+            .client(Point::new(90.0, 90.0))
+            .build()
+            .unwrap();
+        let placement = Placement::from_points(vec![
+            Point::new(10.0, 10.0),
+            Point::new(15.0, 10.0),
+            Point::new(88.0, 90.0),
+        ]);
+        let giant_only = WmnTopology::build(
+            &instance,
+            &placement,
+            TopologyConfig {
+                coverage_rule: CoverageRule::GiantComponentOnly,
+                ..TopologyConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(giant_only.giant_size(), 2);
+        assert_eq!(
+            giant_only.covered_count(),
+            0,
+            "isolated router's client must not count under giant-only"
+        );
+
+        let any = WmnTopology::build(
+            &instance,
+            &placement,
+            TopologyConfig {
+                coverage_rule: CoverageRule::AnyRouter,
+                ..TopologyConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(any.covered_count(), 1);
+    }
+
+    #[test]
+    fn move_router_matches_full_rebuild() {
+        let (_instance, mut topo) = paper_topology(7);
+        let mut rng = rng_from_seed(99);
+        for step in 0..25 {
+            let id = RouterId(rng.gen_range(0..topo.router_count()));
+            let p = Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0));
+            topo.move_router(id, p);
+            topo.assert_consistent();
+            let incr = (topo.giant_size(), topo.covered_count());
+            let mut fresh = topo.clone();
+            fresh.rebuild_full();
+            assert_eq!(
+                incr,
+                (fresh.giant_size(), fresh.covered_count()),
+                "drift after step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn move_router_returns_old_position_for_undo() {
+        let (_instance, mut topo) = paper_topology(11);
+        let before_giant = topo.giant_size();
+        let before_cov = topo.covered_count();
+        let before_pos = topo.position(RouterId(5));
+        let old = topo.move_router(RouterId(5), Point::new(1.0, 1.0));
+        assert_eq!(old, before_pos);
+        topo.move_router(RouterId(5), old);
+        assert_eq!(topo.giant_size(), before_giant);
+        assert_eq!(topo.covered_count(), before_cov);
+        assert_eq!(topo.position(RouterId(5)), before_pos);
+    }
+
+    #[test]
+    fn move_router_clamps_into_area() {
+        let (_instance, mut topo) = paper_topology(13);
+        topo.move_router(RouterId(0), Point::new(-50.0, 500.0));
+        let p = topo.position(RouterId(0));
+        assert!(topo.area().contains(p));
+        topo.assert_consistent();
+    }
+
+    #[test]
+    fn swap_routers_matches_full_rebuild() {
+        let (_instance, mut topo) = paper_topology(17);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..20 {
+            let a = RouterId(rng.gen_range(0..topo.router_count()));
+            let b = RouterId(rng.gen_range(0..topo.router_count()));
+            topo.swap_routers(a, b);
+            topo.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn swap_is_involutive_on_state() {
+        let (_instance, mut topo) = paper_topology(19);
+        let snapshot = (topo.giant_size(), topo.covered_count(), topo.placement());
+        topo.swap_routers(RouterId(3), RouterId(40));
+        topo.swap_routers(RouterId(3), RouterId(40));
+        assert_eq!(
+            (topo.giant_size(), topo.covered_count(), topo.placement()),
+            snapshot
+        );
+    }
+
+    #[test]
+    fn swap_with_self_is_noop() {
+        let (_instance, mut topo) = paper_topology(23);
+        let snapshot = (topo.giant_size(), topo.covered_count());
+        topo.swap_routers(RouterId(8), RouterId(8));
+        assert_eq!((topo.giant_size(), topo.covered_count()), snapshot);
+    }
+
+    #[test]
+    fn swap_exchanges_positions_not_radii() {
+        // Radii stay with the router id; positions are exchanged.
+        let (_instance, mut topo) = paper_topology(29);
+        let (pa, pb) = (topo.position(RouterId(1)), topo.position(RouterId(2)));
+        let (ra, rb) = (topo.radius(RouterId(1)), topo.radius(RouterId(2)));
+        topo.swap_routers(RouterId(1), RouterId(2));
+        assert_eq!(topo.position(RouterId(1)), pb);
+        assert_eq!(topo.position(RouterId(2)), pa);
+        assert_eq!(topo.radius(RouterId(1)), ra);
+        assert_eq!(topo.radius(RouterId(2)), rb);
+    }
+
+    #[test]
+    fn clustering_routers_improves_connectivity() {
+        // Moving all routers into a tight cluster must yield a single
+        // component of size N.
+        let (instance, mut topo) = paper_topology(31);
+        for i in 0..instance.router_count() {
+            let angle = i as f64 * 0.7;
+            // Circle of radius 1: every pairwise distance is at most the
+            // diameter 2 <= min radius of the paper profile, so even under
+            // the mutual-range rule the cluster is a clique.
+            let p = Point::new(64.0 + angle.cos(), 64.0 + angle.sin());
+            topo.move_router(RouterId(i), p);
+        }
+        assert_eq!(topo.giant_size(), instance.router_count());
+    }
+
+    #[test]
+    fn display_summarizes_state() {
+        let (_instance, topo) = paper_topology(37);
+        let s = topo.to_string();
+        assert!(s.contains("routers") && s.contains("giant"));
+    }
+}

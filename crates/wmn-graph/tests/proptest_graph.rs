@@ -1,0 +1,190 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use wmn_graph::adjacency::{LinkModel, MeshAdjacency};
+use wmn_graph::components::Components;
+use wmn_graph::density::{CellWindow, DensityMap};
+use wmn_graph::dsu::UnionFind;
+use wmn_graph::spatial::GridIndex;
+use wmn_graph::topology::{TopologyConfig, WmnTopology};
+use wmn_model::geometry::{Area, Point};
+use wmn_model::instance::InstanceSpec;
+use wmn_model::node::RouterId;
+use wmn_model::rng::rng_from_seed;
+
+fn in_area_point(side: f64) -> impl Strategy<Value = Point> {
+    (0.0..side, 0.0..side).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn layout(side: f64, max_n: usize) -> impl Strategy<Value = (Vec<Point>, Vec<f64>)> {
+    proptest::collection::vec((0.0..side, 0.0..side, 1.0..10.0f64), 1..max_n).prop_map(|v| {
+        let pts = v.iter().map(|&(x, y, _)| Point::new(x, y)).collect();
+        let radii = v.iter().map(|&(_, _, r)| r).collect();
+        (pts, radii)
+    })
+}
+
+/// Naive partition of `0..n` induced by a union operation sequence.
+fn naive_partition(n: usize, unions: &[(usize, usize)]) -> Vec<usize> {
+    let mut label: Vec<usize> = (0..n).collect();
+    for &(a, b) in unions {
+        let (la, lb) = (label[a], label[b]);
+        if la != lb {
+            for l in label.iter_mut() {
+                if *l == lb {
+                    *l = la;
+                }
+            }
+        }
+    }
+    label
+}
+
+proptest! {
+    #[test]
+    fn dsu_matches_naive_partition(
+        n in 1usize..40,
+        ops in proptest::collection::vec((0usize..40, 0usize..40), 0..80)
+    ) {
+        let ops: Vec<(usize, usize)> = ops.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &ops {
+            uf.union(a, b);
+        }
+        let naive = naive_partition(n, &ops);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    uf.connected(i, j),
+                    naive[i] == naive[j],
+                    "connectivity mismatch for ({}, {})", i, j
+                );
+            }
+        }
+        // Set count and sizes agree with the naive labels.
+        let distinct: std::collections::HashSet<usize> = naive.iter().copied().collect();
+        prop_assert_eq!(uf.set_count(), distinct.len());
+        for i in 0..n {
+            let naive_size = naive.iter().filter(|&&l| l == naive[i]).count();
+            prop_assert_eq!(uf.set_size(i), naive_size);
+        }
+    }
+
+    #[test]
+    fn spatial_index_equals_brute_force(
+        (pts, _) in layout(100.0, 120),
+        center in in_area_point(100.0),
+        radius in 0.0..60.0f64,
+        cell in 1.0..30.0f64,
+    ) {
+        let area = Area::square(100.0).unwrap();
+        let index = GridIndex::build(&area, &pts, cell);
+        let fast: Vec<usize> = index.within_radius(center, radius).collect();
+        let slow = GridIndex::brute_force_within_radius(&pts, center, radius);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn adjacency_indexed_equals_brute_force(
+        (pts, radii) in layout(100.0, 100),
+        which in 0usize..3,
+    ) {
+        let area = Area::square(100.0).unwrap();
+        let model = match which {
+            0 => LinkModel::CoverageOverlap,
+            1 => LinkModel::MutualRange,
+            _ => LinkModel::FixedRange(9.0),
+        };
+        let fast = MeshAdjacency::build(&area, &pts, &radii, model);
+        let slow = MeshAdjacency::build_brute_force(&pts, &radii, model);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn components_bfs_equals_dsu((pts, radii) in layout(100.0, 100)) {
+        let area = Area::square(100.0).unwrap();
+        let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+        prop_assert_eq!(
+            Components::from_adjacency(&adj),
+            Components::from_adjacency_dsu(&adj)
+        );
+    }
+
+    #[test]
+    fn giant_size_bounds((pts, radii) in layout(100.0, 100)) {
+        let area = Area::square(100.0).unwrap();
+        let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+        let c = Components::from_adjacency(&adj);
+        prop_assert!(c.giant_size() >= 1);
+        prop_assert!(c.giant_size() <= pts.len());
+        prop_assert_eq!(c.sizes().iter().sum::<usize>(), pts.len());
+    }
+
+    #[test]
+    fn density_sat_equals_naive(
+        pts in proptest::collection::vec(in_area_point(64.0), 0..200),
+        cols in 1usize..20,
+        rows in 1usize..20,
+        wx in 0usize..20,
+        wy in 0usize..20,
+        ww in 1usize..20,
+        wh in 1usize..20,
+    ) {
+        let area = Area::square(64.0).unwrap();
+        let map = DensityMap::from_points(&area, &pts, cols, rows);
+        let w = ww.min(cols);
+        let h = wh.min(rows);
+        let cx = wx.min(cols - w);
+        let cy = wy.min(rows - h);
+        let win = CellWindow { cx, cy, w, h };
+        prop_assert_eq!(map.window_count(&win), map.window_count_naive(&win));
+        prop_assert_eq!(map.total(), pts.len() as u64);
+    }
+
+    #[test]
+    fn densest_window_is_maximal(
+        pts in proptest::collection::vec(in_area_point(64.0), 0..150),
+        w in 1usize..6,
+        h in 1usize..6,
+    ) {
+        let area = Area::square(64.0).unwrap();
+        let map = DensityMap::from_points(&area, &pts, 8, 8);
+        let dense = map.densest_window(w, h);
+        let sparse = map.sparsest_window(w, h);
+        let dense_count = map.window_count(&dense);
+        let sparse_count = map.window_count(&sparse);
+        for cy in 0..=(8 - h) {
+            for cx in 0..=(8 - w) {
+                let c = map.window_count(&CellWindow { cx, cy, w, h });
+                prop_assert!(c <= dense_count);
+                prop_assert!(c >= sparse_count);
+            }
+        }
+    }
+
+    #[test]
+    fn topology_incremental_equals_full_rebuild(
+        seed in any::<u64>(),
+        moves in proptest::collection::vec((0usize..16, 0.0..64.0f64, 0.0..64.0f64), 1..12),
+    ) {
+        let area = Area::square(64.0).unwrap();
+        let spec = InstanceSpec::new(
+            area,
+            16,
+            24,
+            wmn_model::distribution::ClientDistribution::Uniform,
+            wmn_model::radio::RadioProfile::paper_default(),
+        ).unwrap();
+        let instance = spec.generate(seed).unwrap();
+        let mut rng = rng_from_seed(seed ^ 0x55);
+        let placement = instance.random_placement(&mut rng);
+        let mut topo = WmnTopology::build(&instance, &placement, TopologyConfig::paper_default()).unwrap();
+        for (i, x, y) in moves {
+            topo.move_router(RouterId(i), Point::new(x, y));
+            let incr = (topo.giant_size(), topo.covered_count());
+            let mut full = topo.clone();
+            full.rebuild_full();
+            prop_assert_eq!(incr, (full.giant_size(), full.covered_count()));
+        }
+    }
+}

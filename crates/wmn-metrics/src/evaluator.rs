@@ -1,0 +1,229 @@
+//! Instance-bound placement evaluation.
+//!
+//! [`Evaluator`] binds a problem instance, a topology configuration, and a
+//! fitness function, turning a [`Placement`] into an [`Evaluation`] in one
+//! call. It is the single entry point the search and GA crates use, so
+//! every algorithm measures solutions identically.
+
+use crate::fitness::FitnessFunction;
+use crate::measurement::NetworkMeasurement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wmn_graph::topology::{TopologyConfig, WmnTopology};
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+use wmn_model::ModelError;
+
+/// The result of evaluating one placement: the raw measurement plus its
+/// scalar fitness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The raw network measurement.
+    pub measurement: NetworkMeasurement,
+    /// Scalar fitness under the evaluator's fitness function.
+    pub fitness: f64,
+}
+
+impl Evaluation {
+    /// Giant component size (shorthand).
+    pub fn giant_size(&self) -> usize {
+        self.measurement.giant_size
+    }
+
+    /// Covered client count (shorthand).
+    pub fn covered_clients(&self) -> usize {
+        self.measurement.covered_clients
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (fitness {:.4})", self.measurement, self.fitness)
+    }
+}
+
+/// Evaluates placements against one instance under a fixed configuration.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_metrics::evaluator::Evaluator;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(3)?;
+/// let evaluator = Evaluator::paper_default(&instance);
+/// let mut rng = rng_from_seed(4);
+/// let placement = instance.random_placement(&mut rng);
+/// let eval = evaluator.evaluate(&placement)?;
+/// assert!(eval.fitness >= 0.0);
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    instance: &'a ProblemInstance,
+    topology_config: TopologyConfig,
+    fitness: FitnessFunction,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with explicit configuration.
+    pub fn new(
+        instance: &'a ProblemInstance,
+        topology_config: TopologyConfig,
+        fitness: FitnessFunction,
+    ) -> Self {
+        Evaluator {
+            instance,
+            topology_config,
+            fitness,
+        }
+    }
+
+    /// Creates an evaluator with the calibrated reproduction configuration
+    /// (mutual-range links, giant-only coverage, lexicographic fitness —
+    /// see [`TopologyConfig::paper_default`] and
+    /// [`FitnessFunction::paper_default`] for the calibration rationale).
+    pub fn paper_default(instance: &'a ProblemInstance) -> Self {
+        Evaluator::new(
+            instance,
+            TopologyConfig::paper_default(),
+            FitnessFunction::paper_default(),
+        )
+    }
+
+    /// The bound instance.
+    pub fn instance(&self) -> &'a ProblemInstance {
+        self.instance
+    }
+
+    /// The topology configuration.
+    pub fn topology_config(&self) -> TopologyConfig {
+        self.topology_config
+    }
+
+    /// The fitness function.
+    pub fn fitness_function(&self) -> FitnessFunction {
+        self.fitness
+    }
+
+    /// Builds the topology for `placement` (for callers that need the full
+    /// network state, e.g. incremental search).
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation.
+    pub fn topology(&self, placement: &Placement) -> Result<WmnTopology, ModelError> {
+        WmnTopology::build(self.instance, placement, self.topology_config)
+    }
+
+    /// Evaluates a placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation.
+    pub fn evaluate(&self, placement: &Placement) -> Result<Evaluation, ModelError> {
+        let topo = self.topology(placement)?;
+        Ok(self.evaluate_topology(&topo))
+    }
+
+    /// Evaluates an already-built topology (no validation, no rebuild).
+    pub fn evaluate_topology(&self, topo: &WmnTopology) -> Evaluation {
+        let measurement = NetworkMeasurement::from_topology(topo);
+        Evaluation {
+            measurement,
+            fitness: self.fitness.score(&measurement),
+        }
+    }
+
+    /// Evaluates a measurement (for callers that already extracted one).
+    pub fn score(&self, measurement: &NetworkMeasurement) -> f64 {
+        self.fitness.score(measurement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::geometry::Point;
+    use wmn_model::instance::{InstanceBuilder, InstanceSpec};
+    use wmn_model::node::RouterId;
+    use wmn_model::radio::RadioProfile;
+    use wmn_model::rng::rng_from_seed;
+    use wmn_model::Area;
+
+    #[test]
+    fn evaluate_random_placement() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let ev = Evaluator::paper_default(&instance);
+        let mut rng = rng_from_seed(1);
+        let p = instance.random_placement(&mut rng);
+        let e = ev.evaluate(&p).unwrap();
+        assert!(e.fitness > 0.0);
+        assert!(e.giant_size() >= 1);
+        assert_eq!(e.measurement.router_count, 64);
+    }
+
+    #[test]
+    fn evaluate_rejects_invalid_placement() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let ev = Evaluator::paper_default(&instance);
+        assert!(ev.evaluate(&Placement::new()).is_err());
+    }
+
+    #[test]
+    fn perfect_cluster_scores_higher_than_scattered() {
+        let area = Area::square(100.0).unwrap();
+        let prof = RadioProfile::fixed(6.0).unwrap();
+        let instance = InstanceBuilder::new(area)
+            .routers(prof, 8)
+            .clients((0..8).map(|i| Point::new(45.0 + i as f64, 50.0)))
+            .build()
+            .unwrap();
+        let ev = Evaluator::paper_default(&instance);
+
+        let cluster: Placement = (0..8)
+            .map(|i| Point::new(44.0 + i as f64 * 2.0, 50.0))
+            .collect();
+        let scattered: Placement = (0..8)
+            .map(|i| Point::new(12.0 * i as f64 + 1.0, (i as f64 * 37.0) % 100.0))
+            .collect();
+
+        let ec = ev.evaluate(&cluster).unwrap();
+        let es = ev.evaluate(&scattered).unwrap();
+        assert!(ec.fitness > es.fitness);
+        assert_eq!(ec.giant_size(), 8);
+        assert_eq!(ec.covered_clients(), 8);
+    }
+
+    #[test]
+    fn evaluate_topology_matches_evaluate() {
+        let instance = InstanceSpec::paper_uniform().unwrap().generate(2).unwrap();
+        let ev = Evaluator::paper_default(&instance);
+        let mut rng = rng_from_seed(3);
+        let p = instance.random_placement(&mut rng);
+        let via_placement = ev.evaluate(&p).unwrap();
+        let topo = ev.topology(&p).unwrap();
+        let via_topo = ev.evaluate_topology(&topo);
+        assert_eq!(via_placement, via_topo);
+    }
+
+    #[test]
+    fn topology_reuse_reflects_moves() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(5).unwrap();
+        let ev = Evaluator::paper_default(&instance);
+        let mut rng = rng_from_seed(9);
+        let p = instance.random_placement(&mut rng);
+        let mut topo = ev.topology(&p).unwrap();
+        let before = ev.evaluate_topology(&topo);
+        // Cluster everything on a unit circle at the center (diameter 2 is
+        // within every router's minimum radius): fitness must rise to full
+        // connectivity.
+        for i in 0..instance.router_count() {
+            let a = i as f64 * 0.4;
+            topo.move_router(RouterId(i), Point::new(64.0 + a.cos(), 64.0 + a.sin()));
+        }
+        let after = ev.evaluate_topology(&topo);
+        assert!(after.measurement.fully_connected());
+        assert!(after.fitness >= before.fitness);
+    }
+}

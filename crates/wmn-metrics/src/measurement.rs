@@ -1,0 +1,141 @@
+//! Raw network measurements extracted from a topology.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wmn_graph::topology::WmnTopology;
+
+/// Everything the objectives need to know about one evaluated network.
+///
+/// A measurement is a cheap, copyable summary taken from a
+/// [`WmnTopology`]; it decouples objective arithmetic from the topology
+/// lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_graph::topology::{TopologyConfig, WmnTopology};
+/// use wmn_metrics::measurement::NetworkMeasurement;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(2);
+/// let placement = instance.random_placement(&mut rng);
+/// let topo = WmnTopology::build(&instance, &placement, TopologyConfig::paper_default())?;
+/// let m = NetworkMeasurement::from_topology(&topo);
+/// assert_eq!(m.router_count, 64);
+/// assert!(m.giant_ratio() <= 1.0);
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct NetworkMeasurement {
+    /// Size of the giant component (paper objective 1).
+    pub giant_size: usize,
+    /// Number of covered clients (paper objective 2).
+    pub covered_clients: usize,
+    /// Total routers in the instance.
+    pub router_count: usize,
+    /// Total clients in the instance.
+    pub client_count: usize,
+    /// Number of connected components in the router mesh.
+    pub component_count: usize,
+    /// Number of router–router links.
+    pub link_count: usize,
+}
+
+impl NetworkMeasurement {
+    /// Extracts a measurement from a materialized topology.
+    pub fn from_topology(topo: &WmnTopology) -> Self {
+        NetworkMeasurement {
+            giant_size: topo.giant_size(),
+            covered_clients: topo.covered_count(),
+            router_count: topo.router_count(),
+            client_count: topo.client_count(),
+            component_count: topo.components().count(),
+            link_count: topo.adjacency().edge_count(),
+        }
+    }
+
+    /// Giant component size normalized to `[0, 1]` (0 when the instance has
+    /// no routers).
+    pub fn giant_ratio(&self) -> f64 {
+        if self.router_count == 0 {
+            0.0
+        } else {
+            self.giant_size as f64 / self.router_count as f64
+        }
+    }
+
+    /// Covered clients normalized to `[0, 1]` (0 when the instance has no
+    /// clients).
+    pub fn coverage_ratio(&self) -> f64 {
+        if self.client_count == 0 {
+            0.0
+        } else {
+            self.covered_clients as f64 / self.client_count as f64
+        }
+    }
+
+    /// Returns `true` if every router belongs to one connected mesh.
+    pub fn fully_connected(&self) -> bool {
+        self.giant_size == self.router_count
+    }
+}
+
+impl fmt::Display for NetworkMeasurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "giant {}/{}, covered {}/{}, {} components, {} links",
+            self.giant_size,
+            self.router_count,
+            self.covered_clients,
+            self.client_count,
+            self.component_count,
+            self.link_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NetworkMeasurement {
+        NetworkMeasurement {
+            giant_size: 32,
+            covered_clients: 96,
+            router_count: 64,
+            client_count: 192,
+            component_count: 5,
+            link_count: 80,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let m = sample();
+        assert_eq!(m.giant_ratio(), 0.5);
+        assert_eq!(m.coverage_ratio(), 0.5);
+        assert!(!m.fully_connected());
+    }
+
+    #[test]
+    fn degenerate_ratios_are_zero() {
+        let m = NetworkMeasurement::default();
+        assert_eq!(m.giant_ratio(), 0.0);
+        assert_eq!(m.coverage_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fully_connected_detection() {
+        let mut m = sample();
+        m.giant_size = 64;
+        assert!(m.fully_connected());
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let s = sample().to_string();
+        assert!(s.contains("32/64") && s.contains("96/192"));
+    }
+}

@@ -1,0 +1,419 @@
+//! Plain-text `.wmn` instance and placement file format.
+//!
+//! A minimal line-oriented format so benchmarks and experiments can persist
+//! generated instances without extra dependencies. The format is
+//! self-describing and diff-friendly:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! wmn 1                       <- magic + format version
+//! area 128 128
+//! routers 3
+//! router 0 2 8 5.5            <- id, min_radius, max_radius, current_radius
+//! router 1 2 8 7.25
+//! router 2 2 8 3.0
+//! clients 2
+//! client 0 12.5 100.25        <- id, x, y
+//! client 1 90 3
+//! ```
+//!
+//! Placements use the same framing:
+//!
+//! ```text
+//! wmn-placement 1
+//! positions 2
+//! position 0 1.5 2.5
+//! position 1 3.5 4.5
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use wmn_model::format;
+//! use wmn_model::instance::InstanceSpec;
+//!
+//! let instance = InstanceSpec::paper_normal()?.generate(1)?;
+//! let text = format::write_instance(&instance);
+//! let parsed = format::parse_instance(&text)?;
+//! assert_eq!(parsed, instance);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::geometry::{Area, Point};
+use crate::instance::ProblemInstance;
+use crate::node::{Client, ClientId, Router, RouterId};
+use crate::placement::Placement;
+use crate::radio::RadioProfile;
+use crate::ModelError;
+use std::fmt::Write as _;
+
+/// Current version of the text format.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serializes an instance to the `.wmn` text format.
+pub fn write_instance(instance: &ProblemInstance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "wmn {FORMAT_VERSION}");
+    let _ = writeln!(
+        out,
+        "area {} {}",
+        instance.area().width(),
+        instance.area().height()
+    );
+    let _ = writeln!(out, "routers {}", instance.router_count());
+    for r in instance.routers() {
+        let _ = writeln!(
+            out,
+            "router {} {} {} {}",
+            r.id().index(),
+            r.profile().min_radius(),
+            r.profile().max_radius(),
+            r.current_radius()
+        );
+    }
+    let _ = writeln!(out, "clients {}", instance.client_count());
+    for c in instance.clients() {
+        let _ = writeln!(
+            out,
+            "client {} {} {}",
+            c.id().index(),
+            c.position().x,
+            c.position().y
+        );
+    }
+    out
+}
+
+/// Serializes a placement to the `.wmn` placement text format.
+pub fn write_placement(placement: &Placement) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "wmn-placement {FORMAT_VERSION}");
+    let _ = writeln!(out, "positions {}", placement.len());
+    for (id, p) in placement.iter() {
+        let _ = writeln!(out, "position {} {} {}", id.index(), p.x, p.y);
+    }
+    out
+}
+
+/// Non-comment, non-blank lines with their 1-based line numbers.
+fn meaningful_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(i, raw)| {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            None
+        } else {
+            Some((i + 1, line))
+        }
+    })
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_f64(line: usize, token: &str, what: &str) -> Result<f64, ModelError> {
+    token
+        .parse::<f64>()
+        .map_err(|_| parse_err(line, format!("expected a number for {what}, got {token:?}")))
+}
+
+fn parse_usize(line: usize, token: &str, what: &str) -> Result<usize, ModelError> {
+    token.parse::<usize>().map_err(|_| {
+        parse_err(
+            line,
+            format!("expected an integer for {what}, got {token:?}"),
+        )
+    })
+}
+
+fn expect_fields<'a>(
+    line: usize,
+    fields: &'a [&'a str],
+    keyword: &str,
+    arity: usize,
+) -> Result<&'a [&'a str], ModelError> {
+    if fields.is_empty() || fields[0] != keyword {
+        return Err(parse_err(
+            line,
+            format!(
+                "expected {keyword:?} record, got {:?}",
+                fields.first().copied().unwrap_or("")
+            ),
+        ));
+    }
+    if fields.len() != arity + 1 {
+        return Err(parse_err(
+            line,
+            format!(
+                "{keyword:?} record takes {arity} fields, got {}",
+                fields.len() - 1
+            ),
+        ));
+    }
+    Ok(&fields[1..])
+}
+
+/// Parses an instance from the `.wmn` text format.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] with the offending line on malformed
+/// input, and propagates semantic validation from
+/// [`ProblemInstance::new`] / [`RadioProfile::new`] / [`Area::new`].
+pub fn parse_instance(text: &str) -> Result<ProblemInstance, ModelError> {
+    let mut lines = meaningful_lines(text);
+
+    let (ln, header) = lines.next().ok_or_else(|| parse_err(1, "empty document"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    let version = expect_fields(ln, &fields, "wmn", 1)?;
+    let v = parse_usize(ln, version[0], "format version")?;
+    if v != FORMAT_VERSION as usize {
+        return Err(parse_err(ln, format!("unsupported format version {v}")));
+    }
+
+    let (ln, line) = lines
+        .next()
+        .ok_or_else(|| parse_err(ln, "missing area record"))?;
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let dims = expect_fields(ln, &fields, "area", 2)?;
+    let area = Area::new(
+        parse_f64(ln, dims[0], "area width")?,
+        parse_f64(ln, dims[1], "area height")?,
+    )?;
+
+    let (ln, line) = lines
+        .next()
+        .ok_or_else(|| parse_err(ln, "missing routers record"))?;
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let counts = expect_fields(ln, &fields, "routers", 1)?;
+    let router_count = parse_usize(ln, counts[0], "router count")?;
+
+    let mut routers = Vec::with_capacity(router_count);
+    let mut last_ln = ln;
+    for i in 0..router_count {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(last_ln, format!("expected router record {i}")))?;
+        last_ln = ln;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let f = expect_fields(ln, &fields, "router", 4)?;
+        let id = parse_usize(ln, f[0], "router id")?;
+        if id != i {
+            return Err(parse_err(
+                ln,
+                format!("router ids must be sequential; expected {i}, got {id}"),
+            ));
+        }
+        let min_r = parse_f64(ln, f[1], "min radius")?;
+        let max_r = parse_f64(ln, f[2], "max radius")?;
+        let cur = parse_f64(ln, f[3], "current radius")?;
+        let profile = RadioProfile::new(min_r, max_r)?;
+        if !profile.contains(cur) {
+            return Err(parse_err(
+                ln,
+                format!("current radius {cur} outside profile [{min_r}, {max_r}]"),
+            ));
+        }
+        routers.push(Router::new(RouterId(id), profile, cur));
+    }
+
+    let (ln, line) = lines
+        .next()
+        .ok_or_else(|| parse_err(last_ln, "missing clients record"))?;
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let counts = expect_fields(ln, &fields, "clients", 1)?;
+    let client_count = parse_usize(ln, counts[0], "client count")?;
+
+    let mut clients = Vec::with_capacity(client_count);
+    last_ln = ln;
+    for i in 0..client_count {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(last_ln, format!("expected client record {i}")))?;
+        last_ln = ln;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let f = expect_fields(ln, &fields, "client", 3)?;
+        let id = parse_usize(ln, f[0], "client id")?;
+        if id != i {
+            return Err(parse_err(
+                ln,
+                format!("client ids must be sequential; expected {i}, got {id}"),
+            ));
+        }
+        let x = parse_f64(ln, f[1], "client x")?;
+        let y = parse_f64(ln, f[2], "client y")?;
+        clients.push(Client::new(ClientId(id), Point::new(x, y)));
+    }
+
+    if let Some((ln, line)) = lines.next() {
+        return Err(parse_err(
+            ln,
+            format!("unexpected trailing content {line:?}"),
+        ));
+    }
+
+    ProblemInstance::new(area, routers, clients)
+}
+
+/// Parses a placement from the `.wmn` placement text format.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] with the offending line on malformed
+/// input.
+pub fn parse_placement(text: &str) -> Result<Placement, ModelError> {
+    let mut lines = meaningful_lines(text);
+
+    let (ln, header) = lines.next().ok_or_else(|| parse_err(1, "empty document"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    let version = expect_fields(ln, &fields, "wmn-placement", 1)?;
+    let v = parse_usize(ln, version[0], "format version")?;
+    if v != FORMAT_VERSION as usize {
+        return Err(parse_err(ln, format!("unsupported format version {v}")));
+    }
+
+    let (ln, line) = lines
+        .next()
+        .ok_or_else(|| parse_err(ln, "missing positions record"))?;
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let counts = expect_fields(ln, &fields, "positions", 1)?;
+    let count = parse_usize(ln, counts[0], "position count")?;
+
+    let mut placement = Placement::with_capacity(count);
+    let mut last_ln = ln;
+    for i in 0..count {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(last_ln, format!("expected position record {i}")))?;
+        last_ln = ln;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let f = expect_fields(ln, &fields, "position", 3)?;
+        let id = parse_usize(ln, f[0], "position id")?;
+        if id != i {
+            return Err(parse_err(
+                ln,
+                format!("position ids must be sequential; expected {i}, got {id}"),
+            ));
+        }
+        placement.push(Point::new(
+            parse_f64(ln, f[1], "position x")?,
+            parse_f64(ln, f[2], "position y")?,
+        ));
+    }
+
+    if let Some((ln, line)) = lines.next() {
+        return Err(parse_err(
+            ln,
+            format!("unexpected trailing content {line:?}"),
+        ));
+    }
+
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = InstanceSpec::paper_normal().unwrap().generate(5).unwrap();
+        let text = write_instance(&inst);
+        let parsed = parse_instance(&text).unwrap();
+        assert_eq!(parsed, inst);
+    }
+
+    #[test]
+    fn placement_roundtrip() {
+        let p = Placement::from_points(vec![Point::new(1.5, 2.5), Point::new(3.0, 4.0)]);
+        let text = write_placement(&p);
+        assert_eq!(parse_placement(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let inst = InstanceSpec::paper_uniform().unwrap().generate(1).unwrap();
+        let text = write_instance(&inst);
+        let noisy: String = text
+            .lines()
+            .map(|l| format!("{l}   # trailing comment\n\n"))
+            .collect();
+        let with_header = format!("# leading comment\n\n{noisy}");
+        assert_eq!(parse_instance(&with_header).unwrap(), inst);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = parse_instance("area 10 10\n").unwrap_err();
+        assert!(matches!(err, ModelError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let err = parse_instance("wmn 99\narea 10 10\nrouters 0\nclients 0\n").unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_non_sequential_ids() {
+        let text = "wmn 1\narea 10 10\nrouters 1\nrouter 5 2 8 4\nclients 1\nclient 0 1 1\n";
+        let err = parse_instance(text).unwrap_err();
+        assert!(err.to_string().contains("sequential"));
+    }
+
+    #[test]
+    fn rejects_radius_outside_profile() {
+        let text = "wmn 1\narea 10 10\nrouters 1\nrouter 0 2 8 9.5\nclients 1\nclient 0 1 1\n";
+        let err = parse_instance(text).unwrap_err();
+        assert!(err.to_string().contains("outside profile"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let inst = InstanceSpec::paper_uniform().unwrap().generate(2).unwrap();
+        let text = format!("{}extra stuff\n", write_instance(&inst));
+        let err = parse_instance(&text).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let text = "wmn 1\narea 10\nrouters 0\nclients 0\n";
+        let err = parse_instance(text).unwrap_err();
+        assert!(err.to_string().contains("takes 2 fields"));
+    }
+
+    #[test]
+    fn rejects_truncated_document() {
+        let text = "wmn 1\narea 10 10\nrouters 2\nrouter 0 2 8 4\n";
+        assert!(parse_instance(text).is_err());
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "wmn 1\narea 10 10\nrouters 1\nrouter 0 2 8 oops\nclients 1\nclient 0 1 1\n";
+        match parse_instance(text).unwrap_err() {
+            ModelError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placement_rejects_wrong_header() {
+        assert!(parse_placement("wmn 1\npositions 0\n").is_err());
+    }
+
+    #[test]
+    fn empty_placement_roundtrip() {
+        let p = Placement::new();
+        assert_eq!(parse_placement(&write_placement(&p)).unwrap(), p);
+    }
+}

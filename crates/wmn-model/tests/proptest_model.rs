@@ -1,0 +1,163 @@
+//! Property-based tests for the model crate's core invariants.
+
+use proptest::prelude::*;
+use wmn_model::distribution::ClientDistribution;
+use wmn_model::format;
+use wmn_model::geometry::{Area, Point, Rect};
+use wmn_model::instance::InstanceSpec;
+use wmn_model::placement::Placement;
+use wmn_model::radio::RadioProfile;
+use wmn_model::rng::{rng_from_seed, SeedSequence};
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1.0e6..1.0e6
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in point(), b in point()) {
+        let d1 = a.distance(b);
+        let d2 = b.distance(a);
+        prop_assert!((d1 - d2).abs() <= f64::EPSILON * d1.max(1.0));
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in point(), b in point(), c in point()) {
+        let direct = a.distance(c);
+        let via = a.distance(b) + b.distance(c);
+        // Tolerate floating rounding at large magnitudes.
+        prop_assert!(direct <= via + 1e-6 * via.max(1.0));
+    }
+
+    #[test]
+    fn distance_squared_consistent(a in point(), b in point()) {
+        let d = a.distance(b);
+        let d2 = a.distance_squared(b);
+        prop_assert!((d * d - d2).abs() <= 1e-6 * d2.max(1.0));
+    }
+
+    #[test]
+    fn rect_normalization_contains_both_corners(a in point(), b in point()) {
+        let r = Rect::new(a, b);
+        prop_assert!(r.contains(a));
+        prop_assert!(r.contains(b));
+        prop_assert!(r.width() >= 0.0 && r.height() >= 0.0);
+    }
+
+    #[test]
+    fn rect_clamp_lands_inside(a in point(), b in point(), p in point()) {
+        let r = Rect::new(a, b);
+        let c = r.clamp_point(p);
+        prop_assert!(r.contains(c));
+        // Clamping is idempotent.
+        prop_assert_eq!(r.clamp_point(c), c);
+    }
+
+    #[test]
+    fn rect_intersection_is_contained(
+        a in point(), b in point(), c in point(), d in point()
+    ) {
+        let r1 = Rect::new(a, b);
+        let r2 = Rect::new(c, d);
+        if let Some(i) = r1.intersection(&r2) {
+            prop_assert!(r1.contains_rect(&i));
+            prop_assert!(r2.contains_rect(&i));
+        } else {
+            prop_assert!(!r1.intersects(&r2));
+        }
+    }
+
+    #[test]
+    fn area_clamp_lands_inside(w in 1.0..1000.0f64, h in 1.0..1000.0f64, p in point()) {
+        let area = Area::new(w, h).unwrap();
+        prop_assert!(area.contains(area.clamp_point(p)));
+    }
+
+    #[test]
+    fn radio_samples_respect_profile(lo in 0.1..50.0f64, span in 0.0..50.0f64, seed in any::<u64>()) {
+        let profile = RadioProfile::new(lo, lo + span).unwrap();
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..32 {
+            let r = profile.sample(&mut rng);
+            prop_assert!(profile.contains(r));
+        }
+    }
+
+    #[test]
+    fn distributions_sample_in_area(
+        seed in any::<u64>(),
+        which in 0usize..4,
+        w in 10.0..500.0f64,
+        h in 10.0..500.0f64,
+    ) {
+        let area = Area::new(w, h).unwrap();
+        let dist = match which {
+            0 => ClientDistribution::Uniform,
+            1 => ClientDistribution::paper_normal(&area).unwrap(),
+            2 => ClientDistribution::paper_exponential(&area).unwrap(),
+            _ => ClientDistribution::paper_weibull(&area).unwrap(),
+        };
+        let mut rng = rng_from_seed(seed);
+        for p in dist.sample_points(&area, 64, &mut rng) {
+            prop_assert!(area.contains(p), "sample {p} escaped {area}");
+        }
+    }
+
+    #[test]
+    fn seed_sequence_children_distinct(master in any::<u64>()) {
+        let mut seq = SeedSequence::new(master);
+        let seeds: Vec<u64> = (0..64).map(|_| seq.next_seed()).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        prop_assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn instance_roundtrips_through_text_format(
+        seed in any::<u64>(),
+        routers in 1usize..20,
+        clients in 1usize..30,
+    ) {
+        let area = Area::square(64.0).unwrap();
+        let spec = InstanceSpec::new(
+            area,
+            routers,
+            clients,
+            ClientDistribution::Uniform,
+            RadioProfile::paper_default(),
+        ).unwrap();
+        let inst = spec.generate(seed).unwrap();
+        let parsed = format::parse_instance(&format::write_instance(&inst)).unwrap();
+        prop_assert_eq!(parsed, inst);
+    }
+
+    #[test]
+    fn placement_roundtrips_through_text_format(points in proptest::collection::vec(point(), 0..40)) {
+        let p = Placement::from_points(points);
+        let parsed = format::parse_placement(&format::write_placement(&p)).unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn placement_swap_is_involutive(points in proptest::collection::vec(point(), 2..20), i in 0usize..20, j in 0usize..20) {
+        let n = points.len();
+        let (i, j) = (i % n, j % n);
+        let original = Placement::from_points(points);
+        let mut p = original.clone();
+        p.swap(wmn_model::RouterId(i), wmn_model::RouterId(j));
+        p.swap(wmn_model::RouterId(i), wmn_model::RouterId(j));
+        prop_assert_eq!(p, original);
+    }
+
+    #[test]
+    fn clamped_placement_validates(points in proptest::collection::vec(point(), 1..30)) {
+        let area = Area::square(100.0).unwrap();
+        let n = points.len();
+        let mut p = Placement::from_points(points);
+        p.clamp_into(&area);
+        prop_assert!(p.validate(&area, n).is_ok());
+    }
+}

@@ -1,0 +1,213 @@
+//! **ColLeft** placement (paper §3, method 2).
+//!
+//! "Places almost all mesh routers at the left side of the grid area. …
+//! usually applicable when the number of mesh routers is (proportionally)
+//! smaller than grid area height, for instance, one third of the height."
+//!
+//! Routers are stacked in vertical columns starting at the left edge: the
+//! first column holds as many evenly spaced routers as the height
+//! comfortably accommodates, then the next column, and so on — so the mass
+//! stays on the left even when the router count exceeds the paper's
+//! one-third-of-height guidance (in which case
+//! [`check_applicable`](crate::method::PlacementHeuristic::check_applicable)
+//! reports the violation but placement still succeeds).
+
+use crate::method::{Inapplicability, PatternConfig, PlacementHeuristic};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use wmn_model::geometry::Point;
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+
+/// Configuration for [`ColLeftPlacement`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColLeftConfig {
+    /// Horizontal spacing between successive columns, as a fraction of the
+    /// area width.
+    pub column_spacing_fraction: f64,
+    /// Inset of the first column from the left edge, as a fraction of the
+    /// area width.
+    pub left_inset_fraction: f64,
+    /// Routers per column, as a fraction of the area height divided by the
+    /// routers' nominal diameter (controls vertical packing).
+    pub pattern: PatternConfig,
+}
+
+impl Default for ColLeftConfig {
+    fn default() -> Self {
+        ColLeftConfig {
+            column_spacing_fraction: 0.05,
+            left_inset_fraction: 0.02,
+            pattern: PatternConfig::paper_default(),
+        }
+    }
+}
+
+/// Left-column placement.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_placement::col_left::ColLeftPlacement;
+/// use wmn_placement::method::PlacementHeuristic;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(3);
+/// let placement = ColLeftPlacement::default().place(&instance, &mut rng);
+/// instance.validate_placement(&placement)?;
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ColLeftPlacement {
+    config: ColLeftConfig,
+}
+
+impl ColLeftPlacement {
+    /// Creates the method with explicit configuration.
+    pub fn new(config: ColLeftConfig) -> Self {
+        ColLeftPlacement { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ColLeftConfig {
+        &self.config
+    }
+
+    /// Routers per column for `instance`: one router per "nominal diameter"
+    /// of vertical space, so chains along a column can actually link.
+    fn per_column(&self, instance: &ProblemInstance) -> usize {
+        let h = instance.area().height();
+        let diameter = 2.0 * instance.routers()[0].profile().nominal_radius();
+        ((h / diameter).floor() as usize).max(1)
+    }
+}
+
+impl PlacementHeuristic for ColLeftPlacement {
+    fn name(&self) -> &'static str {
+        "ColLeft"
+    }
+
+    fn check_applicable(&self, instance: &ProblemInstance) -> Result<(), Inapplicability> {
+        let third = instance.area().height() / 3.0;
+        if (instance.router_count() as f64) > third {
+            return Err(Inapplicability {
+                reason: format!(
+                    "ColLeft prefers router counts below a third of the area height ({} > {:.0})",
+                    instance.router_count(),
+                    third
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn place(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> Placement {
+        let area = instance.area();
+        let n = instance.router_count();
+        let per_column = self.per_column(instance);
+        let x0 = self.config.left_inset_fraction.max(0.0) * area.width();
+        let dx = self.config.column_spacing_fraction.max(0.001) * area.width();
+        let mut pattern = Vec::with_capacity(n);
+        for i in 0..n {
+            let col = i / per_column;
+            let row = i % per_column;
+            let rows_in_col = per_column.min(n - col * per_column);
+            let y = if rows_in_col <= 1 {
+                area.height() / 2.0
+            } else {
+                area.height() * (row as f64 + 0.5) / rows_in_col as f64
+            };
+            pattern.push(Point::new(x0 + col as f64 * dx, y));
+        }
+        self.config.pattern.apply(instance, pattern, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+
+    fn paper_instance() -> ProblemInstance {
+        InstanceSpec::paper_uniform().unwrap().generate(1).unwrap()
+    }
+
+    #[test]
+    fn mass_is_on_the_left() {
+        let inst = paper_instance();
+        let p = ColLeftPlacement::default().place(&inst, &mut rng_from_seed(7));
+        assert!(inst.validate_placement(&p).is_ok());
+        let left_half = p.as_slice().iter().filter(|q| q.x < 64.0).count();
+        assert!(
+            left_half >= 55,
+            "ColLeft should keep most of 64 routers on the left, got {left_half}"
+        );
+    }
+
+    #[test]
+    fn columns_fill_top_to_bottom() {
+        let inst = paper_instance();
+        let exact = ColLeftPlacement::new(ColLeftConfig {
+            pattern: PatternConfig::exact(),
+            ..ColLeftConfig::default()
+        });
+        let p = exact.place(&inst, &mut rng_from_seed(1));
+        // First column: 12 routers (128 height / 10 diameter), evenly spaced.
+        let first_col_x = p.as_slice()[0].x;
+        let in_first: Vec<f64> = p
+            .as_slice()
+            .iter()
+            .filter(|q| (q.x - first_col_x).abs() < 1e-9)
+            .map(|q| q.y)
+            .collect();
+        assert!(in_first.len() >= 2);
+        let ys: Vec<f64> = {
+            let mut v = in_first.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        // Evenly spaced: consecutive gaps equal.
+        let gap = ys[1] - ys[0];
+        for w in ys.windows(2) {
+            assert!((w[1] - w[0] - gap).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn applicability_warns_on_paper_instance() {
+        // 64 routers > 128/3: the paper's own instance violates the stated
+        // guidance; the method must still place.
+        let inst = paper_instance();
+        let m = ColLeftPlacement::default();
+        assert!(m.check_applicable(&inst).is_err());
+        assert!(inst
+            .validate_placement(&m.place(&inst, &mut rng_from_seed(2)))
+            .is_ok());
+    }
+
+    #[test]
+    fn applicable_for_few_routers() {
+        let spec = InstanceSpec::new(
+            wmn_model::Area::square(128.0).unwrap(),
+            16,
+            32,
+            wmn_model::ClientDistribution::Uniform,
+            wmn_model::RadioProfile::paper_default(),
+        )
+        .unwrap();
+        let inst = spec.generate(1).unwrap();
+        assert!(ColLeftPlacement::default().check_applicable(&inst).is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = paper_instance();
+        let m = ColLeftPlacement::default();
+        assert_eq!(
+            m.place(&inst, &mut rng_from_seed(5)),
+            m.place(&inst, &mut rng_from_seed(5))
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! **Corners** placement (paper §3, method 6).
+//!
+//! "Distributes the mesh routers in the corners of the grid area. The
+//! considered areas in the corners are fixed by user specified parameter
+//! values."
+//!
+//! Routers are dealt round-robin to the four corner squares and laid out on
+//! a small cell grid inside each square.
+
+use crate::method::{PatternConfig, PlacementHeuristic};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use wmn_model::geometry::{Point, Rect};
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+
+/// Configuration for [`CornersPlacement`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CornersConfig {
+    /// Side of each corner square, as a fraction of the smaller area
+    /// dimension (the paper's user-specified corner size).
+    pub corner_fraction: f64,
+    /// Shared pattern adherence/jitter.
+    pub pattern: PatternConfig,
+}
+
+impl Default for CornersConfig {
+    fn default() -> Self {
+        CornersConfig {
+            corner_fraction: 0.25,
+            pattern: PatternConfig::paper_default(),
+        }
+    }
+}
+
+/// Four-corners placement.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_placement::corners::CornersPlacement;
+/// use wmn_placement::method::PlacementHeuristic;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(7);
+/// let placement = CornersPlacement::default().place(&instance, &mut rng);
+/// instance.validate_placement(&placement)?;
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CornersPlacement {
+    config: CornersConfig,
+}
+
+impl CornersPlacement {
+    /// Creates the method with explicit configuration.
+    pub fn new(config: CornersConfig) -> Self {
+        CornersPlacement { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CornersConfig {
+        &self.config
+    }
+
+    /// The four corner squares of `instance`'s area, in a fixed order
+    /// (bottom-left, bottom-right, top-left, top-right).
+    pub fn corner_rects(&self, instance: &ProblemInstance) -> [Rect; 4] {
+        let area = instance.area();
+        let side = self.config.corner_fraction.clamp(0.01, 0.5) * area.width().min(area.height());
+        let (w, h) = (area.width(), area.height());
+        [
+            Rect::new(Point::new(0.0, 0.0), Point::new(side, side)),
+            Rect::new(Point::new(w - side, 0.0), Point::new(w, side)),
+            Rect::new(Point::new(0.0, h - side), Point::new(side, h)),
+            Rect::new(Point::new(w - side, h - side), Point::new(w, h)),
+        ]
+    }
+}
+
+/// Lays `count` points on a near-square grid inside `rect` (row-major).
+fn grid_in_rect(rect: &Rect, count: usize) -> Vec<Point> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let cols = (count as f64).sqrt().ceil().max(1.0) as usize;
+    let rows = count.div_ceil(cols);
+    (0..count)
+        .map(|i| {
+            let (cx, cy) = (i % cols, i / cols);
+            Point::new(
+                rect.min().x + rect.width() * (cx as f64 + 0.5) / cols as f64,
+                rect.min().y + rect.height() * (cy as f64 + 0.5) / rows as f64,
+            )
+        })
+        .collect()
+}
+
+impl PlacementHeuristic for CornersPlacement {
+    fn name(&self) -> &'static str {
+        "Corners"
+    }
+
+    fn place(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> Placement {
+        let n = instance.router_count();
+        let rects = self.corner_rects(instance);
+        // Round-robin deal: corner k receives ceil((n - k) / 4) routers.
+        let mut per_corner = [0usize; 4];
+        for i in 0..n {
+            per_corner[i % 4] += 1;
+        }
+        let grids: Vec<Vec<Point>> = rects
+            .iter()
+            .zip(per_corner)
+            .map(|(r, c)| grid_in_rect(r, c))
+            .collect();
+        let mut cursors = [0usize; 4];
+        let mut pattern = Vec::with_capacity(n);
+        for i in 0..n {
+            let k = i % 4;
+            pattern.push(grids[k][cursors[k]]);
+            cursors[k] += 1;
+        }
+        self.config.pattern.apply(instance, pattern, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+
+    fn paper_instance() -> ProblemInstance {
+        InstanceSpec::paper_uniform().unwrap().generate(1).unwrap()
+    }
+
+    #[test]
+    fn routers_sit_in_corner_squares() {
+        let inst = paper_instance();
+        let m = CornersPlacement::default();
+        let p = m.place(&inst, &mut rng_from_seed(4));
+        assert!(inst.validate_placement(&p).is_ok());
+        let rects = m.corner_rects(&inst);
+        // Inflate by jitter reach for the count.
+        let near = p
+            .as_slice()
+            .iter()
+            .filter(|q| rects.iter().any(|r| r.clamp_point(**q).distance(**q) < 6.0))
+            .count();
+        assert!(near >= 55, "most routers in/near corners, got {near}/64");
+    }
+
+    #[test]
+    fn exact_pattern_splits_evenly_across_corners() {
+        let inst = paper_instance();
+        let m = CornersPlacement::new(CornersConfig {
+            pattern: PatternConfig::exact(),
+            ..CornersConfig::default()
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        let rects = m.corner_rects(&inst);
+        let counts: Vec<usize> = rects
+            .iter()
+            .map(|r| p.as_slice().iter().filter(|q| r.contains(**q)).count())
+            .collect();
+        assert_eq!(counts, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn uneven_count_deals_round_robin() {
+        let spec = InstanceSpec::new(
+            wmn_model::Area::square(100.0).unwrap(),
+            6,
+            8,
+            wmn_model::ClientDistribution::Uniform,
+            wmn_model::RadioProfile::paper_default(),
+        )
+        .unwrap();
+        let inst = spec.generate(1).unwrap();
+        let m = CornersPlacement::new(CornersConfig {
+            pattern: PatternConfig::exact(),
+            ..CornersConfig::default()
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        let rects = m.corner_rects(&inst);
+        let counts: Vec<usize> = rects
+            .iter()
+            .map(|r| p.as_slice().iter().filter(|q| r.contains(**q)).count())
+            .collect();
+        assert_eq!(counts, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn corner_fraction_is_clamped() {
+        let inst = paper_instance();
+        let m = CornersPlacement::new(CornersConfig {
+            corner_fraction: 5.0, // silly value -> clamped to 0.5
+            pattern: PatternConfig::exact(),
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        assert!(inst.validate_placement(&p).is_ok());
+        let rects = m.corner_rects(&inst);
+        assert!(rects[0].width() <= 64.0 + 1e-9);
+    }
+
+    #[test]
+    fn corner_rects_are_disjoint_for_small_fraction() {
+        let inst = paper_instance();
+        let m = CornersPlacement::default();
+        let rects = m.corner_rects(&inst);
+        for (i, a) in rects.iter().enumerate() {
+            for b in rects.iter().skip(i + 1) {
+                assert!(!a.intersects(b), "corner squares must not overlap");
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! **Cross** placement (paper §3, method 4).
+//!
+//! "Tends to place mesh routers along both diagonals of the grid area.
+//! Similar conditions as the ones for Diagonal placement are required."
+//!
+//! Routers alternate between the main and anti diagonals so both arms fill
+//! evenly regardless of the router count's parity.
+
+use crate::method::{points_along_segment, Inapplicability, PatternConfig, PlacementHeuristic};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use wmn_model::geometry::Point;
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+
+/// Configuration for [`CrossPlacement`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossConfig {
+    /// Maximum relative width/height imbalance for applicability (the paper
+    /// uses 10%).
+    pub aspect_tolerance: f64,
+    /// Inset of the diagonal endpoints from the corners, as a fraction of
+    /// the diagonal length.
+    pub end_inset_fraction: f64,
+    /// Shared pattern adherence/jitter.
+    pub pattern: PatternConfig,
+}
+
+impl Default for CrossConfig {
+    fn default() -> Self {
+        CrossConfig {
+            aspect_tolerance: 0.10,
+            end_inset_fraction: 0.02,
+            pattern: PatternConfig::paper_default(),
+        }
+    }
+}
+
+/// Both-diagonals ("X") placement.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_placement::cross::CrossPlacement;
+/// use wmn_placement::method::PlacementHeuristic;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(5);
+/// let placement = CrossPlacement::default().place(&instance, &mut rng);
+/// instance.validate_placement(&placement)?;
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CrossPlacement {
+    config: CrossConfig,
+}
+
+impl CrossPlacement {
+    /// Creates the method with explicit configuration.
+    pub fn new(config: CrossConfig) -> Self {
+        CrossPlacement { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CrossConfig {
+        &self.config
+    }
+}
+
+impl PlacementHeuristic for CrossPlacement {
+    fn name(&self) -> &'static str {
+        "Cross"
+    }
+
+    fn check_applicable(&self, instance: &ProblemInstance) -> Result<(), Inapplicability> {
+        let area = instance.area();
+        if !area.is_near_square(self.config.aspect_tolerance) {
+            return Err(Inapplicability {
+                reason: format!(
+                    "Cross needs a near-square area (imbalance {:.1}% > {:.1}%)",
+                    100.0 * area.aspect_imbalance(),
+                    100.0 * self.config.aspect_tolerance
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn place(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> Placement {
+        let area = instance.area();
+        let n = instance.router_count();
+        let t = self.config.end_inset_fraction.clamp(0.0, 0.49);
+        let main_count = n - n / 2; // main diagonal gets the extra router on odd n
+        let anti_count = n / 2;
+        let main = points_along_segment(
+            Point::new(area.width() * t, area.height() * t),
+            Point::new(area.width() * (1.0 - t), area.height() * (1.0 - t)),
+            main_count,
+        );
+        let anti = points_along_segment(
+            Point::new(area.width() * t, area.height() * (1.0 - t)),
+            Point::new(area.width() * (1.0 - t), area.height() * t),
+            anti_count,
+        );
+        // Interleave so router power (which correlates with id order in no
+        // way, but keeps both arms filled for any prefix) alternates arms.
+        let mut pattern = Vec::with_capacity(n);
+        let (mut mi, mut ai) = (main.into_iter(), anti.into_iter());
+        for i in 0..n {
+            let next = if i % 2 == 0 {
+                mi.next().or_else(|| ai.next())
+            } else {
+                ai.next().or_else(|| mi.next())
+            };
+            pattern.push(next.expect("counts add up to n"));
+        }
+        self.config.pattern.apply(instance, pattern, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+
+    fn paper_instance() -> ProblemInstance {
+        InstanceSpec::paper_uniform().unwrap().generate(1).unwrap()
+    }
+
+    fn diagonal_distance(q: &Point) -> f64 {
+        // Min distance to either diagonal of the 128x128 square.
+        let main = (q.y - q.x).abs() / 2f64.sqrt();
+        let anti = (q.y + q.x - 128.0).abs() / 2f64.sqrt();
+        main.min(anti)
+    }
+
+    #[test]
+    fn routers_hug_one_of_the_diagonals() {
+        let inst = paper_instance();
+        let p = CrossPlacement::default().place(&inst, &mut rng_from_seed(8));
+        assert!(inst.validate_placement(&p).is_ok());
+        let near = p
+            .as_slice()
+            .iter()
+            .filter(|q| diagonal_distance(q) < 8.0)
+            .count();
+        assert!(near >= 55, "most routers near a diagonal, got {near}/64");
+    }
+
+    #[test]
+    fn both_arms_are_populated() {
+        let inst = paper_instance();
+        let m = CrossPlacement::new(CrossConfig {
+            pattern: PatternConfig::exact(),
+            ..CrossConfig::default()
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        let on_main = p
+            .as_slice()
+            .iter()
+            .filter(|q| (q.y - q.x).abs() < 1e-6)
+            .count();
+        let on_anti = p
+            .as_slice()
+            .iter()
+            .filter(|q| (q.y + q.x - 128.0).abs() < 1e-6)
+            .count();
+        assert_eq!(on_main, 32);
+        assert_eq!(on_anti, 32);
+    }
+
+    #[test]
+    fn odd_router_count_splits_evenly() {
+        // n = 9: main diagonal gets 5 points (including the center, which
+        // lies on both diagonals), anti diagonal gets 4 (center-free).
+        let spec = InstanceSpec::new(
+            wmn_model::Area::square(100.0).unwrap(),
+            9,
+            10,
+            wmn_model::ClientDistribution::Uniform,
+            wmn_model::RadioProfile::paper_default(),
+        )
+        .unwrap();
+        let inst = spec.generate(1).unwrap();
+        let m = CrossPlacement::new(CrossConfig {
+            pattern: PatternConfig::exact(),
+            end_inset_fraction: 0.0,
+            ..CrossConfig::default()
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        assert_eq!(p.len(), 9);
+        let on_main = p
+            .as_slice()
+            .iter()
+            .filter(|q| (q.y - q.x).abs() < 1e-6)
+            .count();
+        let on_anti = p
+            .as_slice()
+            .iter()
+            .filter(|q| (q.y + q.x - 100.0).abs() < 1e-6)
+            .count();
+        assert_eq!(on_main, 5, "main diagonal takes the extra router");
+        assert_eq!(on_anti, 5, "anti diagonal holds 4 plus the shared center");
+    }
+
+    #[test]
+    fn aspect_check_mirrors_diag() {
+        let spec = InstanceSpec::new(
+            wmn_model::Area::new(300.0, 100.0).unwrap(),
+            8,
+            10,
+            wmn_model::ClientDistribution::Uniform,
+            wmn_model::RadioProfile::paper_default(),
+        )
+        .unwrap();
+        let inst = spec.generate(1).unwrap();
+        assert!(CrossPlacement::default().check_applicable(&inst).is_err());
+        assert!(CrossPlacement::default()
+            .check_applicable(&paper_instance())
+            .is_ok());
+    }
+}

@@ -1,0 +1,179 @@
+//! **Diag** placement (paper §3, method 3).
+//!
+//! "Mesh routers are concentrated along the (main) diagonal of the grid
+//! area. … appropriate when the grid area fulfils some conditions such as
+//! the height and width must have similar values (we considered the case of
+//! 10% difference in their values)."
+
+use crate::method::{points_along_segment, Inapplicability, PatternConfig, PlacementHeuristic};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use wmn_model::geometry::Point;
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+
+/// Configuration for [`DiagPlacement`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiagConfig {
+    /// Maximum relative width/height imbalance for applicability (the paper
+    /// uses 10%).
+    pub aspect_tolerance: f64,
+    /// Inset of the diagonal endpoints from the corners, as a fraction of
+    /// the diagonal length (keeps end routers away from the exact corner).
+    pub end_inset_fraction: f64,
+    /// Shared pattern adherence/jitter.
+    pub pattern: PatternConfig,
+}
+
+impl Default for DiagConfig {
+    fn default() -> Self {
+        DiagConfig {
+            aspect_tolerance: 0.10,
+            end_inset_fraction: 0.02,
+            pattern: PatternConfig::paper_default(),
+        }
+    }
+}
+
+/// Main-diagonal placement.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_placement::diag::DiagPlacement;
+/// use wmn_placement::method::PlacementHeuristic;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(4);
+/// let placement = DiagPlacement::default().place(&instance, &mut rng);
+/// instance.validate_placement(&placement)?;
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DiagPlacement {
+    config: DiagConfig,
+}
+
+impl DiagPlacement {
+    /// Creates the method with explicit configuration.
+    pub fn new(config: DiagConfig) -> Self {
+        DiagPlacement { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DiagConfig {
+        &self.config
+    }
+}
+
+impl PlacementHeuristic for DiagPlacement {
+    fn name(&self) -> &'static str {
+        "Diag"
+    }
+
+    fn check_applicable(&self, instance: &ProblemInstance) -> Result<(), Inapplicability> {
+        let area = instance.area();
+        if !area.is_near_square(self.config.aspect_tolerance) {
+            return Err(Inapplicability {
+                reason: format!(
+                    "Diag needs a near-square area (imbalance {:.1}% > {:.1}%)",
+                    100.0 * area.aspect_imbalance(),
+                    100.0 * self.config.aspect_tolerance
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn place(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> Placement {
+        let area = instance.area();
+        let t = self.config.end_inset_fraction.clamp(0.0, 0.49);
+        let a = Point::new(area.width() * t, area.height() * t);
+        let b = Point::new(area.width() * (1.0 - t), area.height() * (1.0 - t));
+        let pattern = points_along_segment(a, b, instance.router_count());
+        self.config.pattern.apply(instance, pattern, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+    use wmn_model::{Area, ClientDistribution, RadioProfile};
+
+    fn paper_instance() -> ProblemInstance {
+        InstanceSpec::paper_uniform().unwrap().generate(1).unwrap()
+    }
+
+    #[test]
+    fn routers_hug_the_main_diagonal() {
+        let inst = paper_instance();
+        let p = DiagPlacement::default().place(&inst, &mut rng_from_seed(3));
+        assert!(inst.validate_placement(&p).is_ok());
+        // Distance from y = x line (square area): |y - x| / sqrt(2).
+        let near = p
+            .as_slice()
+            .iter()
+            .filter(|q| (q.y - q.x).abs() / 2f64.sqrt() < 8.0)
+            .count();
+        assert!(near >= 55, "most routers near diagonal, got {near}/64");
+    }
+
+    #[test]
+    fn exact_pattern_spans_corner_to_corner() {
+        let inst = paper_instance();
+        let m = DiagPlacement::new(DiagConfig {
+            pattern: PatternConfig::exact(),
+            end_inset_fraction: 0.0,
+            ..DiagConfig::default()
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        let s = p.as_slice();
+        assert_eq!(s[0], Point::new(0.0, 0.0));
+        assert_eq!(s[63], Point::new(128.0, 128.0));
+        // Monotone along the diagonal.
+        for w in s.windows(2) {
+            assert!(w[1].x > w[0].x && w[1].y > w[0].y);
+        }
+    }
+
+    #[test]
+    fn square_area_is_applicable() {
+        assert!(DiagPlacement::default()
+            .check_applicable(&paper_instance())
+            .is_ok());
+    }
+
+    #[test]
+    fn elongated_area_is_inapplicable_but_places() {
+        let spec = InstanceSpec::new(
+            Area::new(200.0, 100.0).unwrap(),
+            16,
+            32,
+            ClientDistribution::Uniform,
+            RadioProfile::paper_default(),
+        )
+        .unwrap();
+        let inst = spec.generate(1).unwrap();
+        let m = DiagPlacement::default();
+        assert!(m.check_applicable(&inst).is_err());
+        let p = m.place(&inst, &mut rng_from_seed(2));
+        assert!(inst.validate_placement(&p).is_ok());
+    }
+
+    #[test]
+    fn within_tolerance_area_is_applicable() {
+        let spec = InstanceSpec::new(
+            Area::new(100.0, 92.0).unwrap(),
+            8,
+            16,
+            ClientDistribution::Uniform,
+            RadioProfile::paper_default(),
+        )
+        .unwrap();
+        let inst = spec.generate(1).unwrap();
+        assert!(DiagPlacement::default().check_applicable(&inst).is_ok());
+    }
+}

@@ -1,0 +1,263 @@
+//! **HotSpot** placement (paper §3, method 7).
+//!
+//! "Starts by placing the most powerful mesh router in the most dense zone
+//! (in terms of client nodes) of the grid area; next, the second most
+//! powerful mesh router is placed in the second most dense zone, and so on
+//! until all routers are placed. … this method has a greater computational
+//! cost as compared to other methods due to the computation of denseness."
+//!
+//! Density is computed with a [`DensityMap`] (cell grid + summed-area
+//! table); zones are pairwise-disjoint windows ranked by client count.
+//! When there are more routers than rankable zones, assignment cycles back
+//! through the zones.
+
+use crate::method::{PatternConfig, PlacementHeuristic};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use wmn_graph::density::DensityMap;
+use wmn_model::geometry::Point;
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+
+/// Configuration for [`HotSpotPlacement`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotSpotConfig {
+    /// Density grid resolution: the area is split into `cells × cells`
+    /// cells.
+    pub cells: usize,
+    /// Zone size in cells (zones are `window_cells × window_cells`).
+    pub window_cells: usize,
+    /// Minimum clients for a zone to attract routers. Values above 1 keep
+    /// routers off single-client outlier zones, concentrating the
+    /// placement on the contiguous client mass.
+    pub min_zone_clients: u64,
+    /// Shared pattern adherence/jitter.
+    pub pattern: PatternConfig,
+}
+
+impl Default for HotSpotConfig {
+    fn default() -> Self {
+        // 16x16 cells with single-cell zones (8x8 length units on the
+        // paper's area). Cell-granular zones tile the client mass
+        // contiguously, so consecutive routers land within a cell pitch of
+        // each other — the latent connectivity that makes HotSpot the
+        // strongest GA initializer in the paper's Figures 1–3.
+        HotSpotConfig {
+            cells: 16,
+            window_cells: 1,
+            min_zone_clients: 2,
+            pattern: PatternConfig::paper_default(),
+        }
+    }
+}
+
+/// Density-driven placement: strongest routers into densest client zones.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_placement::hotspot::HotSpotPlacement;
+/// use wmn_placement::method::PlacementHeuristic;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(8);
+/// let placement = HotSpotPlacement::default().place(&instance, &mut rng);
+/// instance.validate_placement(&placement)?;
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HotSpotPlacement {
+    config: HotSpotConfig,
+}
+
+impl HotSpotPlacement {
+    /// Creates the method with explicit configuration.
+    pub fn new(config: HotSpotConfig) -> Self {
+        HotSpotPlacement { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HotSpotConfig {
+        &self.config
+    }
+
+    /// The density map this method ranks zones on (exposed for diagnostics
+    /// and the swap movement, which uses the same denseness notion).
+    pub fn density_map(&self, instance: &ProblemInstance) -> DensityMap {
+        let cells = self.config.cells.max(1);
+        DensityMap::from_points(&instance.area(), &instance.client_positions(), cells, cells)
+    }
+}
+
+impl PlacementHeuristic for HotSpotPlacement {
+    fn name(&self) -> &'static str {
+        "HotSpot"
+    }
+
+    fn place(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> Placement {
+        let n = instance.router_count();
+        let map = self.density_map(instance);
+        let mut zones =
+            map.ranked_disjoint_windows(self.config.window_cells, self.config.window_cells, n);
+        // Zones below the client threshold attract no router: cycling
+        // through the qualifying zones keeps the method concentrated on the
+        // contiguous client mass (zones are ranked by count, so qualifying
+        // zones form a prefix).
+        let threshold = self.config.min_zone_clients.max(1);
+        let qualifying = zones
+            .iter()
+            .take_while(|z| map.window_count(z) >= threshold)
+            .count();
+        if qualifying > 0 {
+            zones.truncate(qualifying);
+        } else {
+            // No zone reaches the threshold (sparse instances): fall back
+            // to any populated zone.
+            let populated = zones.iter().take_while(|z| map.window_count(z) > 0).count();
+            if populated > 0 {
+                zones.truncate(populated);
+            }
+        }
+        debug_assert!(!zones.is_empty(), "grid always hosts at least one zone");
+
+        // Strongest router -> densest zone, second strongest -> second
+        // densest, ... cycling when zones are exhausted.
+        let by_power = instance.routers_by_power_desc();
+        let mut pattern = vec![Point::origin(); n];
+        for (rank, router_id) in by_power.into_iter().enumerate() {
+            let zone = &zones[rank % zones.len()];
+            pattern[router_id.index()] = map.window_rect(zone).center();
+        }
+        self.config.pattern.apply(instance, pattern, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::distribution::{ClientDistribution, Hotspot};
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+    use wmn_model::{Area, RadioProfile};
+
+    fn clustered_instance() -> ProblemInstance {
+        // One heavy hotspot at (20, 20), a light one at (100, 100).
+        let area = Area::square(128.0).unwrap();
+        let dist = ClientDistribution::try_hotspots(vec![
+            Hotspot {
+                center: Point::new(20.0, 20.0),
+                sigma: 5.0,
+                weight: 4.0,
+            },
+            Hotspot {
+                center: Point::new(100.0, 100.0),
+                sigma: 5.0,
+                weight: 1.0,
+            },
+        ])
+        .unwrap();
+        InstanceSpec::new(area, 16, 200, dist, RadioProfile::new(2.0, 8.0).unwrap())
+            .unwrap()
+            .generate(11)
+            .unwrap()
+    }
+
+    #[test]
+    fn placement_is_valid_on_paper_instance() {
+        let inst = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let p = HotSpotPlacement::default().place(&inst, &mut rng_from_seed(3));
+        assert!(inst.validate_placement(&p).is_ok());
+    }
+
+    #[test]
+    fn most_powerful_router_lands_in_densest_zone() {
+        let inst = clustered_instance();
+        let m = HotSpotPlacement::new(HotSpotConfig {
+            pattern: PatternConfig::exact(),
+            ..HotSpotConfig::default()
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        let strongest = inst.routers_by_power_desc()[0];
+        let pos = p[strongest];
+        assert!(
+            pos.distance(Point::new(20.0, 20.0)) < 25.0,
+            "strongest router {pos} should sit at the heavy hotspot"
+        );
+    }
+
+    #[test]
+    fn routers_concentrate_on_client_mass() {
+        let inst = clustered_instance();
+        let p = HotSpotPlacement::default().place(&inst, &mut rng_from_seed(2));
+        let near_spots = p
+            .as_slice()
+            .iter()
+            .filter(|q| {
+                q.distance(Point::new(20.0, 20.0)) < 40.0
+                    || q.distance(Point::new(100.0, 100.0)) < 40.0
+            })
+            .count();
+        assert!(
+            near_spots >= 12,
+            "most of 16 routers near hotspots, got {near_spots}"
+        );
+    }
+
+    #[test]
+    fn zone_ranking_respects_power_order() {
+        let inst = clustered_instance();
+        let m = HotSpotPlacement::new(HotSpotConfig {
+            pattern: PatternConfig::exact(),
+            ..HotSpotConfig::default()
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        let map = m.density_map(&inst);
+        let by_power = inst.routers_by_power_desc();
+        // Count clients within the zone around each of the two strongest
+        // routers: the strongest must sit on at least as many clients.
+        let zone_count = |pos: Point| {
+            let (cx, cy) = map.cell_of(pos);
+            let w = wmn_graph::density::CellWindow {
+                cx: cx.saturating_sub(1),
+                cy: cy.saturating_sub(1),
+                w: 2,
+                h: 2,
+            };
+            map.window_count(&w)
+        };
+        let first = zone_count(p[by_power[0]]);
+        let last = zone_count(p[by_power[by_power.len() - 1]]);
+        assert!(
+            first >= last,
+            "densest zone ({first}) must not be sparser than the last zone ({last})"
+        );
+    }
+
+    #[test]
+    fn more_routers_than_zones_cycles() {
+        // 4x4 cells, 4x4 windows -> exactly 1 disjoint zone; all routers
+        // cycle into it.
+        let inst = clustered_instance();
+        let m = HotSpotPlacement::new(HotSpotConfig {
+            cells: 4,
+            window_cells: 4,
+            min_zone_clients: 1,
+            pattern: PatternConfig::exact(),
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        assert!(inst.validate_placement(&p).is_ok());
+        let first = p.as_slice()[0];
+        assert!(p.as_slice().iter().all(|q| *q == first));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = clustered_instance();
+        let m = HotSpotPlacement::default();
+        assert_eq!(
+            m.place(&inst, &mut rng_from_seed(9)),
+            m.place(&inst, &mut rng_from_seed(9))
+        );
+    }
+}

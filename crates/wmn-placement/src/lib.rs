@@ -1,0 +1,64 @@
+//! The seven ad hoc placement heuristics for WMN mesh routers.
+//!
+//! Paper §3 evaluates seven simple placement topologies, useful both as
+//! fast standalone methods and as initializers for evolutionary algorithms:
+//!
+//! | Method | Module | Pattern |
+//! |---|---|---|
+//! | Random  | [`random`]  | uniform over the area |
+//! | ColLeft | [`col_left`] | stacked columns at the left edge |
+//! | Diag    | [`diag`]    | the main diagonal |
+//! | Cross   | [`cross`]   | both diagonals |
+//! | Near    | [`near`]    | a central rectangle |
+//! | Corners | [`corners`] | the four corner squares |
+//! | HotSpot | [`hotspot`] | strongest routers into densest client zones |
+//!
+//! All methods implement [`PlacementHeuristic`] and honor the paper's
+//! "most placements follow the pattern" rule through a shared
+//! [`PatternConfig`] (adherence + jitter). [`AdHocMethod`] is the registry
+//! the experiment harness iterates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use wmn_placement::prelude::*;
+//! use wmn_model::prelude::*;
+//!
+//! let instance = InstanceSpec::paper_normal()?.generate(5)?;
+//! let mut rng = rng_from_seed(0);
+//! for method in AdHocMethod::all() {
+//!     let placement = method.heuristic().place(&instance, &mut rng);
+//!     instance.validate_placement(&placement)?;
+//! }
+//! # Ok::<(), wmn_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod col_left;
+pub mod corners;
+pub mod cross;
+pub mod diag;
+pub mod hotspot;
+pub mod method;
+pub mod near;
+pub mod random;
+pub mod registry;
+
+pub use method::{Inapplicability, PatternConfig, PlacementHeuristic};
+pub use registry::{AdHocMethod, ParseMethodError};
+
+/// Convenient glob import of the methods and their configs.
+pub mod prelude {
+    pub use crate::col_left::{ColLeftConfig, ColLeftPlacement};
+    pub use crate::corners::{CornersConfig, CornersPlacement};
+    pub use crate::cross::{CrossConfig, CrossPlacement};
+    pub use crate::diag::{DiagConfig, DiagPlacement};
+    pub use crate::hotspot::{HotSpotConfig, HotSpotPlacement};
+    pub use crate::method::{Inapplicability, PatternConfig, PlacementHeuristic};
+    pub use crate::near::{NearConfig, NearPlacement};
+    pub use crate::random::RandomPlacement;
+    pub use crate::registry::AdHocMethod;
+}

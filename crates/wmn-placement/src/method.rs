@@ -1,0 +1,233 @@
+//! The placement-heuristic trait and shared pattern machinery.
+//!
+//! Paper §3: *"in all considered methods, there is a pattern in placement of
+//! mesh router nodes, meaning that **most** of the node placements follow
+//! the pattern"*. Every heuristic here produces its pattern positions and
+//! then passes them through [`PatternConfig::apply`], which (a) re-draws a
+//! small fraction of routers uniformly at random (pattern adherence) and
+//! (b) adds Gaussian jitter around the pattern points, clamped into the
+//! area.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wmn_model::distribution::standard_normal;
+use wmn_model::geometry::Point;
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+
+/// Why a heuristic considers an instance outside its comfort zone.
+///
+/// Applicability is **advisory** (the paper still evaluates every method on
+/// every instance): `place` always returns a valid placement, but callers
+/// may inspect [`PlacementHeuristic::check_applicable`] to warn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inapplicability {
+    /// Human-readable reason, e.g. "area is not near-square".
+    pub reason: String,
+}
+
+impl fmt::Display for Inapplicability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for Inapplicability {}
+
+/// An ad hoc placement method: maps an instance to a router placement.
+///
+/// Implementations must return a placement that validates against the
+/// instance (correct length, all positions in-area) for **every** input,
+/// even ones they report as inapplicable.
+pub trait PlacementHeuristic: fmt::Debug {
+    /// Short stable name, e.g. `"HotSpot"` (matches the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Advisory applicability check (see [`Inapplicability`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason when the instance violates the method's stated
+    /// preconditions (e.g. Diag on a far-from-square area).
+    fn check_applicable(&self, _instance: &ProblemInstance) -> Result<(), Inapplicability> {
+        Ok(())
+    }
+
+    /// Produces a placement for `instance`.
+    fn place(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> Placement;
+}
+
+/// Pattern-adherence and jitter shared by all methods.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternConfig {
+    /// Fraction of routers that follow the pattern (the rest are drawn
+    /// uniformly at random). Clamped to `[0, 1]`.
+    pub adherence: f64,
+    /// Gaussian jitter around pattern points, as a fraction of the area's
+    /// smaller dimension. Clamped to `>= 0`.
+    pub jitter_fraction: f64,
+}
+
+impl PatternConfig {
+    /// Paper-faithful defaults: 90% adherence, 1.5% jitter.
+    pub fn paper_default() -> Self {
+        PatternConfig {
+            adherence: 0.9,
+            jitter_fraction: 0.015,
+        }
+    }
+
+    /// No randomness: every router exactly on its pattern point. Useful in
+    /// tests.
+    pub fn exact() -> Self {
+        PatternConfig {
+            adherence: 1.0,
+            jitter_fraction: 0.0,
+        }
+    }
+
+    /// Applies adherence and jitter to raw pattern positions, producing the
+    /// final (validated, in-area) placement.
+    pub fn apply(
+        &self,
+        instance: &ProblemInstance,
+        pattern: Vec<Point>,
+        rng: &mut dyn RngCore,
+    ) -> Placement {
+        let area = instance.area();
+        let adherence = self.adherence.clamp(0.0, 1.0);
+        let sigma = self.jitter_fraction.max(0.0) * area.width().min(area.height());
+        let mut placement = Placement::with_capacity(pattern.len());
+        for p in pattern {
+            let pos = if rng.gen::<f64>() >= adherence {
+                // Pattern breaker: uniform anywhere in the area.
+                Point::new(
+                    rng.gen_range(0.0..=area.width()),
+                    rng.gen_range(0.0..=area.height()),
+                )
+            } else if sigma > 0.0 {
+                area.clamp_point(Point::new(
+                    p.x + sigma * standard_normal(rng),
+                    p.y + sigma * standard_normal(rng),
+                ))
+            } else {
+                area.clamp_point(p)
+            };
+            placement.push(pos);
+        }
+        placement
+    }
+}
+
+impl Default for PatternConfig {
+    fn default() -> Self {
+        PatternConfig::paper_default()
+    }
+}
+
+/// Spreads `n` points evenly along the segment from `a` to `b` (inclusive
+/// endpoints for `n >= 2`; the midpoint for `n == 1`).
+pub(crate) fn points_along_segment(a: Point, b: Point, n: usize) -> Vec<Point> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![a.midpoint(b)],
+        _ => (0..n)
+            .map(|i| a.lerp(b, i as f64 / (n - 1) as f64))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+
+    fn paper_instance() -> ProblemInstance {
+        InstanceSpec::paper_uniform().unwrap().generate(1).unwrap()
+    }
+
+    #[test]
+    fn exact_config_preserves_pattern() {
+        let inst = paper_instance();
+        let pattern: Vec<Point> = (0..64).map(|i| Point::new(i as f64, i as f64)).collect();
+        let mut rng = rng_from_seed(1);
+        let placed = PatternConfig::exact().apply(&inst, pattern.clone(), &mut rng);
+        assert_eq!(placed.as_slice(), pattern.as_slice());
+    }
+
+    #[test]
+    fn apply_clamps_out_of_area_pattern_points() {
+        let inst = paper_instance();
+        let pattern = vec![Point::new(-10.0, 500.0)];
+        let mut rng = rng_from_seed(2);
+        let placed = PatternConfig::exact().apply(&inst, pattern, &mut rng);
+        assert!(inst.area().contains(placed.as_slice()[0]));
+    }
+
+    #[test]
+    fn default_config_mostly_follows_pattern() {
+        let inst = paper_instance();
+        let center = inst.area().center();
+        let pattern = vec![center; 500];
+        let mut rng = rng_from_seed(3);
+        let placed = PatternConfig::paper_default().apply(&inst, pattern, &mut rng);
+        // With 90% adherence and small jitter, most points stay near center.
+        let near = placed
+            .as_slice()
+            .iter()
+            .filter(|p| p.distance(center) < 15.0)
+            .count();
+        assert!(near > 400, "only {near}/500 points near the pattern");
+        // And some breakers exist (probability of zero breakers ~ 1e-23).
+        assert!(near < 500, "adherence must leave room for pattern breakers");
+    }
+
+    #[test]
+    fn zero_adherence_is_uniform_random() {
+        let inst = paper_instance();
+        let corner = Point::origin();
+        let pattern = vec![corner; 400];
+        let cfg = PatternConfig {
+            adherence: 0.0,
+            jitter_fraction: 0.0,
+        };
+        let mut rng = rng_from_seed(4);
+        let placed = cfg.apply(&inst, pattern, &mut rng);
+        let far = placed
+            .as_slice()
+            .iter()
+            .filter(|p| p.distance(corner) > 64.0)
+            .count();
+        assert!(far > 100, "uniform placement must spread out, {far} far");
+    }
+
+    #[test]
+    fn apply_always_validates() {
+        let inst = paper_instance();
+        let pattern: Vec<Point> = (0..64).map(|_| Point::new(1e9, -1e9)).collect();
+        let mut rng = rng_from_seed(5);
+        let placed = PatternConfig::paper_default().apply(&inst, pattern, &mut rng);
+        assert!(inst.validate_placement(&placed).is_ok());
+    }
+
+    #[test]
+    fn segment_points_include_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 10.0);
+        let pts = points_along_segment(a, b, 5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], a);
+        assert_eq!(pts[4], b);
+        assert_eq!(pts[2], Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn segment_degenerate_counts() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert!(points_along_segment(a, b, 0).is_empty());
+        assert_eq!(points_along_segment(a, b, 1), vec![Point::new(5.0, 0.0)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! **Near** placement (paper §3, method 5).
+//!
+//! "Mesh routers are concentrated in the central zone of the grid area. To
+//! apply the method, minimum and maximum (user specified) values are
+//! considered to trace a rectangle in the central part of the grid area;
+//! routers are distributed in the rectangle cells."
+//!
+//! The central rectangle spans `[min_fraction, max_fraction]` of each
+//! dimension; routers are laid out on the cells of a near-square grid
+//! inside it (one router per cell, row-major), which is the "rectangle
+//! cells" reading of the paper.
+
+use crate::method::{PatternConfig, PlacementHeuristic};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use wmn_model::geometry::Point;
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+
+/// Configuration for [`NearPlacement`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NearConfig {
+    /// Lower corner of the central rectangle, as a fraction of each
+    /// dimension (paper's user-specified minimum).
+    pub min_fraction: f64,
+    /// Upper corner of the central rectangle, as a fraction of each
+    /// dimension (paper's user-specified maximum).
+    pub max_fraction: f64,
+    /// Shared pattern adherence/jitter.
+    pub pattern: PatternConfig,
+}
+
+impl Default for NearConfig {
+    fn default() -> Self {
+        NearConfig {
+            min_fraction: 0.25,
+            max_fraction: 0.75,
+            pattern: PatternConfig::paper_default(),
+        }
+    }
+}
+
+/// Central-rectangle placement.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_placement::method::PlacementHeuristic;
+/// use wmn_placement::near::NearPlacement;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(6);
+/// let placement = NearPlacement::default().place(&instance, &mut rng);
+/// instance.validate_placement(&placement)?;
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NearPlacement {
+    config: NearConfig,
+}
+
+impl NearPlacement {
+    /// Creates the method with explicit configuration.
+    ///
+    /// Fractions are normalized at placement time: they are clamped to
+    /// `[0, 1]` and swapped if inverted.
+    pub fn new(config: NearConfig) -> Self {
+        NearPlacement { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NearConfig {
+        &self.config
+    }
+
+    fn rectangle(&self, instance: &ProblemInstance) -> (Point, Point) {
+        let area = instance.area();
+        let mut lo = self.config.min_fraction.clamp(0.0, 1.0);
+        let mut hi = self.config.max_fraction.clamp(0.0, 1.0);
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        (
+            Point::new(area.width() * lo, area.height() * lo),
+            Point::new(area.width() * hi, area.height() * hi),
+        )
+    }
+}
+
+impl PlacementHeuristic for NearPlacement {
+    fn name(&self) -> &'static str {
+        "Near"
+    }
+
+    fn place(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> Placement {
+        let n = instance.router_count();
+        let (lo, hi) = self.rectangle(instance);
+        let (w, h) = (hi.x - lo.x, hi.y - lo.y);
+        // Near-square cell grid with at least n cells.
+        let cols = (n as f64).sqrt().ceil().max(1.0) as usize;
+        let rows = n.div_ceil(cols);
+        let mut pattern = Vec::with_capacity(n);
+        for i in 0..n {
+            let (cx, cy) = (i % cols, i / cols);
+            pattern.push(Point::new(
+                lo.x + w * (cx as f64 + 0.5) / cols as f64,
+                lo.y + h * (cy as f64 + 0.5) / rows as f64,
+            ));
+        }
+        self.config.pattern.apply(instance, pattern, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+
+    fn paper_instance() -> ProblemInstance {
+        InstanceSpec::paper_uniform().unwrap().generate(1).unwrap()
+    }
+
+    #[test]
+    fn routers_sit_in_the_central_rectangle() {
+        let inst = paper_instance();
+        let p = NearPlacement::default().place(&inst, &mut rng_from_seed(5));
+        assert!(inst.validate_placement(&p).is_ok());
+        let central = p
+            .as_slice()
+            .iter()
+            .filter(|q| q.x >= 28.0 && q.x <= 100.0 && q.y >= 28.0 && q.y <= 100.0)
+            .count();
+        assert!(central >= 55, "most routers central, got {central}/64");
+    }
+
+    #[test]
+    fn exact_grid_fills_rows_and_columns() {
+        let inst = paper_instance();
+        let m = NearPlacement::new(NearConfig {
+            pattern: PatternConfig::exact(),
+            ..NearConfig::default()
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        // 64 routers -> 8x8 grid in [32, 96]^2: distinct xs = 8, distinct ys = 8.
+        let mut xs: Vec<i64> = p.as_slice().iter().map(|q| (q.x * 1000.0) as i64).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        assert_eq!(xs.len(), 8);
+        let inside = p
+            .as_slice()
+            .iter()
+            .all(|q| q.x > 32.0 && q.x < 96.0 && q.y > 32.0 && q.y < 96.0);
+        assert!(inside);
+    }
+
+    #[test]
+    fn inverted_fractions_are_normalized() {
+        let inst = paper_instance();
+        let m = NearPlacement::new(NearConfig {
+            min_fraction: 0.75,
+            max_fraction: 0.25,
+            pattern: PatternConfig::exact(),
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        assert!(inst.validate_placement(&p).is_ok());
+        assert!(p.as_slice().iter().all(|q| q.x >= 32.0 && q.x <= 96.0));
+    }
+
+    #[test]
+    fn degenerate_rectangle_collapses_to_point_grid() {
+        let inst = paper_instance();
+        let m = NearPlacement::new(NearConfig {
+            min_fraction: 0.5,
+            max_fraction: 0.5,
+            pattern: PatternConfig::exact(),
+        });
+        let p = m.place(&inst, &mut rng_from_seed(1));
+        assert!(p
+            .as_slice()
+            .iter()
+            .all(|q| (q.x - 64.0).abs() < 1e-9 && (q.y - 64.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn always_applicable() {
+        assert!(NearPlacement::default()
+            .check_applicable(&paper_instance())
+            .is_ok());
+    }
+}

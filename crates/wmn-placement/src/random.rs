@@ -1,0 +1,99 @@
+//! **Random** placement (paper §3, method 1).
+//!
+//! "Mesh router nodes are uniformly at random distributed in the grid
+//! area." The baseline every other method is compared against.
+
+use crate::method::{PatternConfig, PlacementHeuristic};
+use rand::{Rng, RngCore};
+use wmn_model::geometry::Point;
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
+
+/// Uniform random placement over the whole area.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_placement::method::PlacementHeuristic;
+/// use wmn_placement::random::RandomPlacement;
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(2);
+/// let placement = RandomPlacement::default().place(&instance, &mut rng);
+/// instance.validate_placement(&placement)?;
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RandomPlacement {
+    _private: (),
+}
+
+impl RandomPlacement {
+    /// Creates the method.
+    pub fn new() -> Self {
+        RandomPlacement::default()
+    }
+}
+
+impl PlacementHeuristic for RandomPlacement {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn place(&self, instance: &ProblemInstance, rng: &mut dyn RngCore) -> Placement {
+        let area = instance.area();
+        let pattern: Vec<Point> = (0..instance.router_count())
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..=area.width()),
+                    rng.gen_range(0.0..=area.height()),
+                )
+            })
+            .collect();
+        // Adherence/jitter are identities for a uniform pattern; apply with
+        // the exact config to share the clamp/validate path.
+        PatternConfig::exact().apply(instance, pattern, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+
+    #[test]
+    fn placement_is_valid_and_deterministic() {
+        let inst = InstanceSpec::paper_uniform().unwrap().generate(1).unwrap();
+        let m = RandomPlacement::new();
+        let a = m.place(&inst, &mut rng_from_seed(9));
+        let b = m.place(&inst, &mut rng_from_seed(9));
+        assert_eq!(a, b);
+        assert!(inst.validate_placement(&a).is_ok());
+        assert_eq!(m.name(), "Random");
+    }
+
+    #[test]
+    fn spreads_over_all_quadrants() {
+        let inst = InstanceSpec::paper_uniform().unwrap().generate(2).unwrap();
+        let p = RandomPlacement::new().place(&inst, &mut rng_from_seed(1));
+        let c = inst.area().center();
+        let quads = [
+            p.as_slice().iter().any(|q| q.x < c.x && q.y < c.y),
+            p.as_slice().iter().any(|q| q.x >= c.x && q.y < c.y),
+            p.as_slice().iter().any(|q| q.x < c.x && q.y >= c.y),
+            p.as_slice().iter().any(|q| q.x >= c.x && q.y >= c.y),
+        ];
+        assert!(
+            quads.iter().all(|&b| b),
+            "64 uniform points hit all quadrants"
+        );
+    }
+
+    #[test]
+    fn always_applicable() {
+        let inst = InstanceSpec::paper_uniform().unwrap().generate(3).unwrap();
+        assert!(RandomPlacement::new().check_applicable(&inst).is_ok());
+    }
+}

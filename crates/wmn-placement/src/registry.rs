@@ -1,0 +1,201 @@
+//! Registry of the seven ad hoc methods.
+//!
+//! [`AdHocMethod`] enumerates the paper's methods in table order and
+//! constructs default-configured heuristics, which is what the experiment
+//! harness iterates over.
+
+use crate::col_left::ColLeftPlacement;
+use crate::corners::CornersPlacement;
+use crate::cross::CrossPlacement;
+use crate::diag::DiagPlacement;
+use crate::hotspot::HotSpotPlacement;
+use crate::method::PlacementHeuristic;
+use crate::near::NearPlacement;
+use crate::random::RandomPlacement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The seven ad hoc methods, in the order of the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdHocMethod {
+    /// Uniform random placement.
+    Random,
+    /// Left-column placement.
+    ColLeft,
+    /// Main-diagonal placement.
+    Diag,
+    /// Both-diagonals placement.
+    Cross,
+    /// Central-rectangle placement.
+    Near,
+    /// Four-corners placement.
+    Corners,
+    /// Density-driven placement.
+    HotSpot,
+}
+
+impl AdHocMethod {
+    /// All seven methods in table order.
+    pub fn all() -> [AdHocMethod; 7] {
+        [
+            AdHocMethod::Random,
+            AdHocMethod::ColLeft,
+            AdHocMethod::Diag,
+            AdHocMethod::Cross,
+            AdHocMethod::Near,
+            AdHocMethod::Corners,
+            AdHocMethod::HotSpot,
+        ]
+    }
+
+    /// The method's stable name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdHocMethod::Random => "Random",
+            AdHocMethod::ColLeft => "ColLeft",
+            AdHocMethod::Diag => "Diag",
+            AdHocMethod::Cross => "Cross",
+            AdHocMethod::Near => "Near",
+            AdHocMethod::Corners => "Corners",
+            AdHocMethod::HotSpot => "HotSpot",
+        }
+    }
+
+    /// Constructs a default-configured heuristic for this method.
+    pub fn heuristic(&self) -> Box<dyn PlacementHeuristic> {
+        match self {
+            AdHocMethod::Random => Box::new(RandomPlacement::default()),
+            AdHocMethod::ColLeft => Box::new(ColLeftPlacement::default()),
+            AdHocMethod::Diag => Box::new(DiagPlacement::default()),
+            AdHocMethod::Cross => Box::new(CrossPlacement::default()),
+            AdHocMethod::Near => Box::new(NearPlacement::default()),
+            AdHocMethod::Corners => Box::new(CornersPlacement::default()),
+            AdHocMethod::HotSpot => Box::new(HotSpotPlacement::default()),
+        }
+    }
+}
+
+impl fmt::Display for AdHocMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing an [`AdHocMethod`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMethodError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseMethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown placement method {:?} (expected one of random, colleft, diag, cross, near, corners, hotspot)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseMethodError {}
+
+impl FromStr for AdHocMethod {
+    type Err = ParseMethodError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "random" => Ok(AdHocMethod::Random),
+            "colleft" | "col-left" | "col_left" => Ok(AdHocMethod::ColLeft),
+            "diag" | "diagonal" => Ok(AdHocMethod::Diag),
+            "cross" => Ok(AdHocMethod::Cross),
+            "near" => Ok(AdHocMethod::Near),
+            "corners" => Ok(AdHocMethod::Corners),
+            "hotspot" | "hot-spot" | "hot_spot" => Ok(AdHocMethod::HotSpot),
+            _ => Err(ParseMethodError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+
+    #[test]
+    fn all_lists_seven_in_table_order() {
+        let names: Vec<&str> = AdHocMethod::all().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Random", "ColLeft", "Diag", "Cross", "Near", "Corners", "HotSpot"]
+        );
+    }
+
+    #[test]
+    fn every_method_places_validly_on_every_paper_instance() {
+        for spec in [
+            InstanceSpec::paper_uniform().unwrap(),
+            InstanceSpec::paper_normal().unwrap(),
+            InstanceSpec::paper_exponential().unwrap(),
+            InstanceSpec::paper_weibull().unwrap(),
+        ] {
+            let inst = spec.generate(42).unwrap();
+            for method in AdHocMethod::all() {
+                let h = method.heuristic();
+                let p = h.place(&inst, &mut rng_from_seed(7));
+                assert!(
+                    inst.validate_placement(&p).is_ok(),
+                    "{method} produced an invalid placement"
+                );
+                assert_eq!(h.name(), method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for m in AdHocMethod::all() {
+            assert_eq!(m.name().parse::<AdHocMethod>().unwrap(), m);
+            assert_eq!(m.name().to_lowercase().parse::<AdHocMethod>().unwrap(), m);
+        }
+        assert!("frobnicate".parse::<AdHocMethod>().is_err());
+        assert_eq!(
+            "col-left".parse::<AdHocMethod>().unwrap(),
+            AdHocMethod::ColLeft
+        );
+        assert_eq!(
+            "hot_spot".parse::<AdHocMethod>().unwrap(),
+            AdHocMethod::HotSpot
+        );
+    }
+
+    #[test]
+    fn parse_error_is_descriptive() {
+        let err = "nope".parse::<AdHocMethod>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn methods_differ_in_output() {
+        let inst = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let placements: Vec<_> = AdHocMethod::all()
+            .iter()
+            .map(|m| m.heuristic().place(&inst, &mut rng_from_seed(3)))
+            .collect();
+        for i in 0..placements.len() {
+            for j in (i + 1)..placements.len() {
+                assert_ne!(
+                    placements[i],
+                    placements[j],
+                    "{} and {} coincide",
+                    AdHocMethod::all()[i],
+                    AdHocMethod::all()[j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,617 @@
+//! Movement types: local perturbations of a placement.
+//!
+//! Paper §4 defines neighborhood structure through a **movement type**. Two
+//! are evaluated: a purely random relocation ([`RandomMovement`]) and the
+//! **swap movement** of Algorithm 3 ([`SwapMovement`]) — "the worst router
+//! (that of smallest radio coverage) in the most dense area is exchanged
+//! with the best router (that of largest radio coverage) of the sparsest
+//! area", promoting the best routers into the densest client zones.
+//!
+//! The paper leaves one case unspecified: the densest client area may
+//! contain **no router at all** (common early in a search). Following the
+//! movement's stated intent, [`SwapMovement`] then relocates the sparse
+//! area's strongest router into the dense area ("swap with an empty slot").
+//! This gap-fill is documented in DESIGN.md and exercised by tests.
+
+use rand::{Rng, RngCore};
+use std::fmt;
+use wmn_graph::density::{CellWindow, DensityMap};
+use wmn_graph::topology::WmnTopology;
+use wmn_model::geometry::{Point, Rect};
+use wmn_model::instance::ProblemInstance;
+use wmn_model::node::RouterId;
+
+/// A concrete, applicable local perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MoveAction {
+    /// Move one router to a new position.
+    Relocate {
+        /// The router to move.
+        router: RouterId,
+        /// Destination (clamped into the area on application).
+        to: Point,
+    },
+    /// Exchange the positions of two routers (radii stay with their
+    /// routers).
+    Swap {
+        /// First router.
+        a: RouterId,
+        /// Second router.
+        b: RouterId,
+    },
+}
+
+/// Token to revert an applied [`MoveAction`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UndoAction(MoveAction);
+
+impl MoveAction {
+    /// Applies the move to a topology, returning the undo token.
+    pub fn apply(&self, topo: &mut WmnTopology) -> UndoAction {
+        match *self {
+            MoveAction::Relocate { router, to } => {
+                let old = topo.move_router(router, to);
+                UndoAction(MoveAction::Relocate { router, to: old })
+            }
+            MoveAction::Swap { a, b } => {
+                topo.swap_routers(a, b);
+                UndoAction(MoveAction::Swap { a, b })
+            }
+        }
+    }
+}
+
+impl UndoAction {
+    /// Reverts the move this token was produced by.
+    pub fn undo(self, topo: &mut WmnTopology) {
+        let _ = self.0.apply(topo);
+    }
+}
+
+/// A movement type: proposes candidate perturbations of the current state.
+///
+/// Movements are constructed against a fixed instance (client positions
+/// never change), then propose moves against evolving topologies.
+pub trait Movement: fmt::Debug {
+    /// Short stable name (used by figure legends): `"Swap"`, `"Random"`.
+    fn name(&self) -> &'static str;
+
+    /// Proposes one candidate move for the current topology.
+    fn propose(&self, topo: &WmnTopology, rng: &mut dyn RngCore) -> MoveAction;
+}
+
+/// Purely random relocation: a uniformly chosen router moves to a uniformly
+/// chosen position (the paper's random-movement baseline of Figure 4).
+#[derive(Debug, Clone)]
+pub struct RandomMovement {
+    width: f64,
+    height: f64,
+}
+
+impl RandomMovement {
+    /// Creates the movement for `instance`'s area.
+    pub fn new(instance: &ProblemInstance) -> Self {
+        RandomMovement {
+            width: instance.area().width(),
+            height: instance.area().height(),
+        }
+    }
+}
+
+impl Movement for RandomMovement {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn propose(&self, topo: &WmnTopology, rng: &mut dyn RngCore) -> MoveAction {
+        let router = RouterId(rng.gen_range(0..topo.router_count()));
+        let to = Point::new(
+            rng.gen_range(0.0..=self.width),
+            rng.gen_range(0.0..=self.height),
+        );
+        MoveAction::Relocate { router, to }
+    }
+}
+
+/// Configuration for [`SwapMovement`] (paper Algorithm 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapConfig {
+    /// Density grid resolution (`cells × cells` over the area).
+    pub cells: usize,
+    /// Dense/sparse window size in cells (`Hg = Wg = window_cells`).
+    pub window_cells: usize,
+    /// How many of the top dense windows to sample among (randomizing the
+    /// neighborhood so Algorithm 2 has distinct candidates to examine).
+    pub dense_candidates: usize,
+    /// How many of the bottom sparse windows to sample among.
+    pub sparse_candidates: usize,
+    /// Minimum client count for a window to qualify as "dense" (the
+    /// paper's dense threshold).
+    pub dense_threshold: u64,
+    /// Maximum client count for a window to qualify as "sparse" (the
+    /// paper's sparse threshold).
+    pub sparse_threshold: u64,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig {
+            cells: 16,
+            window_cells: 2,
+            dense_candidates: 4,
+            sparse_candidates: 4,
+            dense_threshold: 1,
+            sparse_threshold: u64::MAX,
+        }
+    }
+}
+
+/// The swap movement of Algorithm 3.
+///
+/// Per proposal:
+/// 1. pick a *dense* window among the top client-count windows;
+/// 2. pick a *sparse* window among the bottom client-count windows that
+///    still contain at least one router;
+/// 3. find the **weakest** router inside the dense window and the
+///    **strongest** router inside the sparse window;
+/// 4. swap their positions — or, when the dense window holds no router,
+///    relocate the strong router into the dense window (documented
+///    gap-fill).
+///
+/// # Examples
+///
+/// ```
+/// use wmn_search::movement::{Movement, SwapMovement};
+/// use wmn_graph::topology::{TopologyConfig, WmnTopology};
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(1)?;
+/// let mut rng = rng_from_seed(2);
+/// let placement = instance.random_placement(&mut rng);
+/// let topo = WmnTopology::build(&instance, &placement, TopologyConfig::paper_default())?;
+///
+/// let movement = SwapMovement::new(&instance, Default::default());
+/// let action = movement.propose(&topo, &mut rng);
+/// println!("proposed {action:?}");
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwapMovement {
+    config: SwapConfig,
+    client_map: DensityMap,
+    /// All disjoint windows ranked by client count, descending. Computed
+    /// once — client positions are fixed per instance.
+    ranked_zones: Vec<CellWindow>,
+}
+
+impl SwapMovement {
+    /// Creates the movement for `instance` with the given configuration.
+    pub fn new(instance: &ProblemInstance, config: SwapConfig) -> Self {
+        let cells = config.cells.max(1);
+        let client_map =
+            DensityMap::from_points(&instance.area(), &instance.client_positions(), cells, cells);
+        let ranked_zones = client_map.ranked_disjoint_windows(
+            config.window_cells,
+            config.window_cells,
+            usize::MAX,
+        );
+        SwapMovement {
+            config,
+            client_map,
+            ranked_zones,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SwapConfig {
+        &self.config
+    }
+
+    fn routers_in(&self, topo: &WmnTopology, rect: &Rect) -> Vec<RouterId> {
+        (0..topo.router_count())
+            .map(RouterId)
+            .filter(|&id| rect.contains(topo.position(id)))
+            .collect()
+    }
+
+    fn weakest(&self, topo: &WmnTopology, ids: &[RouterId]) -> Option<RouterId> {
+        ids.iter().copied().min_by(|&a, &b| {
+            topo.radius(a)
+                .partial_cmp(&topo.radius(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index().cmp(&b.index()))
+        })
+    }
+
+    fn strongest(&self, topo: &WmnTopology, ids: &[RouterId]) -> Option<RouterId> {
+        ids.iter().copied().max_by(|&a, &b| {
+            topo.radius(a)
+                .partial_cmp(&topo.radius(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.index().cmp(&a.index()))
+        })
+    }
+
+    fn fallback_random(&self, topo: &WmnTopology, rng: &mut dyn RngCore) -> MoveAction {
+        let area = self.client_map.area();
+        MoveAction::Relocate {
+            router: RouterId(rng.gen_range(0..topo.router_count())),
+            to: Point::new(
+                rng.gen_range(0.0..=area.width()),
+                rng.gen_range(0.0..=area.height()),
+            ),
+        }
+    }
+}
+
+impl Movement for SwapMovement {
+    fn name(&self) -> &'static str {
+        "Swap"
+    }
+
+    fn propose(&self, topo: &WmnTopology, rng: &mut dyn RngCore) -> MoveAction {
+        // Current router occupancy per zone (zones are disjoint, so each
+        // router maps to at most one).
+        let mut routers_per_zone = vec![0usize; self.ranked_zones.len()];
+        for i in 0..topo.router_count() {
+            let p = topo.position(RouterId(i));
+            for (zi, z) in self.ranked_zones.iter().enumerate() {
+                if self.client_map.window_rect(z).contains(p) {
+                    routers_per_zone[zi] += 1;
+                    break;
+                }
+            }
+        }
+
+        // The paper's "dense threshold", operationalized as a router
+        // deficit: a dense zone keeps attracting routers while it holds
+        // fewer than clients/kappa of them (kappa = clients per router in
+        // the whole instance). Zones are examined in client-count order, so
+        // the densest under-served zone ranks first.
+        let total_clients: f64 = self.client_map.total() as f64;
+        let kappa = (total_clients / topo.router_count() as f64).max(1.0);
+        let dense_pool: Vec<usize> = (0..self.ranked_zones.len())
+            .filter(|&zi| {
+                let clients = self.client_map.window_count(&self.ranked_zones[zi]);
+                clients >= self.config.dense_threshold.max(1)
+                    && (clients as f64) / kappa > routers_per_zone[zi] as f64
+            })
+            .take(self.config.dense_candidates.max(1))
+            .collect();
+
+        // Step 3: the dense target. With a deficit somewhere, the dense zone
+        // is an under-served one (relocate mode); otherwise it is the
+        // densest zone that holds a router (literal swap mode).
+        let relocate_mode = !dense_pool.is_empty();
+        let dense_zi = if relocate_mode {
+            *pick(&dense_pool, rng).expect("nonempty pool")
+        } else {
+            match (0..self.ranked_zones.len()).find(|&zi| routers_per_zone[zi] > 0) {
+                Some(zi) => zi,
+                None => return self.fallback_random(topo, rng),
+            }
+        };
+        let dense_rect = self.client_map.window_rect(&self.ranked_zones[dense_zi]);
+
+        // Step 5 of Algorithm 3: the sparsest zones that still hold a
+        // router to take the strong one from (never the dense zone itself).
+        let sparse_pool: Vec<usize> = (0..self.ranked_zones.len())
+            .rev()
+            .filter(|&zi| {
+                zi != dense_zi
+                    && self.client_map.window_count(&self.ranked_zones[zi])
+                        <= self.config.sparse_threshold
+                    && routers_per_zone[zi] > 0
+            })
+            .take(self.config.sparse_candidates.max(1))
+            .collect();
+        let Some(&sparse_zi) = pick(&sparse_pool, rng) else {
+            return self.fallback_random(topo, rng);
+        };
+        // A "sparse" zone at least as client-heavy as the dense target means
+        // the zone structure is degenerate; fall back rather than swap
+        // backwards.
+        if self.client_map.window_count(&self.ranked_zones[sparse_zi])
+            > self.client_map.window_count(&self.ranked_zones[dense_zi])
+        {
+            return self.fallback_random(topo, rng);
+        }
+        let sparse_rect = self.client_map.window_rect(&self.ranked_zones[sparse_zi]);
+
+        // Step 6: most powerful router within the sparse area. In relocate
+        // mode prefer a router *outside* the giant component — pulling a
+        // giant member out would tear down the connectivity the move is
+        // meant to build.
+        let sparse_routers = self.routers_in(topo, &sparse_rect);
+        let strong = if relocate_mode {
+            let non_giant: Vec<RouterId> = sparse_routers
+                .iter()
+                .copied()
+                .filter(|&id| !topo.in_giant(id))
+                .collect();
+            self.strongest(topo, &non_giant)
+                .or_else(|| self.strongest(topo, &sparse_routers))
+        } else {
+            self.strongest(topo, &sparse_routers)
+        };
+        let Some(strong) = strong else {
+            return self.fallback_random(topo, rng);
+        };
+
+        if relocate_mode {
+            // Under-served dense zone: pull the strong router in ("swap with
+            // an empty slot" — the documented gap-fill). The landing spot is
+            // anchored within link range of an existing router — a dense-
+            // zone occupant when there is one, otherwise the giant-component
+            // member closest to the zone — and biased toward the zone
+            // center, so each accepted move both extends the mesh ("re-
+            // establish mesh nodes network connections") and marches it
+            // onto the client mass. An unanchored landing almost never
+            // links under the mutual-range rule and would be rejected by
+            // the improvement-only acceptance of Algorithm 1.
+            let center = dense_rect.center();
+            let mut occupants = self.routers_in(topo, &dense_rect);
+            occupants.retain(|&id| id != strong);
+            let anchor = pick(&occupants, rng).copied().or_else(|| {
+                (0..topo.router_count())
+                    .map(RouterId)
+                    .filter(|&id| id != strong && topo.in_giant(id))
+                    .min_by(|&a, &b| {
+                        let da = topo.position(a).distance_squared(center);
+                        let db = topo.position(b).distance_squared(center);
+                        da.partial_cmp(&db)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.index().cmp(&b.index()))
+                    })
+            });
+            let to = match anchor {
+                Some(anchor) => {
+                    let a = topo.position(anchor);
+                    let reach = topo.radius(anchor).min(topo.radius(strong));
+                    let toward = (center.y - a.y).atan2(center.x - a.x);
+                    let angle = toward + rng.gen_range(-1.0..1.0);
+                    let dist = reach * rng.gen_range(0.4..0.95);
+                    Point::new(a.x + dist * angle.cos(), a.y + dist * angle.sin())
+                }
+                None => Point::new(
+                    rng.gen_range(dense_rect.min().x..=dense_rect.max().x),
+                    rng.gen_range(dense_rect.min().y..=dense_rect.max().y),
+                ),
+            };
+            return MoveAction::Relocate { router: strong, to };
+        }
+
+        // Step 4 + 7: the literal Algorithm 3 swap — weakest router of the
+        // dense zone exchanges positions with the strong one.
+        let dense_routers = self.routers_in(topo, &dense_rect);
+        match self.weakest(topo, &dense_routers) {
+            Some(weak) if weak != strong => MoveAction::Swap { a: weak, b: strong },
+            _ => self.fallback_random(topo, rng),
+        }
+    }
+}
+
+/// Uniformly picks an element of a slice, or `None` when empty.
+fn pick<'a, T>(pool: &'a [T], rng: &mut dyn RngCore) -> Option<&'a T> {
+    if pool.is_empty() {
+        None
+    } else {
+        Some(&pool[rng.gen_range(0..pool.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_graph::topology::TopologyConfig;
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::placement::Placement;
+    use wmn_model::rng::rng_from_seed;
+
+    fn setup(seed: u64) -> (ProblemInstance, WmnTopology) {
+        let instance = InstanceSpec::paper_normal()
+            .unwrap()
+            .generate(seed)
+            .unwrap();
+        let mut rng = rng_from_seed(seed ^ 0xF00D);
+        let placement = instance.random_placement(&mut rng);
+        let topo =
+            WmnTopology::build(&instance, &placement, TopologyConfig::paper_default()).unwrap();
+        (instance, topo)
+    }
+
+    #[test]
+    fn apply_then_undo_restores_state() {
+        let (instance, mut topo) = setup(1);
+        let mut rng = rng_from_seed(2);
+        let movements: Vec<Box<dyn Movement>> = vec![
+            Box::new(RandomMovement::new(&instance)),
+            Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+        ];
+        for movement in &movements {
+            for _ in 0..20 {
+                let snapshot = (topo.giant_size(), topo.covered_count(), topo.placement());
+                let action = movement.propose(&topo, &mut rng);
+                let undo = action.apply(&mut topo);
+                undo.undo(&mut topo);
+                assert_eq!(
+                    (topo.giant_size(), topo.covered_count(), topo.placement()),
+                    snapshot,
+                    "{} move not undone cleanly",
+                    movement.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_movement_targets_every_router_eventually() {
+        let (instance, topo) = setup(3);
+        let movement = RandomMovement::new(&instance);
+        let mut rng = rng_from_seed(5);
+        let mut hit = vec![false; topo.router_count()];
+        for _ in 0..4000 {
+            if let MoveAction::Relocate { router, .. } = movement.propose(&topo, &mut rng) {
+                hit[router.index()] = true;
+            }
+        }
+        assert!(hit.iter().all(|&b| b), "some router never proposed");
+    }
+
+    #[test]
+    fn swap_proposals_are_swaps_or_dense_relocations() {
+        let (instance, topo) = setup(7);
+        let movement = SwapMovement::new(&instance, SwapConfig::default());
+        let mut rng = rng_from_seed(11);
+        let mut swaps = 0;
+        let mut relocations = 0;
+        for _ in 0..200 {
+            match movement.propose(&topo, &mut rng) {
+                MoveAction::Swap { a, b } => {
+                    assert_ne!(a, b);
+                    swaps += 1;
+                }
+                MoveAction::Relocate { .. } => relocations += 1,
+            }
+        }
+        assert_eq!(swaps + relocations, 200);
+        // On a random placement over a Normal client cluster both kinds
+        // occur across 200 proposals.
+        assert!(
+            relocations > 0,
+            "dense windows start empty: expect relocations"
+        );
+    }
+
+    #[test]
+    fn swap_swaps_weak_in_dense_with_strong_in_sparse() {
+        // No-deficit scenario (both zones hold their fair share of routers,
+        // kappa = 40 clients / 4 routers = 10):
+        //   zone A: 30 clients, 3 routers (needs 3) — weakest is router 0;
+        //   zone B: 10 clients, 1 router (needs 1) — the strong router 3.
+        // The literal Algorithm 3 swap must pair router 0 with router 3.
+        use wmn_model::geometry::Point;
+        use wmn_model::instance::InstanceBuilder;
+        use wmn_model::radio::RadioProfile;
+        let area = wmn_model::Area::square(128.0).unwrap();
+        let prof = RadioProfile::new(2.0, 8.0).unwrap();
+        let instance = InstanceBuilder::new(area)
+            .router(prof, 2.0) // weakest, in dense zone A
+            .router(prof, 5.0) // in zone A
+            .router(prof, 6.0) // in zone A
+            .router(prof, 8.0) // strongest, in sparse zone B
+            .clients((0..30).map(|i| Point::new(2.0 + (i % 6) as f64, 2.0 + (i / 6) as f64 * 2.0)))
+            .clients(
+                (0..10).map(|i| Point::new(100.0 + (i % 4) as f64, 100.0 + (i / 4) as f64 * 2.0)),
+            )
+            .build()
+            .unwrap();
+        let placement = Placement::from_points(vec![
+            Point::new(6.0, 6.0),
+            Point::new(10.0, 10.0),
+            Point::new(12.0, 4.0),
+            Point::new(104.0, 104.0),
+        ]);
+        let topo =
+            WmnTopology::build(&instance, &placement, TopologyConfig::paper_default()).unwrap();
+        let movement = SwapMovement::new(&instance, SwapConfig::default());
+        let mut rng = rng_from_seed(1);
+        let mut saw_target_swap = false;
+        for _ in 0..100 {
+            if let MoveAction::Swap { a, b } = movement.propose(&topo, &mut rng) {
+                assert_eq!(
+                    (a, b),
+                    (RouterId(0), RouterId(3)),
+                    "swap must pair weak-in-dense with strong-in-sparse"
+                );
+                saw_target_swap = true;
+            }
+        }
+        assert!(saw_target_swap, "the canonical swap was never proposed");
+    }
+
+    #[test]
+    fn swap_relocates_lone_router_into_empty_dense_zone() {
+        // A single router far from the client cluster: no anchor exists, so
+        // the gap-fill lands the router uniformly inside the dense window.
+        use wmn_model::geometry::Point;
+        use wmn_model::instance::InstanceBuilder;
+        use wmn_model::radio::RadioProfile;
+        let area = wmn_model::Area::square(128.0).unwrap();
+        let prof = RadioProfile::new(2.0, 8.0).unwrap();
+        let instance = InstanceBuilder::new(area)
+            .router(prof, 8.0)
+            .clients((0..40).map(|i| Point::new(4.0 + (i % 8) as f64, 4.0 + (i / 8) as f64)))
+            .build()
+            .unwrap();
+        let placement = Placement::from_points(vec![Point::new(100.0, 100.0)]);
+        let topo =
+            WmnTopology::build(&instance, &placement, TopologyConfig::paper_default()).unwrap();
+        let movement = SwapMovement::new(&instance, SwapConfig::default());
+        let mut rng = rng_from_seed(1);
+        let mut landed_in_cluster_window = false;
+        for _ in 0..100 {
+            if let MoveAction::Relocate { router, to } = movement.propose(&topo, &mut rng) {
+                if router == RouterId(0) && to.x < 32.0 && to.y < 32.0 {
+                    landed_in_cluster_window = true;
+                }
+            }
+        }
+        assert!(
+            landed_in_cluster_window,
+            "empty dense zone must pull the router in"
+        );
+    }
+
+    #[test]
+    fn swap_relocation_lands_within_link_range_of_an_anchor() {
+        // Dense zone already occupied: the incoming router must land within
+        // mutual link range of an occupant so the move can improve
+        // connectivity.
+        use wmn_model::geometry::Point;
+        use wmn_model::instance::InstanceBuilder;
+        use wmn_model::radio::RadioProfile;
+        let area = wmn_model::Area::square(128.0).unwrap();
+        let prof = RadioProfile::new(2.0, 8.0).unwrap();
+        let instance = InstanceBuilder::new(area)
+            .router(prof, 6.0) // anchor, sits on the cluster
+            .router(prof, 8.0) // strong, far away
+            .clients((0..60).map(|i| Point::new(4.0 + (i % 8) as f64, 4.0 + (i / 8) as f64)))
+            .build()
+            .unwrap();
+        let placement =
+            Placement::from_points(vec![Point::new(8.0, 8.0), Point::new(100.0, 100.0)]);
+        let topo =
+            WmnTopology::build(&instance, &placement, TopologyConfig::paper_default()).unwrap();
+        let movement = SwapMovement::new(&instance, SwapConfig::default());
+        let mut rng = rng_from_seed(2);
+        let mut anchored = 0;
+        let mut relocations = 0;
+        for _ in 0..200 {
+            if let MoveAction::Relocate { router, to } = movement.propose(&topo, &mut rng) {
+                relocations += 1;
+                if router == RouterId(1) {
+                    let d = to.distance(Point::new(8.0, 8.0));
+                    if d <= 6.0 {
+                        anchored += 1; // within min(6, 8) of the anchor
+                    }
+                }
+            }
+        }
+        assert!(relocations > 0);
+        assert!(
+            anchored * 2 >= relocations,
+            "most relocations should land in link range of the anchor: {anchored}/{relocations}"
+        );
+    }
+
+    #[test]
+    fn movement_names() {
+        let (instance, _) = setup(1);
+        assert_eq!(RandomMovement::new(&instance).name(), "Random");
+        assert_eq!(
+            SwapMovement::new(&instance, SwapConfig::default()).name(),
+            "Swap"
+        );
+    }
+}

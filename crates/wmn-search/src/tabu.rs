@@ -1,0 +1,281 @@
+//! Tabu search over placements.
+//!
+//! Extension beyond the paper: the search always moves to the best
+//! non-tabu neighbor — even when it is worse than the current solution —
+//! while a short-term memory (the tabu list of recently touched routers)
+//! prevents cycling. An aspiration criterion overrides the tabu when a
+//! move would beat the best solution ever seen.
+
+use crate::movement::{MoveAction, Movement};
+use crate::trace::{PhaseRecord, SearchTrace};
+use rand::RngCore;
+use std::collections::VecDeque;
+use wmn_metrics::evaluator::{Evaluation, Evaluator};
+use wmn_model::node::RouterId;
+use wmn_model::placement::Placement;
+use wmn_model::ModelError;
+
+/// Configuration for [`TabuSearch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TabuConfig {
+    /// Tabu tenure: how many phases a touched router stays tabu.
+    pub tenure: usize,
+    /// Candidate moves sampled per phase.
+    pub candidates_per_phase: usize,
+    /// Number of phases.
+    pub phases: usize,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        TabuConfig {
+            tenure: 8,
+            candidates_per_phase: 32,
+            phases: 61,
+        }
+    }
+}
+
+/// Result of a tabu search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabuOutcome {
+    /// Best placement encountered anywhere in the run.
+    pub best_placement: Placement,
+    /// Evaluation of the best placement.
+    pub best_evaluation: Evaluation,
+    /// Evaluation of the initial placement.
+    pub initial_evaluation: Evaluation,
+    /// Per-phase history (current solution per phase).
+    pub trace: SearchTrace,
+    /// Phases where the aspiration criterion overrode a tabu.
+    pub aspirations: usize,
+}
+
+/// Tabu search bound to an evaluator and a movement.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_metrics::Evaluator;
+/// use wmn_model::prelude::*;
+/// use wmn_search::movement::{SwapConfig, SwapMovement};
+/// use wmn_search::tabu::{TabuConfig, TabuSearch};
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(8)?;
+/// let evaluator = Evaluator::paper_default(&instance);
+/// let tabu = TabuSearch::new(
+///     &evaluator,
+///     Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+///     TabuConfig { phases: 5, ..TabuConfig::default() },
+/// );
+/// let mut rng = rng_from_seed(3);
+/// let initial = instance.random_placement(&mut rng);
+/// let outcome = tabu.run(&initial, &mut rng)?;
+/// assert!(outcome.best_evaluation.fitness >= outcome.initial_evaluation.fitness);
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct TabuSearch<'e, 'i> {
+    evaluator: &'e Evaluator<'i>,
+    movement: Box<dyn Movement>,
+    config: TabuConfig,
+}
+
+fn touched_routers(action: &MoveAction) -> [Option<RouterId>; 2] {
+    match *action {
+        MoveAction::Relocate { router, .. } => [Some(router), None],
+        MoveAction::Swap { a, b } => [Some(a), Some(b)],
+    }
+}
+
+impl<'e, 'i> TabuSearch<'e, 'i> {
+    /// Creates a tabu search.
+    pub fn new(
+        evaluator: &'e Evaluator<'i>,
+        movement: Box<dyn Movement>,
+        config: TabuConfig,
+    ) -> Self {
+        TabuSearch {
+            evaluator,
+            movement,
+            config,
+        }
+    }
+
+    /// Runs from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation for `initial`.
+    pub fn run(
+        &self,
+        initial: &Placement,
+        rng: &mut dyn RngCore,
+    ) -> Result<TabuOutcome, ModelError> {
+        let mut topo = self.evaluator.topology(initial)?;
+        let initial_evaluation = self.evaluator.evaluate_topology(&topo);
+        let mut current = initial_evaluation;
+        let mut best_evaluation = initial_evaluation;
+        let mut best_placement = initial.clone();
+        let mut trace = SearchTrace::new();
+        // Tabu list: router -> phase until which it is tabu, kept as a FIFO
+        // of (router, expiry) with a parallel bitmap for O(1) checks.
+        let mut tabu_until = vec![0usize; topo.router_count()];
+        let mut fifo: VecDeque<RouterId> = VecDeque::new();
+        let mut aspirations = 0usize;
+
+        for phase in 1..=self.config.phases {
+            let mut chosen: Option<(MoveAction, Evaluation, bool)> = None;
+            for _ in 0..self.config.candidates_per_phase {
+                let action = self.movement.propose(&topo, rng);
+                let undo = action.apply(&mut topo);
+                let eval = self.evaluator.evaluate_topology(&topo);
+                undo.undo(&mut topo);
+
+                let is_tabu = touched_routers(&action)
+                    .into_iter()
+                    .flatten()
+                    .any(|r| tabu_until[r.index()] >= phase);
+                let aspires = eval.fitness > best_evaluation.fitness;
+                if is_tabu && !aspires {
+                    continue;
+                }
+                let better = match &chosen {
+                    None => true,
+                    Some((_, e, _)) => eval.fitness > e.fitness,
+                };
+                if better {
+                    chosen = Some((action, eval, is_tabu));
+                }
+            }
+
+            let accepted = if let Some((action, eval, was_tabu)) = chosen {
+                let _ = action.apply(&mut topo);
+                current = eval;
+                if was_tabu {
+                    aspirations += 1;
+                }
+                for r in touched_routers(&action).into_iter().flatten() {
+                    tabu_until[r.index()] = phase + self.config.tenure;
+                    fifo.push_back(r);
+                    if fifo.len() > 4 * self.config.tenure.max(1) {
+                        fifo.pop_front();
+                    }
+                }
+                if current.fitness > best_evaluation.fitness {
+                    best_evaluation = current;
+                    best_placement = topo.placement();
+                }
+                true
+            } else {
+                false
+            };
+
+            trace.push(PhaseRecord {
+                phase,
+                giant_size: current.giant_size(),
+                covered_clients: current.covered_clients(),
+                fitness: current.fitness,
+                accepted,
+            });
+        }
+
+        Ok(TabuOutcome {
+            best_placement,
+            best_evaluation,
+            initial_evaluation,
+            trace,
+            aspirations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movement::{RandomMovement, SwapConfig, SwapMovement};
+    use wmn_model::instance::InstanceSpec;
+    use wmn_model::rng::rng_from_seed;
+
+    #[test]
+    fn best_never_below_initial() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        let tabu = TabuSearch::new(
+            &evaluator,
+            Box::new(RandomMovement::new(&instance)),
+            TabuConfig {
+                phases: 15,
+                ..TabuConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(2);
+        let initial = instance.random_placement(&mut rng);
+        let outcome = tabu.run(&initial, &mut rng).unwrap();
+        assert!(outcome.best_evaluation.fitness >= outcome.initial_evaluation.fitness);
+        assert!(instance.validate_placement(&outcome.best_placement).is_ok());
+        assert_eq!(outcome.trace.len(), 15);
+    }
+
+    #[test]
+    fn improves_giant_component_with_swap_movement() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(3).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        let tabu = TabuSearch::new(
+            &evaluator,
+            Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+            TabuConfig {
+                phases: 25,
+                candidates_per_phase: 16,
+                ..TabuConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(4);
+        let initial = instance.random_placement(&mut rng);
+        let outcome = tabu.run(&initial, &mut rng).unwrap();
+        assert!(
+            outcome.best_evaluation.giant_size() >= outcome.initial_evaluation.giant_size() + 8
+        );
+    }
+
+    #[test]
+    fn moves_even_when_no_improvement_exists() {
+        // Unlike Algorithm 1's strict mode, tabu keeps moving: over many
+        // phases the number of accepted phases should equal the phase count
+        // (random relocations of distinct routers are almost never all tabu).
+        let instance = InstanceSpec::paper_normal().unwrap().generate(5).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        let tabu = TabuSearch::new(
+            &evaluator,
+            Box::new(RandomMovement::new(&instance)),
+            TabuConfig {
+                phases: 10,
+                tenure: 2,
+                candidates_per_phase: 16,
+            },
+        );
+        let mut rng = rng_from_seed(6);
+        let initial = instance.random_placement(&mut rng);
+        let outcome = tabu.run(&initial, &mut rng).unwrap();
+        assert_eq!(outcome.trace.accepted_count(), 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(7).unwrap();
+        let evaluator = Evaluator::paper_default(&instance);
+        let initial = instance.random_placement(&mut rng_from_seed(1));
+        let run = |seed| {
+            let tabu = TabuSearch::new(
+                &evaluator,
+                Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+                TabuConfig {
+                    phases: 8,
+                    ..TabuConfig::default()
+                },
+            );
+            tabu.run(&initial, &mut rng_from_seed(seed)).unwrap()
+        };
+        assert_eq!(run(9).trace, run(9).trace);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-phase search traces (the data behind Figure 4).
+
+use serde::{Deserialize, Serialize};
+use wmn_metrics::stats::Trace;
+
+/// What happened in one phase of neighborhood exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// 1-based phase number.
+    pub phase: usize,
+    /// Giant component size of the *current* solution after the phase.
+    pub giant_size: usize,
+    /// Covered clients of the current solution after the phase.
+    pub covered_clients: usize,
+    /// Scalar fitness of the current solution after the phase.
+    pub fitness: f64,
+    /// Whether the phase's best neighbor was accepted.
+    pub accepted: bool,
+}
+
+/// The full per-phase history of one search run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchTrace {
+    phases: Vec<PhaseRecord>,
+}
+
+impl SearchTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        SearchTrace::default()
+    }
+
+    /// Appends a phase record.
+    pub fn push(&mut self, record: PhaseRecord) {
+        self.phases.push(record);
+    }
+
+    /// All phase records in order.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// Number of recorded phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Returns `true` when no phases are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Number of phases whose best neighbor was accepted.
+    pub fn accepted_count(&self) -> usize {
+        self.phases.iter().filter(|p| p.accepted).count()
+    }
+
+    /// Converts to a named `(phase, giant_size)` series — the y-axis of the
+    /// paper's Figure 4.
+    pub fn giant_series(&self, name: impl Into<String>) -> Trace {
+        let mut t = Trace::new(name);
+        for p in &self.phases {
+            t.push(p.phase as f64, p.giant_size as f64);
+        }
+        t
+    }
+
+    /// Converts to a named `(phase, fitness)` series.
+    pub fn fitness_series(&self, name: impl Into<String>) -> Trace {
+        let mut t = Trace::new(name);
+        for p in &self.phases {
+            t.push(p.phase as f64, p.fitness);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(phase: usize, giant: usize, accepted: bool) -> PhaseRecord {
+        PhaseRecord {
+            phase,
+            giant_size: giant,
+            covered_clients: giant * 2,
+            fitness: giant as f64 / 64.0,
+            accepted,
+        }
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let mut t = SearchTrace::new();
+        assert!(t.is_empty());
+        t.push(record(1, 5, true));
+        t.push(record(2, 5, false));
+        t.push(record(3, 9, true));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.accepted_count(), 2);
+    }
+
+    #[test]
+    fn giant_series_mirrors_phases() {
+        let mut t = SearchTrace::new();
+        t.push(record(1, 3, true));
+        t.push(record(2, 8, true));
+        let s = t.giant_series("Swap");
+        assert_eq!(s.name(), "Swap");
+        assert_eq!(s.points(), &[(1.0, 3.0), (2.0, 8.0)]);
+        assert_eq!(s.max_y(), Some(8.0));
+    }
+
+    #[test]
+    fn fitness_series_mirrors_phases() {
+        let mut t = SearchTrace::new();
+        t.push(record(1, 32, true));
+        let s = t.fitness_series("x");
+        assert_eq!(s.points(), &[(1.0, 0.5)]);
+    }
+}

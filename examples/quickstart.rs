@@ -1,0 +1,47 @@
+//! Quickstart: evaluate all seven ad hoc placement methods on the paper's
+//! evaluation instance and print a Table-1-style comparison.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use wmn::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    // 64 routers (radii oscillating in [2, 8]), 192 clients ~ N(64, 12.8),
+    // on a 128 x 128 area — the instance behind the paper's Table 1.
+    let instance = InstanceSpec::paper_normal()?.generate(42)?;
+    let evaluator = Evaluator::paper_default(&instance);
+
+    println!("instance: {instance}");
+    println!();
+    println!(
+        "{:<10} {:>15} {:>15}   {}",
+        "method", "giant component", "covered clients", "applicable"
+    );
+    println!("{}", "-".repeat(56));
+
+    let mut rng = rng_from_seed(7);
+    for method in AdHocMethod::all() {
+        let heuristic = method.heuristic();
+        let placement = heuristic.place(&instance, &mut rng);
+        let eval = evaluator.evaluate(&placement)?;
+        let applicable = match heuristic.check_applicable(&instance) {
+            Ok(()) => "yes".to_owned(),
+            Err(why) => format!("no ({why})"),
+        };
+        println!(
+            "{:<10} {:>9}/64 {:>11}/192   {}",
+            method.name(),
+            eval.giant_size(),
+            eval.covered_clients(),
+            applicable
+        );
+    }
+
+    println!();
+    println!("Ad hoc methods are fast but far from optimal (paper §3);");
+    println!("see the `search_comparison` and `municipal_rollout` examples");
+    println!("for the neighborhood search and GA that refine them.");
+    Ok(())
+}

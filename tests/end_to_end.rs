@@ -1,0 +1,171 @@
+//! End-to-end pipelines across the whole workspace: generate → place →
+//! search → evolve, all through the public facade.
+
+use wmn::prelude::*;
+
+fn quick_instance(seed: u64) -> ProblemInstance {
+    InstanceSpec::new(
+        Area::square(96.0).expect("valid area"),
+        24,
+        72,
+        ClientDistribution::paper_normal(&Area::square(96.0).expect("valid area"))
+            .expect("valid distribution"),
+        RadioProfile::new(2.0, 8.0).expect("valid radio"),
+    )
+    .expect("valid spec")
+    .generate(seed)
+    .expect("generation succeeds")
+}
+
+#[test]
+fn full_pipeline_adhoc_search_ga() {
+    let instance = quick_instance(1);
+    let evaluator = Evaluator::paper_default(&instance);
+    let mut rng = rng_from_seed(2);
+
+    // Ad hoc placement.
+    let placement = AdHocMethod::HotSpot.heuristic().place(&instance, &mut rng);
+    let adhoc = evaluator.evaluate(&placement).expect("valid placement");
+
+    // Neighborhood search refinement.
+    let search = NeighborhoodSearch::new(
+        &evaluator,
+        Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+        SearchConfig {
+            budget: ExplorationBudget::sampled(8),
+            stopping: StoppingCondition::fixed_phases(10),
+        },
+    );
+    let searched = search.run(&placement, &mut rng).expect("search runs");
+    assert!(searched.best_evaluation.fitness >= adhoc.fitness);
+
+    // GA refinement from the same method as initializer.
+    let config = GaConfig::builder()
+        .population_size(10)
+        .generations(10)
+        .build()
+        .expect("valid config");
+    let engine = GaEngine::new(&evaluator, config);
+    let evolved = engine
+        .run(&PopulationInit::AdHoc(AdHocMethod::HotSpot), &mut rng)
+        .expect("ga runs");
+    assert!(instance.validate_placement(&evolved.best_placement).is_ok());
+    assert_eq!(evolved.trace.len(), 11);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_per_seed() {
+    let run = || {
+        let instance = quick_instance(3);
+        let evaluator = Evaluator::paper_default(&instance);
+        let mut rng = rng_from_seed(4);
+        let placement = AdHocMethod::Cross.heuristic().place(&instance, &mut rng);
+        let search = NeighborhoodSearch::new(
+            &evaluator,
+            Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+            SearchConfig {
+                budget: ExplorationBudget::sampled(6),
+                stopping: StoppingCondition::fixed_phases(8),
+            },
+        );
+        let outcome = search.run(&placement, &mut rng).expect("search runs");
+        (
+            placement,
+            outcome.best_placement,
+            outcome.best_evaluation.fitness,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn instance_text_format_roundtrips_through_evaluation() {
+    let instance = quick_instance(5);
+    let text = wmn::model::format::write_instance(&instance);
+    let parsed = wmn::model::format::parse_instance(&text).expect("parses");
+    assert_eq!(parsed, instance);
+
+    // Evaluations agree between the original and the round-tripped copy.
+    let mut rng = rng_from_seed(6);
+    let placement = instance.random_placement(&mut rng);
+    let e1 = Evaluator::paper_default(&instance)
+        .evaluate(&placement)
+        .expect("evaluates");
+    let e2 = Evaluator::paper_default(&parsed)
+        .evaluate(&placement)
+        .expect("evaluates");
+    assert_eq!(e1, e2);
+
+    // Placements round-trip too.
+    let ptext = wmn::model::format::write_placement(&placement);
+    assert_eq!(
+        wmn::model::format::parse_placement(&ptext).expect("parses"),
+        placement
+    );
+}
+
+#[test]
+fn every_method_feeds_every_search_algorithm() {
+    let instance = quick_instance(7);
+    let evaluator = Evaluator::paper_default(&instance);
+    for method in AdHocMethod::all() {
+        let mut rng = rng_from_seed(method.name().len() as u64);
+        let placement = method.heuristic().place(&instance, &mut rng);
+
+        let hill = HillClimb::new(
+            &evaluator,
+            Box::new(RandomMovement::new(&instance)),
+            HillClimbConfig {
+                max_phases: 4,
+                samples_per_phase: 4,
+                patience: 2,
+            },
+        );
+        let h = hill.run(&placement, &mut rng).expect("hill climb runs");
+        assert!(h.best_evaluation.fitness >= h.initial_evaluation.fitness);
+
+        let sa = SimulatedAnnealing::new(
+            &evaluator,
+            Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+            AnnealingConfig {
+                phases: 4,
+                moves_per_phase: 4,
+                ..AnnealingConfig::default()
+            },
+        );
+        let s = sa.run(&placement, &mut rng).expect("annealing runs");
+        assert!(s.best_evaluation.fitness >= s.initial_evaluation.fitness);
+
+        let tabu = TabuSearch::new(
+            &evaluator,
+            Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+            TabuConfig {
+                phases: 4,
+                candidates_per_phase: 4,
+                tenure: 2,
+            },
+        );
+        let t = tabu.run(&placement, &mut rng).expect("tabu runs");
+        assert!(t.best_evaluation.fitness >= t.initial_evaluation.fitness);
+    }
+}
+
+#[test]
+fn topology_counts_match_evaluator_measurements() {
+    let instance = quick_instance(9);
+    let evaluator = Evaluator::paper_default(&instance);
+    let mut rng = rng_from_seed(10);
+    for _ in 0..5 {
+        let placement = instance.random_placement(&mut rng);
+        let topo = evaluator.topology(&placement).expect("builds");
+        let eval = evaluator.evaluate(&placement).expect("evaluates");
+        assert_eq!(eval.giant_size(), topo.giant_size());
+        assert_eq!(eval.covered_clients(), topo.covered_count());
+        assert_eq!(eval.measurement.link_count, topo.adjacency().edge_count());
+        assert_eq!(eval.measurement.component_count, topo.components().count());
+    }
+}
