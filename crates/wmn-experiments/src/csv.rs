@@ -39,7 +39,7 @@ pub fn render_series(header_x: &str, series: &[wmn_metrics::stats::Trace]) -> St
         let x = series
             .iter()
             .find_map(|s| s.points().get(i).map(|&(x, _)| x));
-        let mut row = vec![x.map_or(String::new(), |x| trim_float(x))];
+        let mut row = vec![x.map_or(String::new(), trim_float)];
         for s in series {
             row.push(
                 s.points()

@@ -51,9 +51,9 @@ impl TableResult {
     /// Renders the table as GitHub-flavored markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "| Method | Giant comp. by GA | Coverage by GA | Giant comp. (standalone) | Coverage (standalone) |\n|---|---|---|---|---|\n"
-        ));
+        out.push_str(
+            "| Method | Giant comp. by GA | Coverage by GA | Giant comp. (standalone) | Coverage (standalone) |\n|---|---|---|---|---|\n",
+        );
         for r in &self.rows {
             out.push_str(&format!(
                 "| {} | {} | {} | {} | {} |\n",

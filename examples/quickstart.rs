@@ -16,8 +16,8 @@ fn main() -> Result<(), ModelError> {
     println!("instance: {instance}");
     println!();
     println!(
-        "{:<10} {:>15} {:>15}   {}",
-        "method", "giant component", "covered clients", "applicable"
+        "{:<10} {:>15} {:>15}   applicable",
+        "method", "giant component", "covered clients"
     );
     println!("{}", "-".repeat(56));
 

@@ -1,0 +1,256 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! slice of criterion its bench targets use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of criterion's
+//! statistical analysis, each benchmark runs a warmup pass plus
+//! `sample_size` timed samples and reports the per-iteration mean and
+//! best sample — enough to compare hot paths between commits without any
+//! external dependency.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; keeps the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group, mirroring upstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId {
+            id: value.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        BenchmarkId { id: value }
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly: one untimed warmup, then `sample_size`
+    /// timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.results.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.results.iter().sum();
+        let mean = total / self.results.len() as u32;
+        let best = self.results.iter().min().expect("non-empty");
+        println!("{id:<48} mean {mean:>12.3?}   best {best:>12.3?}");
+    }
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// Takes `self` by value like upstream, so
+    /// `config = Criterion::default().sample_size(20)` in
+    /// [`criterion_group!`] works against both the shim and real criterion.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for upstream compatibility; the shim has no warmup phase
+    /// beyond the single untimed call in [`Bencher::iter`].
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for upstream compatibility.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut body: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.sample_size, &mut body);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut body: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.sample_size, &mut |b: &mut Bencher| body(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the shim prints
+    /// eagerly, so this is a marker).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, samples: usize, body: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        results: Vec::with_capacity(samples),
+    };
+    body(&mut bencher);
+    bencher.report(id);
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's simple and
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("tiny", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    // Upstream's `name/config/targets` form must accept a by-value
+    // configured Criterion.
+    criterion_group!(
+        name = configured;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(1));
+        targets = tiny_bench
+    );
+
+    criterion_group!(simple, tiny_bench);
+
+    #[test]
+    fn group_forms_run() {
+        configured();
+        simple();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 64).id, "f/64");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,30 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S, L> Strategy for VecStrategy<S, L>
+where
+    S: Strategy,
+    L: Strategy<Value = usize>,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `len` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy, L: Strategy<Value = usize>>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

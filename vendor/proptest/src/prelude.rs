@@ -1,0 +1,5 @@
+//! One-stop imports mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Any, Arbitrary, Just, Map, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

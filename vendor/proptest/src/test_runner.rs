@@ -1,0 +1,40 @@
+//! Case-loop configuration and deterministic per-test seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG that drives strategy generation.
+pub type TestRng = StdRng;
+
+/// Controls how many random cases each property runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Matches upstream proptest's default of 256 cases.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Builds the deterministic RNG for one property, seeded from its fully
+/// qualified name (FNV-1a) so each property explores its own stream but
+/// reruns are exactly reproducible.
+pub fn rng_for(test_path: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}

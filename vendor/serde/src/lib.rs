@@ -1,0 +1,10 @@
+//! Offline facade over [`serde_derive`]'s no-op derives.
+//!
+//! Lets `use serde::{Deserialize, Serialize};` plus `#[derive(...)]`
+//! compile without network access. No serialization machinery is provided
+//! because nothing in-tree performs serialization yet; replacing this shim
+//! with upstream serde is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
