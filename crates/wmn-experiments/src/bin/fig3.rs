@@ -1,14 +1,19 @@
 //! Regenerates the paper's Figure 3 (GA evolution, Weibull clients).
 
+use std::process::ExitCode;
 use wmn_experiments::ascii_plot::plot;
-use wmn_experiments::cli;
+use wmn_experiments::cli::{self, CliOptions};
+use wmn_experiments::error::ExperimentError;
 use wmn_experiments::figures::run_ga_figure;
 use wmn_experiments::report::write_ga_figure;
 use wmn_experiments::scenario::Scenario;
 
-fn main() {
-    let opts = cli::parse_env();
-    let fig = run_ga_figure(Scenario::Weibull, &opts.config).expect("figure run");
+fn main() -> ExitCode {
+    cli::run(run)
+}
+
+fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
+    let fig = run_ga_figure(Scenario::Weibull, &opts.config)?;
     println!(
         "{}",
         plot(
@@ -18,6 +23,7 @@ fn main() {
             20
         )
     );
-    write_ga_figure(&opts.out_dir, &fig).expect("write results");
+    write_ga_figure(&opts.out_dir, &fig)?;
     println!("wrote {}/fig3.{{csv,txt}}", opts.out_dir.display());
+    Ok(())
 }

@@ -1,14 +1,19 @@
 //! Regenerates the paper's Figure 4 (neighborhood search: swap vs random
 //! movement, Normal clients).
 
+use std::process::ExitCode;
 use wmn_experiments::ascii_plot::plot;
-use wmn_experiments::cli;
+use wmn_experiments::cli::{self, CliOptions};
+use wmn_experiments::error::ExperimentError;
 use wmn_experiments::figures::run_ns_figure;
 use wmn_experiments::report::write_ns_figure;
 
-fn main() {
-    let opts = cli::parse_env();
-    let fig = run_ns_figure(&opts.config).expect("figure run");
+fn main() -> ExitCode {
+    cli::run(run)
+}
+
+fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
+    let fig = run_ns_figure(&opts.config)?;
     println!(
         "{}",
         plot(
@@ -23,6 +28,7 @@ fn main() {
         fig.swap.last_y().unwrap_or(0.0),
         fig.random.last_y().unwrap_or(0.0)
     );
-    write_ns_figure(&opts.out_dir, &fig).expect("write results");
+    write_ns_figure(&opts.out_dir, &fig)?;
     println!("wrote {}/fig4.{{csv,txt}}", opts.out_dir.display());
+    Ok(())
 }

@@ -1,35 +1,61 @@
-//! Regenerates every table and figure of the paper in one run.
+//! Regenerates every table and figure of the paper in one run, plus the
+//! cross-scenario `summary.{csv,jsonl}`.
 //!
 //! ```bash
-//! cargo run --release -p wmn-experiments --bin run_all            # paper scale
-//! cargo run --release -p wmn-experiments --bin run_all -- --quick # CI scale
+//! cargo run --release -p wmn-experiments --bin run_all             # paper scale
+//! cargo run --release -p wmn-experiments --bin run_all -- --quick  # CI scale
+//! cargo run --release -p wmn-experiments --bin run_all -- --quick --threads 8
+//! WMN_THREADS=2 cargo run --release -p wmn-experiments --bin run_all -- --quick
 //! ```
+//!
+//! # Parallelism & determinism
+//!
+//! Every artifact's grid cells (one per ad hoc method, or per movement for
+//! Figure 4) execute on the `wmn-runtime` worker pool. `--threads <n>` (or
+//! `WMN_THREADS`) picks the worker count; the default `0` uses one worker
+//! per core. Because each cell's RNG seed is derived from its grid
+//! coordinates (`wmn_model::rng::stream_seed`) and results are collected
+//! by job index, **all outputs are byte-identical for every thread
+//! count** — `--threads 8` only finishes sooner. Instance sizes beyond the
+//! paper's 64/192/128×128 family are reachable via `--scale`
+//! (`--scale-routers` / `--scale-clients` / `--scale-area`).
 
+use std::process::ExitCode;
 use std::time::Instant;
-use wmn_experiments::cli;
+use wmn_experiments::cli::{self, CliOptions};
+use wmn_experiments::error::ExperimentError;
 use wmn_experiments::figures::{run_ga_figure, run_ns_figure};
-use wmn_experiments::report::{write_ga_figure, write_ns_figure, write_table};
+use wmn_experiments::report::{write_ga_figure, write_ns_figure, write_summary, write_table};
 use wmn_experiments::scenario::Scenario;
-use wmn_experiments::tables::run_table;
+use wmn_experiments::tables::{run_table, TableResult};
 
-fn main() {
-    let opts = cli::parse_env();
+fn main() -> ExitCode {
+    cli::run(run)
+}
+
+fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     let t0 = Instant::now();
+    println!(
+        "experiment runtime: {} worker thread(s)",
+        opts.config.runtime().threads()
+    );
 
+    let mut tables: Vec<TableResult> = Vec::with_capacity(3);
     for scenario in Scenario::paper_tables() {
         let n = scenario.table_number().expect("paper scenario");
         let started = Instant::now();
-        let table = run_table(scenario, &opts.config).expect("table run");
-        write_table(&opts.out_dir, &table).expect("write table");
+        let table = run_table(scenario, &opts.config)?;
+        write_table(&opts.out_dir, &table)?;
         println!(
             "table{n} ({scenario}): done in {:.1?}; best GA method = {}",
             started.elapsed(),
             table.best_ga_method().map(|m| m.name()).unwrap_or("n/a")
         );
+        tables.push(table);
 
         let started = Instant::now();
-        let fig = run_ga_figure(scenario, &opts.config).expect("figure run");
-        write_ga_figure(&opts.out_dir, &fig).expect("write figure");
+        let fig = run_ga_figure(scenario, &opts.config)?;
+        write_ga_figure(&opts.out_dir, &fig)?;
         println!(
             "fig{n} ({scenario}): done in {:.1?}; best final curve = {}",
             started.elapsed(),
@@ -38,8 +64,8 @@ fn main() {
     }
 
     let started = Instant::now();
-    let ns = run_ns_figure(&opts.config).expect("ns figure run");
-    write_ns_figure(&opts.out_dir, &ns).expect("write ns figure");
+    let ns = run_ns_figure(&opts.config)?;
+    write_ns_figure(&opts.out_dir, &ns)?;
     println!(
         "fig4: done in {:.1?}; swap = {}, random = {}",
         started.elapsed(),
@@ -47,9 +73,11 @@ fn main() {
         ns.random.last_y().unwrap_or(0.0)
     );
 
+    write_summary(&opts.out_dir, &tables)?;
     println!(
         "all artifacts written to {}/ in {:.1?}",
         opts.out_dir.display(),
         t0.elapsed()
     );
+    Ok(())
 }

@@ -1,15 +1,21 @@
 //! Regenerates the paper's Table 3 (Weibull client distribution).
 
-use wmn_experiments::cli;
+use std::process::ExitCode;
+use wmn_experiments::cli::{self, CliOptions};
+use wmn_experiments::error::ExperimentError;
 use wmn_experiments::report::write_table;
 use wmn_experiments::scenario::Scenario;
 use wmn_experiments::tables::run_table;
 
-fn main() {
-    let opts = cli::parse_env();
-    let table = run_table(Scenario::Weibull, &opts.config).expect("table run");
+fn main() -> ExitCode {
+    cli::run(run)
+}
+
+fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
+    let table = run_table(Scenario::Weibull, &opts.config)?;
     println!("# Table 3 — Weibull distribution (paper: Xhafa/Sánchez/Barolli 2009)\n");
     print!("{}", table.to_markdown());
-    write_table(&opts.out_dir, &table).expect("write results");
+    write_table(&opts.out_dir, &table)?;
     println!("\nwrote {}/table3.{{md,csv}}", opts.out_dir.display());
+    Ok(())
 }

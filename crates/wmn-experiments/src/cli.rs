@@ -1,14 +1,27 @@
-//! Tiny shared argument parsing for the experiment binaries.
+//! Tiny shared argument parsing and the binaries' common entry point.
 //!
-//! Flags (all optional):
+//! Flags (all optional; the thread and scale flags each override their
+//! `WMN_*` env var — the other flags have no env counterpart):
 //!
 //! * `--quick` — reduced scale (`ExperimentConfig::quick()`).
 //! * `--seed <n>` — algorithm run seed (default 42).
 //! * `--instance-seed <n>` — instance generation seed (default 2009).
+//! * `--threads <n>` — experiment-runtime workers (`WMN_THREADS`;
+//!   default 0 = one per core). Results are identical for every value.
+//! * `--ga-threads <n>` — evaluation threads inside one GA run
+//!   (`WMN_GA_THREADS`; default 4).
+//! * `--scale <n>` — proportional instance scale-up: `n`× routers and
+//!   clients on `√n`× the area side (`WMN_SCALE`).
+//! * `--scale-routers <n>` / `--scale-clients <n>` / `--scale-area <x>` —
+//!   individual multipliers (`WMN_SCALE_ROUTERS` / `WMN_SCALE_CLIENTS` /
+//!   `WMN_SCALE_AREA`).
+//! * `--ns-budget <n>` — neighbors sampled per search phase.
 //! * `--out <dir>` — output directory (default `results`).
 
-use crate::scenario::ExperimentConfig;
+use crate::error::ExperimentError;
+use crate::scenario::{ExperimentConfig, ScenarioScale};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 /// Parsed common CLI options.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,57 +32,130 @@ pub struct CliOptions {
     pub out_dir: PathBuf,
 }
 
-/// Parses options from an argument iterator (excluding the program name).
+const USAGE: &str = "usage: [--quick] [--seed <n>] [--instance-seed <n>] [--threads <n>] \
+[--ga-threads <n>] [--scale <n>] [--scale-routers <n>] [--scale-clients <n>] \
+[--scale-area <x>] [--ns-budget <n>] [--out <dir>]";
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    let v = value.ok_or(format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("bad {flag} value {v:?}"))
+}
+
+/// Parses options from an argument iterator (excluding the program name),
+/// on top of `base` — so environment-derived defaults lose to explicit
+/// flags.
 ///
 /// # Errors
 ///
 /// Returns a usage message on unknown flags or malformed numbers.
-pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, String> {
-    let mut config = ExperimentConfig::paper();
+pub fn parse_from<I: IntoIterator<Item = String>>(
+    base: ExperimentConfig,
+    args: I,
+) -> Result<CliOptions, String> {
+    let mut config = base;
     let mut out_dir = PathBuf::from("results");
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--quick" => {
-                let keep = config;
-                config = ExperimentConfig::quick();
-                config.run_seed = keep.run_seed;
-                config.instance_seed = keep.instance_seed;
+            "--quick" => config = config.quickened(),
+            "--seed" => config.run_seed = parse_num("--seed", it.next())?,
+            "--instance-seed" => config.instance_seed = parse_num("--instance-seed", it.next())?,
+            "--threads" => config.runner_threads = parse_num("--threads", it.next())?,
+            "--ga-threads" => {
+                config.threads = parse_num::<usize>("--ga-threads", it.next())?.max(1);
             }
-            "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
-                config.run_seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            "--scale" => {
+                config.scale =
+                    ScenarioScale::proportional(parse_num::<u32>("--scale", it.next())?.max(1));
             }
-            "--instance-seed" => {
-                let v = it.next().ok_or("--instance-seed needs a value")?;
-                config.instance_seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
-            }
-            "--ns-budget" => {
-                let v = it.next().ok_or("--ns-budget needs a value")?;
-                config.ns_budget = v.parse().map_err(|_| format!("bad budget {v:?}"))?;
-            }
+            "--scale-routers" => config.scale.routers = parse_num("--scale-routers", it.next())?,
+            "--scale-clients" => config.scale.clients = parse_num("--scale-clients", it.next())?,
+            "--scale-area" => config.scale.area = parse_num("--scale-area", it.next())?,
+            "--ns-budget" => config.ns_budget = parse_num("--ns-budget", it.next())?,
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: [--quick] [--seed <n>] [--instance-seed <n>] [--ns-budget <n>] [--out <dir>]"
-                        .to_owned(),
-                );
-            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
     Ok(CliOptions { config, out_dir })
 }
 
-/// Parses the process arguments, exiting with a message on error.
+/// Parses options from an argument iterator over the paper defaults.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or malformed numbers.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, String> {
+    parse_from(ExperimentConfig::paper(), args)
+}
+
+/// Applies `WMN_*` environment overrides to the paper defaults. `lookup`
+/// abstracts `std::env::var` for testability.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed variable.
+pub fn config_from_vars(
+    lookup: impl Fn(&str) -> Option<String>,
+) -> Result<ExperimentConfig, String> {
+    let mut config = ExperimentConfig::paper();
+    // Parse directly to each knob's type, so the env path rejects exactly
+    // what the flag path rejects (no silent u64→u32 truncation).
+    fn num<T: std::str::FromStr>(
+        lookup: &impl Fn(&str) -> Option<String>,
+        name: &str,
+    ) -> Result<Option<T>, String> {
+        lookup(name)
+            .map(|v| v.parse().map_err(|_| format!("bad {name} value {v:?}")))
+            .transpose()
+    }
+    if let Some(n) = num::<usize>(&lookup, "WMN_THREADS")? {
+        config.runner_threads = n;
+    }
+    if let Some(n) = num::<usize>(&lookup, "WMN_GA_THREADS")? {
+        config.threads = n.max(1);
+    }
+    if let Some(n) = num::<u32>(&lookup, "WMN_SCALE")? {
+        config.scale = ScenarioScale::proportional(n.max(1));
+    }
+    if let Some(n) = num::<u32>(&lookup, "WMN_SCALE_ROUTERS")? {
+        config.scale.routers = n;
+    }
+    if let Some(n) = num::<u32>(&lookup, "WMN_SCALE_CLIENTS")? {
+        config.scale.clients = n;
+    }
+    if let Some(x) = num::<f64>(&lookup, "WMN_SCALE_AREA")? {
+        config.scale.area = x;
+    }
+    Ok(config)
+}
+
+/// Parses the process environment and arguments, exiting with a message on
+/// error.
 pub fn parse_env() -> CliOptions {
-    match parse(std::env::args().skip(1)) {
+    let from_env = config_from_vars(|name| std::env::var(name).ok());
+    let parsed = from_env.and_then(|base| parse_from(base, std::env::args().skip(1)));
+    match parsed {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
+        }
+    }
+}
+
+/// The binaries' shared entry point: parse environment + arguments, run
+/// `body`, and report any failure (with its offending path, for I/O) on
+/// stderr instead of panicking.
+pub fn run(body: impl FnOnce(&CliOptions) -> Result<(), ExperimentError>) -> ExitCode {
+    let opts = parse_env();
+    match body(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -100,6 +186,17 @@ mod tests {
     }
 
     #[test]
+    fn quick_preserves_threads_and_scale() {
+        let opts = parse_vec(&["--threads", "2", "--scale", "4", "--quick"]).unwrap();
+        assert_eq!(opts.config.runner_threads, 2);
+        assert_eq!(opts.config.scale, ScenarioScale::proportional(4));
+        assert_eq!(
+            opts.config.generations,
+            ExperimentConfig::quick().generations
+        );
+    }
+
+    #[test]
     fn seed_and_out() {
         let opts = parse_vec(&["--seed", "9", "--instance-seed", "11", "--out", "/tmp/x"]).unwrap();
         assert_eq!(opts.config.run_seed, 9);
@@ -108,10 +205,76 @@ mod tests {
     }
 
     #[test]
+    fn thread_flags() {
+        let opts = parse_vec(&["--threads", "8", "--ga-threads", "2"]).unwrap();
+        assert_eq!(opts.config.runner_threads, 8);
+        assert_eq!(opts.config.threads, 2);
+        // 0 GA threads clamps to 1 (serial); 0 runner threads means "auto".
+        let opts = parse_vec(&["--threads", "0", "--ga-threads", "0"]).unwrap();
+        assert_eq!(opts.config.runner_threads, 0);
+        assert_eq!(opts.config.threads, 1);
+    }
+
+    #[test]
+    fn scale_flags() {
+        let opts = parse_vec(&["--scale-routers", "2", "--scale-clients", "3"]).unwrap();
+        assert_eq!(opts.config.scale.routers, 2);
+        assert_eq!(opts.config.scale.clients, 3);
+        assert_eq!(opts.config.scale.area, 1.0);
+        let opts = parse_vec(&["--scale", "4", "--scale-area", "1.5"]).unwrap();
+        assert_eq!(opts.config.scale.routers, 4);
+        assert!((opts.config.scale.area - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn rejects_unknown_and_malformed() {
         assert!(parse_vec(&["--frob"]).is_err());
         assert!(parse_vec(&["--seed", "abc"]).is_err());
         assert!(parse_vec(&["--seed"]).is_err());
+        assert!(parse_vec(&["--threads", "many"]).is_err());
+        assert!(parse_vec(&["--scale-area", "wide"]).is_err());
         assert!(parse_vec(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn env_vars_apply_and_flags_win() {
+        let lookup = |name: &str| match name {
+            "WMN_THREADS" => Some("2".to_owned()),
+            "WMN_SCALE" => Some("4".to_owned()),
+            _ => None,
+        };
+        let base = config_from_vars(lookup).unwrap();
+        assert_eq!(base.runner_threads, 2);
+        assert_eq!(base.scale, ScenarioScale::proportional(4));
+
+        let opts = parse_from(base, ["--threads".to_owned(), "6".to_owned()]).unwrap();
+        assert_eq!(opts.config.runner_threads, 6);
+        assert_eq!(opts.config.scale, ScenarioScale::proportional(4));
+    }
+
+    #[test]
+    fn bad_env_var_is_an_error() {
+        let lookup = |name: &str| (name == "WMN_THREADS").then(|| "lots".to_owned());
+        assert!(config_from_vars(lookup).is_err());
+        let lookup = |name: &str| (name == "WMN_SCALE_AREA").then(|| "wide".to_owned());
+        assert!(config_from_vars(lookup).is_err());
+    }
+
+    #[test]
+    fn out_of_range_env_var_is_rejected_not_truncated() {
+        // > u32::MAX must error exactly like the flag path, not wrap.
+        let too_big = (u64::from(u32::MAX) + 2).to_string();
+        let lookup = |name: &str| (name == "WMN_SCALE_ROUTERS").then(|| too_big.clone());
+        assert!(config_from_vars(lookup).is_err());
+        let lookup = |name: &str| (name == "WMN_SCALE").then(|| too_big.clone());
+        assert!(config_from_vars(lookup).is_err());
+    }
+
+    #[test]
+    fn no_env_vars_is_paper_default() {
+        assert_eq!(
+            config_from_vars(|_| None).unwrap(),
+            ExperimentConfig::paper()
+        );
     }
 }

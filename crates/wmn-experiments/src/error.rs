@@ -1,0 +1,105 @@
+//! The experiment harness error type.
+//!
+//! Binaries used to `.expect()` every run and write, so a failed write
+//! panicked with a generic message. [`ExperimentError`] carries the model
+//! failure or the offending path, and every binary routes through a single
+//! `Result`-returning entry point (see [`crate::cli::run`]).
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use wmn_model::ModelError;
+
+/// Any failure an experiment run or report can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// Instance generation or evaluation failed.
+    Model(ModelError),
+    /// A filesystem operation failed; the path names the culprit.
+    Io {
+        /// The file or directory being written.
+        path: PathBuf,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Model(e) => write!(f, "experiment run failed: {e}"),
+            ExperimentError::Io { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Model(e) => Some(e),
+            ExperimentError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ModelError> for ExperimentError {
+    fn from(e: ModelError) -> Self {
+        ExperimentError::Model(e)
+    }
+}
+
+impl ExperimentError {
+    /// Attaches `path` to an I/O failure.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        ExperimentError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+/// `fs::write` with the path attached to any failure.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Io`] naming `path`.
+pub fn write_file(path: &Path, contents: &str) -> Result<(), ExperimentError> {
+    std::fs::write(path, contents).map_err(|e| ExperimentError::io(path, e))
+}
+
+/// `fs::create_dir_all` with the path attached to any failure.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Io`] naming `dir`.
+pub fn create_dir(dir: &Path) -> Result<(), ExperimentError> {
+    std::fs::create_dir_all(dir).map_err(|e| ExperimentError::io(dir, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_name_the_path() {
+        let err =
+            write_file(Path::new("/nonexistent-root-dir/wmn/table1.md"), "contents").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("/nonexistent-root-dir/wmn/table1.md"), "{msg}");
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn model_errors_pass_through() {
+        let model = ModelError::InvalidSpec {
+            reason: "router_count must be positive".to_owned(),
+        };
+        let err = ExperimentError::from(model);
+        assert!(err.to_string().contains("router_count"));
+        assert!(Error::source(&err).is_some());
+    }
+}

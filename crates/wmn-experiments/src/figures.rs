@@ -7,13 +7,14 @@
 //! scenario.
 
 use crate::scenario::{ExperimentConfig, Scenario};
+use crate::tables::ga_cell;
 use wmn_ga::engine::{GaConfig, GaEngine};
 use wmn_ga::init::PopulationInit;
 use wmn_metrics::evaluator::Evaluator;
 use wmn_metrics::stats::Trace;
-use wmn_model::rng::SeedSequence;
 use wmn_model::ModelError;
 use wmn_placement::registry::AdHocMethod;
+use wmn_runtime::grid::{domain, Cell};
 use wmn_search::movement::{Movement, RandomMovement, SwapConfig, SwapMovement};
 use wmn_search::neighborhood::ExplorationBudget;
 use wmn_search::search::{NeighborhoodSearch, SearchConfig, StoppingCondition};
@@ -64,7 +65,7 @@ pub fn run_ga_figure(
     scenario: Scenario,
     config: &ExperimentConfig,
 ) -> Result<GaFigure, ModelError> {
-    let instance = scenario.instance(config.instance_seed)?;
+    let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
     let ga_config = GaConfig::builder()
         .population_size(config.population)
@@ -72,24 +73,19 @@ pub fn run_ga_figure(
         .threads(config.threads)
         .build()
         .expect("experiment GA config is valid");
-    let seq = SeedSequence::new(config.run_seed);
 
-    let mut series = Vec::with_capacity(7);
-    for method in AdHocMethod::all() {
-        // Same per-method seed derivation as the tables, so Figure N and
-        // Table N report the same runs (as in the paper).
-        let mut rng = seq
-            .fork(&format!("ga-{}-{}", scenario.name(), method.name()))
-            .next_rng();
+    let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
+    let series = config.runtime().try_execute(jobs, |_, (mi, method)| {
+        // Same grid cell as the tables, so Figure N and Table N report the
+        // same runs (as in the paper).
+        let mut rng = ga_cell(scenario, mi, method).rng(config.run_seed);
         let engine = GaEngine::new(&evaluator, ga_config.clone());
         let outcome = engine.run(&PopulationInit::AdHoc(method), &mut rng)?;
-        series.push(
-            outcome
-                .trace
-                .giant_series(method.name())
-                .downsampled(config.sample_every.max(1)),
-        );
-    }
+        Ok(outcome
+            .trace
+            .giant_series(method.name())
+            .downsampled(config.sample_every.max(1)))
+    })?;
     Ok(GaFigure { scenario, series })
 }
 
@@ -117,14 +113,15 @@ impl NsFigure {
 /// Propagates instance generation and evaluation failures (none occur for
 /// the built-in configuration).
 pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ModelError> {
-    let instance = Scenario::Normal.instance(config.instance_seed)?;
+    let scenario = Scenario::Normal;
+    let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
-    let seq = SeedSequence::new(config.run_seed);
 
     // Both searches start from the same random placement ("client mesh
     // routers distributed according to a normal distribution" — the initial
     // router placement is random).
-    let mut init_rng = seq.fork("ns-initial").next_rng();
+    let init_cell = Cell::new("ns-initial", &[domain::INITIAL, scenario.grid_id(), 0]);
+    let mut init_rng = init_cell.rng(config.run_seed);
     let initial = instance.random_placement(&mut init_rng);
 
     let search_config = SearchConfig {
@@ -132,18 +129,30 @@ pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ModelError> 
         stopping: StoppingCondition::fixed_phases(config.ns_phases),
     };
 
-    let run = |movement: Box<dyn Movement>, label: &str| -> Result<Trace, ModelError> {
-        let mut rng = seq.fork(&format!("ns-{label}")).next_rng();
-        let search = NeighborhoodSearch::new(&evaluator, movement, search_config);
-        let outcome = search.run(&initial, &mut rng)?;
-        Ok(outcome.trace.giant_series(label))
-    };
-
-    let swap = run(
-        Box::new(SwapMovement::new(&instance, SwapConfig::default())),
-        "Swap",
-    )?;
-    let random = run(Box::new(RandomMovement::new(&instance)), "Random")?;
+    // Swap and random are the two cells of the Figure 4 grid; they run in
+    // parallel on the experiment runtime.
+    let jobs: Vec<(u64, &str)> = vec![(0, "Swap"), (1, "Random")];
+    let mut traces = config
+        .runtime()
+        .try_execute(jobs, |_, (movement_id, label)| {
+            let movement: Box<dyn Movement> = match movement_id {
+                0 => Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+                _ => Box::new(RandomMovement::new(&instance)),
+            };
+            let cell = Cell::new(
+                format!("ns-{label}"),
+                &[domain::NEIGHBORHOOD, scenario.grid_id(), movement_id],
+            );
+            let mut rng = cell.rng(config.run_seed);
+            let search = NeighborhoodSearch::new(&evaluator, movement, search_config);
+            let outcome = search.run(&initial, &mut rng)?;
+            Ok(outcome.trace.giant_series(label))
+        })?
+        .into_iter();
+    let (swap, random) = (
+        traces.next().expect("swap trace"),
+        traces.next().expect("random trace"),
+    );
     Ok(NsFigure { swap, random })
 }
 

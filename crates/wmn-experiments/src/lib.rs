@@ -10,14 +10,22 @@
 //! | Figure 3 (GA evolution, Weibull) | [`figures::run_ga_figure`] | `fig3` |
 //! | Figure 4 (NS swap vs random) | [`figures::run_ns_figure`] | `fig4` |
 //!
-//! Every binary accepts `--quick` (reduced scale), `--seed <n>` (run seed)
-//! and `--out <dir>` (default `results/`). `run_all` regenerates
-//! everything.
+//! Every binary accepts `--quick` (reduced scale), `--seed <n>` (run seed),
+//! `--threads <n>` (parallel experiment workers; results are identical for
+//! every value) and `--out <dir>` (default `results/`). `run_all`
+//! regenerates everything. See [`cli`] for the full flag and `WMN_*`
+//! environment-variable reference, and [`scenario::ScenarioScale`] for
+//! running beyond-paper instance sizes.
 //!
 //! ```bash
 //! cargo run --release -p wmn-experiments --bin run_all
-//! cargo run --release -p wmn-experiments --bin table1 -- --quick
+//! cargo run --release -p wmn-experiments --bin run_all -- --quick --threads 8
+//! WMN_THREADS=2 cargo run --release -p wmn-experiments --bin table1 -- --quick
 //! ```
+//!
+//! Experiment grids execute on the `wmn-runtime` worker pool; per-cell RNG
+//! seeds are derived from grid coordinates, so output is bit-identical
+//! regardless of thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +34,11 @@
 pub mod ascii_plot;
 pub mod cli;
 pub mod csv;
+pub mod error;
 pub mod figures;
 pub mod report;
 pub mod scenario;
 pub mod tables;
 
-pub use scenario::{ExperimentConfig, Scenario};
+pub use error::ExperimentError;
+pub use scenario::{ExperimentConfig, Scenario, ScenarioScale};

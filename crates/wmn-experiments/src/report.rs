@@ -1,75 +1,188 @@
 //! Writing experiment outputs to the `results/` directory.
+//!
+//! File writes route through [`crate::error::ExperimentError`], so a
+//! failure names the offending path instead of panicking. The cross-table
+//! summary streams through `wmn-runtime`'s [`RowSink`] abstraction — to
+//! CSV via this crate's RFC-4180 renderer and to JSON Lines via
+//! [`JsonlSink`] — so downstream tooling can consume one file covering
+//! every (scenario, method) cell.
 
 use crate::ascii_plot::plot;
 use crate::csv::render_series;
+use crate::error::{create_dir, write_file, ExperimentError};
 use crate::figures::{GaFigure, NsFigure};
 use crate::tables::TableResult;
-use std::fs;
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
+use wmn_runtime::sink::{JsonlSink, RowSink};
 
 /// Writes a reproduced table as `tableN.md` and `tableN.csv`.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
-pub fn write_table(dir: &Path, table: &TableResult) -> io::Result<()> {
-    fs::create_dir_all(dir)?;
+/// Propagates filesystem errors, naming the path.
+pub fn write_table(dir: &Path, table: &TableResult) -> Result<(), ExperimentError> {
+    create_dir(dir)?;
     let n = table.scenario.table_number().unwrap_or(0);
     let title = format!(
         "# Table {} — {} distribution ({} routers, {} clients)\n\n",
-        n, table.scenario, 64, 192
+        n, table.scenario, table.router_count, table.client_count
     );
-    fs::write(
-        dir.join(format!("table{n}.md")),
-        format!("{title}{}", table.to_markdown()),
+    write_file(
+        &dir.join(format!("table{n}.md")),
+        &format!("{title}{}", table.to_markdown()),
     )?;
-    fs::write(dir.join(format!("table{n}.csv")), table.to_csv())?;
-    Ok(())
+    write_file(&dir.join(format!("table{n}.csv")), &table.to_csv())
 }
 
 /// Writes a GA-evolution figure as `figN.csv` and an ASCII `figN.txt`.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
-pub fn write_ga_figure(dir: &Path, figure: &GaFigure) -> io::Result<()> {
-    fs::create_dir_all(dir)?;
+/// Propagates filesystem errors, naming the path.
+pub fn write_ga_figure(dir: &Path, figure: &GaFigure) -> Result<(), ExperimentError> {
+    create_dir(dir)?;
     let n = figure.figure_number().unwrap_or(0);
-    fs::write(
-        dir.join(format!("fig{n}.csv")),
-        render_series("generation", &figure.series),
+    write_file(
+        &dir.join(format!("fig{n}.csv")),
+        &render_series("generation", &figure.series),
     )?;
     let title = format!(
         "Figure {n}: size of giant component vs GA generations ({} clients)",
         figure.scenario
     );
-    fs::write(
-        dir.join(format!("fig{n}.txt")),
-        plot(&title, &figure.series, 72, 20),
-    )?;
-    Ok(())
+    write_file(
+        &dir.join(format!("fig{n}.txt")),
+        &plot(&title, &figure.series, 72, 20),
+    )
 }
 
 /// Writes Figure 4 as `fig4.csv` and an ASCII `fig4.txt`.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
-pub fn write_ns_figure(dir: &Path, figure: &NsFigure) -> io::Result<()> {
-    fs::create_dir_all(dir)?;
+/// Propagates filesystem errors, naming the path.
+pub fn write_ns_figure(dir: &Path, figure: &NsFigure) -> Result<(), ExperimentError> {
+    create_dir(dir)?;
     let series = [figure.swap.clone(), figure.random.clone()];
-    fs::write(dir.join("fig4.csv"), render_series("phase", &series))?;
-    fs::write(
-        dir.join("fig4.txt"),
-        plot(
+    write_file(&dir.join("fig4.csv"), &render_series("phase", &series))?;
+    write_file(
+        &dir.join("fig4.txt"),
+        &plot(
             "Figure 4: neighborhood search, swap vs random movement (normal clients)",
             &series,
             72,
             20,
         ),
+    )
+}
+
+/// A [`RowSink`] rendering rows as RFC-4180 CSV through this crate's
+/// renderer ([`crate::csv`]).
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// A sink writing CSV to `writer`.
+    pub fn new(writer: W) -> Self {
+        CsvSink { writer }
+    }
+
+    /// Consumes the sink and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn write_record(&mut self, fields: &[String]) -> io::Result<()> {
+        self.writer
+            .write_all(crate::csv::render(&[fields]).as_bytes())
+    }
+}
+
+impl<W: Write> RowSink for CsvSink<W> {
+    fn header(&mut self, columns: &[String]) -> io::Result<()> {
+        self.write_record(columns)
+    }
+
+    fn row(&mut self, fields: &[String]) -> io::Result<()> {
+        self.write_record(fields)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// The summary header: one column per [`summary_rows`] field.
+fn summary_header() -> Vec<String> {
+    [
+        "table",
+        "scenario",
+        "method",
+        "giant_by_ga",
+        "coverage_by_ga",
+        "giant_standalone",
+        "coverage_standalone",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect()
+}
+
+/// Flattens every table into summary records, one per (scenario, method)
+/// cell, in table order.
+fn summary_rows(tables: &[TableResult]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for table in tables {
+        let n = table.scenario.table_number().unwrap_or(0);
+        for r in &table.rows {
+            rows.push(vec![
+                n.to_string(),
+                table.scenario.name().to_owned(),
+                r.method.name().to_owned(),
+                r.giant_by_ga.to_string(),
+                r.coverage_by_ga.to_string(),
+                r.giant_standalone.to_string(),
+                r.coverage_standalone.to_string(),
+            ]);
+        }
+    }
+    rows
+}
+
+/// Streams every table's rows into `sink` (header, rows, finish).
+///
+/// # Errors
+///
+/// Propagates the sink's I/O failures.
+pub fn stream_summary<S: RowSink + ?Sized>(sink: &mut S, tables: &[TableResult]) -> io::Result<()> {
+    wmn_runtime::sink::drain(sink, &summary_header(), &summary_rows(tables))
+}
+
+/// Writes the cross-scenario summary as `summary.csv` and `summary.jsonl`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors, naming the path.
+pub fn write_summary(dir: &Path, tables: &[TableResult]) -> Result<(), ExperimentError> {
+    create_dir(dir)?;
+    let csv_path = dir.join("summary.csv");
+    let mut csv_sink = CsvSink::new(Vec::new());
+    stream_summary(&mut csv_sink, tables).map_err(|e| ExperimentError::io(&csv_path, e))?;
+    write_file(
+        &csv_path,
+        &String::from_utf8(csv_sink.into_inner()).expect("CSV output is UTF-8"),
     )?;
-    Ok(())
+
+    let jsonl_path = dir.join("summary.jsonl");
+    let mut jsonl_sink = JsonlSink::new(Vec::new());
+    stream_summary(&mut jsonl_sink, tables).map_err(|e| ExperimentError::io(&jsonl_path, e))?;
+    write_file(
+        &jsonl_path,
+        &String::from_utf8(jsonl_sink.into_inner()).expect("JSONL output is UTF-8"),
+    )
 }
 
 #[cfg(test)]
@@ -78,6 +191,7 @@ mod tests {
     use crate::figures::{run_ga_figure, run_ns_figure};
     use crate::scenario::{ExperimentConfig, Scenario};
     use crate::tables::run_table;
+    use std::fs;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let dir =
@@ -110,6 +224,39 @@ mod tests {
         write_ns_figure(&dir, &ns).unwrap();
         let csv = fs::read_to_string(dir.join("fig4.csv")).unwrap();
         assert!(csv.starts_with("phase,Swap,Random"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failure_names_the_path() {
+        let t = run_table(Scenario::Normal, &ExperimentConfig::quick()).unwrap();
+        // A directory path that cannot be created (parent is a file).
+        let file = std::env::temp_dir().join(format!("wmn-not-a-dir-{}", std::process::id()));
+        fs::write(&file, "occupied").unwrap();
+        let err = write_table(&file.join("sub"), &t).unwrap_err();
+        assert!(err.to_string().contains("sub"), "{err}");
+        let _ = fs::remove_file(&file);
+    }
+
+    #[test]
+    fn summary_covers_every_cell() {
+        let dir = tmpdir("summary");
+        let config = ExperimentConfig::quick();
+        let tables: Vec<TableResult> = Scenario::paper_tables()
+            .into_iter()
+            .map(|s| run_table(s, &config).unwrap())
+            .collect();
+        write_summary(&dir, &tables).unwrap();
+
+        let csv = fs::read_to_string(dir.join("summary.csv")).unwrap();
+        assert!(csv.starts_with("table,scenario,method,"));
+        assert_eq!(csv.lines().count(), 1 + 3 * 7);
+        assert!(csv.contains("1,normal,HotSpot,"));
+        assert!(csv.contains("3,weibull,Random,"));
+
+        let jsonl = fs::read_to_string(dir.join("summary.jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 3 * 7);
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"table\":")));
         let _ = fs::remove_dir_all(&dir);
     }
 }

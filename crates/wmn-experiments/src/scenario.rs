@@ -2,8 +2,11 @@
 
 use std::fmt;
 use std::str::FromStr;
+use wmn_model::distribution::ClientDistribution;
+use wmn_model::geometry::Area;
 use wmn_model::instance::{InstanceSpec, ProblemInstance};
 use wmn_model::ModelError;
+use wmn_runtime::Runtime;
 
 /// Client distribution scenario, one per paper table/figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +51,42 @@ impl Scenario {
         self.spec()?.generate(seed)
     }
 
+    /// The spec scaled by `scale`: router/client counts multiplied, the
+    /// area side stretched, and the distribution's area-derived parameters
+    /// (e.g. the Normal's `μ = W/2, σ = W/10`) re-derived for the scaled
+    /// area so the client *shape* is preserved at every scale.
+    ///
+    /// The identity scale returns exactly [`Scenario::spec`], so scaled and
+    /// unscaled paths cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation — e.g. a zero router multiplier or a
+    /// non-finite area multiplier.
+    pub fn scaled_spec(&self, scale: ScenarioScale) -> Result<InstanceSpec, ModelError> {
+        let base = self.spec()?;
+        if scale.is_identity() {
+            return Ok(base);
+        }
+        let area = Area::new(
+            base.area().width() * scale.area,
+            base.area().height() * scale.area,
+        )?;
+        let distribution = match self {
+            Scenario::Normal => ClientDistribution::paper_normal(&area)?,
+            Scenario::Exponential => ClientDistribution::paper_exponential(&area)?,
+            Scenario::Weibull => ClientDistribution::paper_weibull(&area)?,
+            Scenario::Uniform => ClientDistribution::Uniform,
+        };
+        InstanceSpec::new(
+            area,
+            base.router_count().saturating_mul(scale.routers as usize),
+            base.client_count().saturating_mul(scale.clients as usize),
+            distribution,
+            base.radio(),
+        )
+    }
+
     /// Stable lowercase name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -55,6 +94,18 @@ impl Scenario {
             Scenario::Exponential => "exponential",
             Scenario::Weibull => "weibull",
             Scenario::Uniform => "uniform",
+        }
+    }
+
+    /// Stable integer coordinate for experiment-grid seeding
+    /// ([`wmn_runtime::grid::Cell`]); changing these renumbers every
+    /// derived RNG stream, so they are pinned.
+    pub fn grid_id(&self) -> u64 {
+        match self {
+            Scenario::Normal => 0,
+            Scenario::Exponential => 1,
+            Scenario::Weibull => 2,
+            Scenario::Uniform => 3,
         }
     }
 
@@ -89,6 +140,58 @@ impl FromStr for Scenario {
     }
 }
 
+/// Instance-size multipliers over the paper's fixed 64-router /
+/// 192-client / 128×128 family — the escape hatch for exercising the
+/// runtime on 2×/4× (and beyond) paper-scale instances.
+///
+/// `routers` and `clients` multiply the counts; `area` stretches the
+/// square's **side length** (so `area: 2.0` quadruples the surface). The
+/// radio profile is deliberately left at the paper's `[2, 8]`: larger
+/// areas with unchanged radios are genuinely harder connectivity
+/// instances, which is the point of scaling up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioScale {
+    /// Router-count multiplier (≥ 1 for a usable instance).
+    pub routers: u32,
+    /// Client-count multiplier (≥ 1 for a usable instance).
+    pub clients: u32,
+    /// Area side-length multiplier (> 0, finite).
+    pub area: f64,
+}
+
+impl ScenarioScale {
+    /// The paper's own scale: all multipliers 1.
+    pub fn identity() -> Self {
+        ScenarioScale {
+            routers: 1,
+            clients: 1,
+            area: 1.0,
+        }
+    }
+
+    /// A proportional scale-up: `n`× routers and clients on `√n`× the side
+    /// length, which keeps router density (routers per unit area) constant.
+    pub fn proportional(n: u32) -> Self {
+        ScenarioScale {
+            routers: n,
+            clients: n,
+            area: f64::from(n).sqrt(),
+        }
+    }
+
+    /// Whether this is exactly the identity scale.
+    pub fn is_identity(&self) -> bool {
+        self.routers == 1 && self.clients == 1 && self.area == 1.0
+    }
+}
+
+impl Default for ScenarioScale {
+    /// The identity scale.
+    fn default() -> Self {
+        ScenarioScale::identity()
+    }
+}
+
 /// Scale and seeding of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
@@ -100,8 +203,14 @@ pub struct ExperimentConfig {
     pub population: usize,
     /// GA generations (the paper's figures run ~800).
     pub generations: usize,
-    /// GA evaluation threads.
+    /// GA evaluation threads (inner parallelism of a single GA run).
     pub threads: usize,
+    /// Experiment-runtime worker threads (outer parallelism across grid
+    /// cells); `0` = one worker per available core. Results are identical
+    /// for every value — see `wmn-runtime`'s determinism guarantee.
+    pub runner_threads: usize,
+    /// Instance-size multipliers (identity = the paper's instances).
+    pub scale: ScenarioScale,
     /// Neighborhood search phases (Figure 4 runs 61).
     pub ns_phases: usize,
     /// Neighbors examined per search phase.
@@ -127,19 +236,44 @@ impl ExperimentConfig {
             // paper reports ≈ 55 vs ≈ 20). See DESIGN.md §2.
             ns_budget: 16,
             sample_every: 5,
+            runner_threads: 0,
+            scale: ScenarioScale::identity(),
         }
     }
 
     /// Reduced scale for CI and tests (~50x faster, same code paths).
     pub fn quick() -> Self {
+        ExperimentConfig::paper().quickened()
+    }
+
+    /// This config with [`quick`](ExperimentConfig::quick)'s reduced search
+    /// effort, keeping seeds, thread counts, and instance scale.
+    pub fn quickened(self) -> Self {
         ExperimentConfig {
             population: 16,
             generations: 40,
             ns_phases: 20,
             ns_budget: 8,
             sample_every: 2,
-            ..ExperimentConfig::paper()
+            ..self
         }
+    }
+
+    /// Generates `scenario`'s instance at this config's seed and scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation (see [`Scenario::scaled_spec`]).
+    pub fn instance(&self, scenario: Scenario) -> Result<ProblemInstance, ModelError> {
+        scenario
+            .scaled_spec(self.scale)?
+            .generate(self.instance_seed)
+    }
+
+    /// The experiment runtime resolved from
+    /// [`runner_threads`](ExperimentConfig::runner_threads).
+    pub fn runtime(&self) -> Runtime {
+        Runtime::new(self.runner_threads)
     }
 }
 
@@ -189,8 +323,104 @@ mod tests {
         let p = ExperimentConfig::paper();
         assert_eq!(p.generations, 800);
         assert_eq!(p.ns_phases, 61);
+        assert_eq!(p.runner_threads, 0);
+        assert!(p.scale.is_identity());
         let q = ExperimentConfig::quick();
         assert!(q.generations < p.generations);
         assert_eq!(q.instance_seed, p.instance_seed);
+    }
+
+    #[test]
+    fn quickened_preserves_orthogonal_knobs() {
+        let mut config = ExperimentConfig::paper();
+        config.run_seed = 7;
+        config.runner_threads = 3;
+        config.scale = ScenarioScale::proportional(2);
+        let q = config.quickened();
+        assert_eq!(q.generations, ExperimentConfig::quick().generations);
+        assert_eq!(q.run_seed, 7);
+        assert_eq!(q.runner_threads, 3);
+        assert_eq!(q.scale, ScenarioScale::proportional(2));
+    }
+
+    #[test]
+    fn identity_scale_is_exactly_the_paper_spec() {
+        for s in Scenario::paper_tables() {
+            assert_eq!(
+                s.scaled_spec(ScenarioScale::identity()).unwrap(),
+                s.spec().unwrap()
+            );
+        }
+        let config = ExperimentConfig::quick();
+        assert_eq!(
+            config.instance(Scenario::Normal).unwrap(),
+            Scenario::Normal.instance(config.instance_seed).unwrap()
+        );
+    }
+
+    #[test]
+    fn proportional_scale_multiplies_counts_and_area() {
+        let scale = ScenarioScale::proportional(4);
+        let spec = Scenario::Normal.scaled_spec(scale).unwrap();
+        assert_eq!(spec.router_count(), 256);
+        assert_eq!(spec.client_count(), 768);
+        assert!((spec.area().width() - 256.0).abs() < 1e-9);
+        let inst = spec.generate(1).unwrap();
+        assert_eq!(inst.router_count(), 256);
+        assert_eq!(inst.client_count(), 768);
+    }
+
+    #[test]
+    fn scaled_distribution_follows_the_area() {
+        // The Normal's mean tracks the scaled area's center, keeping the
+        // client shape (a central cluster) at every scale.
+        let spec = Scenario::Normal
+            .scaled_spec(ScenarioScale {
+                routers: 1,
+                clients: 1,
+                area: 2.0,
+            })
+            .unwrap();
+        match spec.distribution() {
+            ClientDistribution::Normal { mu_x, mu_y, sigma } => {
+                assert!((mu_x - 128.0).abs() < 1e-9);
+                assert!((mu_y - 128.0).abs() < 1e-9);
+                assert!((sigma - 25.6).abs() < 1e-9);
+            }
+            other => panic!("unexpected distribution {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_scale_is_rejected() {
+        let zero_routers = ScenarioScale {
+            routers: 0,
+            clients: 1,
+            area: 1.0,
+        };
+        assert!(Scenario::Normal.scaled_spec(zero_routers).is_err());
+        let bad_area = ScenarioScale {
+            routers: 1,
+            clients: 1,
+            area: f64::NAN,
+        };
+        assert!(Scenario::Normal.scaled_spec(bad_area).is_err());
+    }
+
+    #[test]
+    fn grid_ids_are_stable_and_distinct() {
+        assert_eq!(Scenario::Normal.grid_id(), 0);
+        assert_eq!(Scenario::Exponential.grid_id(), 1);
+        assert_eq!(Scenario::Weibull.grid_id(), 2);
+        assert_eq!(Scenario::Uniform.grid_id(), 3);
+    }
+
+    #[test]
+    fn runtime_resolves_threads() {
+        let mut config = ExperimentConfig::quick();
+        config.runner_threads = 2;
+        assert_eq!(config.runtime().threads(), 2);
+        config.runner_threads = 0;
+        assert!(config.runtime().threads() >= 1);
     }
 }

@@ -1,13 +1,20 @@
 //! Reproduction of Tables 1–3: giant component and user coverage per ad
 //! hoc method, standalone and as GA initializer.
+//!
+//! Each method's row is one independent job of the experiment grid,
+//! executed on [`ExperimentConfig::runtime`]'s worker pool. Per-cell RNG
+//! seeds are derived from grid coordinates (`[domain, scenario, method]`,
+//! see [`wmn_runtime::grid`]), so the table is bit-identical for every
+//! worker count.
 
 use crate::scenario::{ExperimentConfig, Scenario};
 use wmn_ga::engine::{GaConfig, GaEngine};
 use wmn_ga::init::PopulationInit;
 use wmn_metrics::evaluator::Evaluator;
-use wmn_model::rng::SeedSequence;
 use wmn_model::ModelError;
+use wmn_model::ProblemInstance;
 use wmn_placement::registry::AdHocMethod;
+use wmn_runtime::grid::{domain, Cell};
 
 /// One row of a paper table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +36,11 @@ pub struct TableRow {
 pub struct TableResult {
     /// The client-distribution scenario.
     pub scenario: Scenario,
+    /// Routers in the evaluated instance (64 at paper scale; more under
+    /// [`crate::scenario::ScenarioScale`]).
+    pub router_count: usize,
+    /// Clients in the evaluated instance (192 at paper scale).
+    pub client_count: usize,
     /// One row per ad hoc method, in paper order.
     pub rows: Vec<TableRow>,
 }
@@ -89,15 +101,59 @@ impl TableResult {
     }
 }
 
+/// The GA-run grid cell for `(scenario, method)` — shared with the figure
+/// runner so that Figure N and Table N report the *same* GA runs (as in
+/// the paper).
+pub(crate) fn ga_cell(scenario: Scenario, method_index: usize, method: AdHocMethod) -> Cell {
+    Cell::new(
+        format!("ga-{}-{}", scenario.name(), method.name()),
+        &[domain::GA, scenario.grid_id(), method_index as u64],
+    )
+}
+
+/// One method's table row: the standalone placement (paper scenario 1) and
+/// a GA initialized from the method (paper scenario 2).
+fn table_row(
+    scenario: Scenario,
+    config: &ExperimentConfig,
+    instance: &ProblemInstance,
+    evaluator: &Evaluator<'_>,
+    ga_config: &GaConfig,
+    method_index: usize,
+    method: AdHocMethod,
+) -> Result<TableRow, ModelError> {
+    let standalone_cell = Cell::new(
+        format!("standalone-{}-{}", scenario.name(), method.name()),
+        &[domain::STANDALONE, scenario.grid_id(), method_index as u64],
+    );
+    let mut standalone_rng = standalone_cell.rng(config.run_seed);
+    let standalone = method.heuristic().place(instance, &mut standalone_rng);
+    let standalone_eval = evaluator.evaluate(&standalone)?;
+
+    let mut ga_rng = ga_cell(scenario, method_index, method).rng(config.run_seed);
+    let engine = GaEngine::new(evaluator, ga_config.clone());
+    let outcome = engine.run(&PopulationInit::AdHoc(method), &mut ga_rng)?;
+
+    Ok(TableRow {
+        method,
+        giant_by_ga: outcome.best_evaluation.giant_size(),
+        coverage_by_ga: outcome.best_evaluation.covered_clients(),
+        giant_standalone: standalone_eval.giant_size(),
+        coverage_standalone: standalone_eval.covered_clients(),
+    })
+}
+
 /// Runs one paper table: for every ad hoc method, measure the standalone
-/// placement and a GA initialized from it.
+/// placement and a GA initialized from it. Method rows run in parallel on
+/// [`ExperimentConfig::runtime`]; the result is bit-identical for every
+/// worker count.
 ///
 /// # Errors
 ///
 /// Propagates instance generation and evaluation failures (none occur for
 /// the built-in scenarios).
 pub fn run_table(scenario: Scenario, config: &ExperimentConfig) -> Result<TableResult, ModelError> {
-    let instance = scenario.instance(config.instance_seed)?;
+    let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
     let ga_config = GaConfig::builder()
         .population_size(config.population)
@@ -106,32 +162,18 @@ pub fn run_table(scenario: Scenario, config: &ExperimentConfig) -> Result<TableR
         .build()
         .expect("experiment GA config is valid");
 
-    let seq = SeedSequence::new(config.run_seed);
-    let mut rows = Vec::with_capacity(7);
-    for method in AdHocMethod::all() {
-        // Standalone: one placement, directly evaluated (paper scenario 1).
-        let mut standalone_rng = seq
-            .fork(&format!("standalone-{}-{}", scenario.name(), method.name()))
-            .next_rng();
-        let standalone = method.heuristic().place(&instance, &mut standalone_rng);
-        let standalone_eval = evaluator.evaluate(&standalone)?;
-
-        // GA initialized by the method (paper scenario 2).
-        let mut ga_rng = seq
-            .fork(&format!("ga-{}-{}", scenario.name(), method.name()))
-            .next_rng();
-        let engine = GaEngine::new(&evaluator, ga_config.clone());
-        let outcome = engine.run(&PopulationInit::AdHoc(method), &mut ga_rng)?;
-
-        rows.push(TableRow {
-            method,
-            giant_by_ga: outcome.best_evaluation.giant_size(),
-            coverage_by_ga: outcome.best_evaluation.covered_clients(),
-            giant_standalone: standalone_eval.giant_size(),
-            coverage_standalone: standalone_eval.covered_clients(),
-        });
-    }
-    Ok(TableResult { scenario, rows })
+    let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
+    let rows = config.runtime().try_execute(jobs, |_, (mi, method)| {
+        table_row(
+            scenario, config, &instance, &evaluator, &ga_config, mi, method,
+        )
+    })?;
+    Ok(TableResult {
+        scenario,
+        router_count: instance.router_count(),
+        client_count: instance.client_count(),
+        rows,
+    })
 }
 
 #[cfg(test)]

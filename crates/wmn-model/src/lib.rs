@@ -68,5 +68,5 @@ pub mod prelude {
     pub use crate::node::{Client, ClientId, Router, RouterId};
     pub use crate::placement::Placement;
     pub use crate::radio::RadioProfile;
-    pub use crate::rng::{rng_from_seed, Rng, SeedSequence};
+    pub use crate::rng::{rng_from_seed, stream_seed, Rng, SeedSequence};
 }

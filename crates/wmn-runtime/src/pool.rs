@@ -1,0 +1,239 @@
+//! The scoped worker pool.
+//!
+//! A [`Runtime`] executes a batch of independent jobs on `N` worker threads
+//! spawned inside [`std::thread::scope`], so jobs may borrow from the
+//! caller's stack (instances, evaluators) without `'static` bounds or
+//! reference counting. Jobs are distributed through a shared
+//! `Mutex<VecDeque>` — the whole batch is enqueued before the workers
+//! start, so workers simply drain the queue and exit when it is empty; no
+//! condition variable is needed because nothing is ever enqueued late.
+//! Results are written into a preallocated slot per job index, which is
+//! what makes the output order (and therefore downstream iteration order)
+//! independent of scheduling.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// A deterministic parallel job executor.
+///
+/// Construction is cheap (no threads are kept alive between batches);
+/// workers are spawned per [`execute`](Runtime::execute) call and joined
+/// before it returns.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_runtime::pool::Runtime;
+///
+/// let squares = Runtime::new(4).execute(vec![1u64, 2, 3], |_, x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runtime {
+    threads: usize,
+}
+
+impl Runtime {
+    /// A runtime with the given worker count; `0` means "one worker per
+    /// available core" ([`Runtime::available_parallelism`]).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            Self::available_parallelism()
+        } else {
+            threads
+        };
+        Runtime { threads }
+    }
+
+    /// A single-worker runtime (the serial reference path).
+    pub fn serial() -> Self {
+        Runtime { threads: 1 }
+    }
+
+    /// The number of cores the OS reports, with a fallback of 1 when the
+    /// query is unsupported.
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// The resolved worker count (never 0).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `worker` over every job and returns the results **in job
+    /// order**, regardless of which worker finished first.
+    ///
+    /// `worker` receives the job's index and the job by value. With one
+    /// worker (or one job) no threads are spawned at all, so the serial
+    /// path is exactly a `map`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker thread after all workers have
+    /// been joined.
+    pub fn execute<T, R, F>(&self, jobs: Vec<T>, worker: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.threads <= 1 || jobs.len() <= 1 {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| worker(i, job))
+                .collect();
+        }
+
+        let workers = self.threads.min(jobs.len());
+        let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<R>>> = std::iter::repeat_with(|| Mutex::new(None))
+            .take(queue.lock().expect("fresh queue lock").len())
+            .collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((index, job)) = queue.lock().expect("job queue lock").pop_front()
+                    else {
+                        break;
+                    };
+                    let result = worker(index, job);
+                    *slots[index].lock().expect("result slot lock") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("every job index was executed exactly once")
+            })
+            .collect()
+    }
+
+    /// Like [`execute`](Runtime::execute) for fallible jobs: runs the whole
+    /// batch, then returns either every result in job order or the error of
+    /// the **lowest-indexed** failing job.
+    ///
+    /// Taking the lowest index (rather than the first to *arrive*) keeps
+    /// error reporting deterministic across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing job, if any.
+    pub fn try_execute<T, R, E, F>(&self, jobs: Vec<T>, worker: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, T) -> Result<R, E> + Sync,
+    {
+        self.execute(jobs, worker).into_iter().collect()
+    }
+}
+
+impl Default for Runtime {
+    /// One worker per available core; equivalent to `Runtime::new(0)`.
+    fn default() -> Self {
+        Runtime::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert_eq!(Runtime::new(0).threads(), Runtime::available_parallelism());
+        assert!(Runtime::default().threads() >= 1);
+        assert_eq!(Runtime::serial().threads(), 1);
+    }
+
+    #[test]
+    fn results_are_in_job_order() {
+        // Jobs deliberately finish out of order (larger index = less work).
+        let jobs: Vec<u64> = (0..64).collect();
+        let out = Runtime::new(8).execute(jobs, |i, x| {
+            let spins = (64 - i as u64) * 1000;
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_any_thread_count() {
+        let work = |i: usize, x: u64| -> u64 {
+            let mut acc = x.wrapping_add(i as u64);
+            for _ in 0..100 {
+                acc = acc.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i as u64);
+            }
+            acc
+        };
+        let jobs: Vec<u64> = (0..23).map(|i| i * 7).collect();
+        let reference = Runtime::serial().execute(jobs.clone(), work);
+        for threads in [2, 3, 8, 32] {
+            assert_eq!(
+                Runtime::new(threads).execute(jobs.clone(), work),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u64> = Runtime::new(4).execute(Vec::<u64>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = Runtime::new(64).execute(vec![1u64, 2], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_state() {
+        let table = [10u64, 20, 30];
+        let out = Runtime::new(2).execute(vec![0usize, 1, 2], |_, i| table[i]);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn try_execute_reports_lowest_index_error() {
+        let jobs: Vec<usize> = (0..16).collect();
+        let err = Runtime::new(4)
+            .try_execute(jobs, |_, x| {
+                if x % 5 == 3 {
+                    Err(format!("job {x} failed"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "job 3 failed");
+    }
+
+    #[test]
+    fn try_execute_ok_path_preserves_order() {
+        let jobs: Vec<usize> = (0..10).collect();
+        let out: Vec<usize> = Runtime::new(3)
+            .try_execute(jobs, |_, x| Ok::<_, String>(x * 2))
+            .unwrap();
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

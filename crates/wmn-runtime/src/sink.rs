@@ -1,0 +1,218 @@
+//! Pluggable result sinks.
+//!
+//! The runtime hands results to callers in job order; a [`RowSink`] is the
+//! structural way to stream those results somewhere — into memory for
+//! in-process consumers ([`MemorySink`]), or onto disk as JSON Lines
+//! ([`JsonlSink`]). `wmn-experiments` adds a CSV sink on top of its own
+//! RFC-4180 renderer.
+//!
+//! Rows are flat string records under a named header, which is exactly the
+//! shape of the paper's tables and of per-cell experiment summaries.
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// A consumer of string-record rows.
+pub trait RowSink {
+    /// Declares the column names. Called once, before any [`row`](RowSink::row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the underlying writer.
+    fn header(&mut self, columns: &[String]) -> io::Result<()>;
+
+    /// Consumes one record. Fields are matched to header columns by position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the underlying writer.
+    fn row(&mut self, fields: &[String]) -> io::Result<()>;
+
+    /// Flushes buffered output. Called once, after the last row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the underlying writer.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl fmt::Debug for dyn RowSink + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("dyn RowSink")
+    }
+}
+
+/// Streams every row of `rows` (with `header`) through `sink`, including
+/// the trailing [`finish`](RowSink::finish).
+///
+/// # Errors
+///
+/// Propagates the sink's I/O failures.
+pub fn drain<S: RowSink + ?Sized>(
+    sink: &mut S,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    sink.header(header)?;
+    for row in rows {
+        sink.row(row)?;
+    }
+    sink.finish()
+}
+
+/// An in-memory sink: collects the header and all rows (the "tables" path).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemorySink {
+    /// Column names, empty until [`RowSink::header`] is called.
+    pub columns: Vec<String>,
+    /// All recorded rows, in record order.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RowSink for MemorySink {
+    fn header(&mut self, columns: &[String]) -> io::Result<()> {
+        self.columns = columns.to_vec();
+        Ok(())
+    }
+
+    fn row(&mut self, fields: &[String]) -> io::Result<()> {
+        self.rows.push(fields.to_vec());
+        Ok(())
+    }
+}
+
+/// A JSON Lines sink: one `{"column": "field", ...}` object per row.
+///
+/// Fields are emitted as JSON strings (experiment records are stringly at
+/// this layer; numeric consumers parse downstream). Escaping covers
+/// quotes, backslashes, and control characters.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    columns: Vec<String>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Consumes the sink and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+/// Escapes one string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl<W: Write> RowSink for JsonlSink<W> {
+    fn header(&mut self, columns: &[String]) -> io::Result<()> {
+        self.columns = columns.to_vec();
+        Ok(())
+    }
+
+    fn row(&mut self, fields: &[String]) -> io::Result<()> {
+        let mut line = String::from("{");
+        for (i, field) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let column = self.columns.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!(
+                "\"{}\":\"{}\"",
+                escape_json(column),
+                escape_json(field)
+            ));
+        }
+        line.push('}');
+        writeln!(self.writer, "{line}")
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(fields: &[&str]) -> Vec<String> {
+        fields.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        drain(
+            &mut sink,
+            &strings(&["method", "giant"]),
+            &[strings(&["HotSpot", "55"]), strings(&["Random", "30"])],
+        )
+        .unwrap();
+        assert_eq!(sink.columns, strings(&["method", "giant"]));
+        assert_eq!(sink.rows.len(), 2);
+        assert_eq!(sink.rows[0][0], "HotSpot");
+        assert_eq!(sink.rows[1][1], "30");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_row() {
+        let mut sink = JsonlSink::new(Vec::new());
+        drain(
+            &mut sink,
+            &strings(&["method", "giant"]),
+            &[strings(&["HotSpot", "55"])],
+        )
+        .unwrap();
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(out, "{\"method\":\"HotSpot\",\"giant\":\"55\"}\n");
+    }
+
+    #[test]
+    fn jsonl_escapes_special_characters() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.header(&strings(&["k"])).unwrap();
+        sink.row(&strings(&["a\"b\\c\nd"])).unwrap();
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(out, "{\"k\":\"a\\\"b\\\\c\\nd\"}\n");
+    }
+
+    #[test]
+    fn dyn_sink_is_usable_and_debuggable() {
+        let mut mem = MemorySink::new();
+        let sink: &mut dyn RowSink = &mut mem;
+        sink.header(&strings(&["x"])).unwrap();
+        sink.row(&strings(&["1"])).unwrap();
+        assert_eq!(format!("{sink:?}"), "dyn RowSink");
+        assert_eq!(mem.rows.len(), 1);
+    }
+}

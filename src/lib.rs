@@ -21,6 +21,7 @@
 //! | [`placement`] | the seven ad hoc heuristics ([`AdHocMethod`]) |
 //! | [`search`] | neighborhood search: swap & random movements, SA, tabu |
 //! | [`ga`] | the genetic algorithm with ad-hoc-seeded populations |
+//! | [`runtime`] | deterministic parallel experiment execution ([`Runtime`]) |
 //!
 //! # Quick start
 //!
@@ -64,11 +65,13 @@ pub use wmn_graph as graph;
 pub use wmn_metrics as metrics;
 pub use wmn_model as model;
 pub use wmn_placement as placement;
+pub use wmn_runtime as runtime;
 pub use wmn_search as search;
 
 pub use wmn_metrics::Evaluator;
 pub use wmn_model::{InstanceSpec, Placement, ProblemInstance};
 pub use wmn_placement::AdHocMethod;
+pub use wmn_runtime::Runtime;
 
 /// One-stop import for applications: the preludes of every crate.
 pub mod prelude {
@@ -77,5 +80,6 @@ pub mod prelude {
     pub use wmn_metrics::{Evaluation, Evaluator, FitnessFunction, NetworkMeasurement};
     pub use wmn_model::prelude::*;
     pub use wmn_placement::prelude::*;
+    pub use wmn_runtime::{Cell, MemorySink, RowSink, Runtime};
     pub use wmn_search::prelude::*;
 }
