@@ -2,7 +2,8 @@
 //! each pits the chosen implementation against its reference alternative.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
+use rand::{Rng, RngCore};
+use wmn_experiments::{Scenario, ScenarioScale};
 use wmn_ga::chromosome::Individual;
 use wmn_ga::parallel::evaluate_population;
 use wmn_ga::population::Population;
@@ -10,10 +11,12 @@ use wmn_graph::adjacency::{LinkModel, MeshAdjacency};
 use wmn_graph::components::Components;
 use wmn_graph::density::{CellWindow, DensityMap};
 use wmn_graph::spatial::GridIndex;
+use wmn_graph::topology::WmnTopology;
 use wmn_metrics::Evaluator;
 use wmn_model::geometry::{Area, Point};
 use wmn_model::instance::InstanceSpec;
 use wmn_model::rng::rng_from_seed;
+use wmn_model::RouterId;
 
 fn random_layout(area: &Area, n: usize, seed: u64) -> (Vec<Point>, Vec<f64>) {
     let mut rng = rng_from_seed(seed);
@@ -74,6 +77,57 @@ fn ablation_incremental(c: &mut Criterion) {
             old
         });
     });
+    group.finish();
+}
+
+/// The neighborhood-search inner loop — 1000 iterations of
+/// `propose → apply → evaluate → undo` — with the incremental
+/// delta-evaluation engine vs the full-rebuild reference
+/// (`set_rebuild_mode(true)`). Identical RNG streams and identical results
+/// (pinned by the `incremental_equivalence` test suite); only the repair
+/// strategy differs. Run at paper scale (64 routers / 192 clients) and at
+/// `--scale 4` (256 routers / 768 clients, proportional area).
+fn ablation_move_eval(c: &mut Criterion) {
+    /// A hill-climb-shaped inner loop: relocate a random router, evaluate,
+    /// undo by moving it back. 1000 moves ⇒ 2000 `move_router` calls.
+    fn thousand_moves(
+        topo: &mut WmnTopology,
+        evaluator: &Evaluator<'_>,
+        rng: &mut dyn RngCore,
+        side: f64,
+    ) -> f64 {
+        let n = topo.router_count();
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            let id = RouterId(rng.gen_range(0..n));
+            let to = Point::new(rng.gen_range(0.0..=side), rng.gen_range(0.0..=side));
+            let old = topo.move_router(id, to);
+            acc += evaluator.evaluate_topology(topo).fitness;
+            let _ = topo.move_router(id, old);
+        }
+        acc
+    }
+
+    let mut group = c.benchmark_group("ablation_move_eval");
+    group.sample_size(10);
+    for (label, factor) in [("paper", 1u32), ("scale4", 4u32)] {
+        let instance = Scenario::Normal
+            .scaled_spec(ScenarioScale::proportional(factor))
+            .expect("valid scaled spec")
+            .generate(2)
+            .expect("generates");
+        let evaluator = Evaluator::paper_default(&instance);
+        let placement = instance.random_placement(&mut rng_from_seed(3));
+        let side = instance.area().width();
+        for (mode, full_rebuild) in [("incremental", false), ("rebuild", true)] {
+            group.bench_function(BenchmarkId::new(mode, label), |b| {
+                let mut topo = evaluator.topology(&placement).expect("builds");
+                topo.set_rebuild_mode(full_rebuild);
+                let mut rng = rng_from_seed(4);
+                b.iter(|| thousand_moves(&mut topo, &evaluator, &mut rng, side));
+            });
+        }
+    }
     group.finish();
 }
 
@@ -178,6 +232,7 @@ criterion_group!(
     benches,
     ablation_spatial_index,
     ablation_incremental,
+    ablation_move_eval,
     ablation_components,
     ablation_density,
     ablation_parallel_eval,

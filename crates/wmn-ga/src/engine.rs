@@ -235,7 +235,15 @@ impl<'e, 'i> GaEngine<'e, 'i> {
     ) -> Result<GaOutcome, ModelError> {
         let mut population =
             init.build(self.evaluator.instance(), self.config.population_size, rng);
-        parallel::evaluate_population(self.evaluator, &mut population, self.config.threads)?;
+        // One workspace set for the entire run: each worker's topology is
+        // built once and rebuilt in place every generation thereafter.
+        let mut workspaces = Vec::new();
+        parallel::evaluate_population_with(
+            self.evaluator,
+            &mut population,
+            self.config.threads,
+            &mut workspaces,
+        )?;
 
         let mut trace = GaTrace::new();
         self.record(0, &population, &mut trace);
@@ -281,7 +289,12 @@ impl<'e, 'i> GaEngine<'e, 'i> {
                 }
             }
             population = next;
-            parallel::evaluate_population(self.evaluator, &mut population, self.config.threads)?;
+            parallel::evaluate_population_with(
+                self.evaluator,
+                &mut population,
+                self.config.threads,
+                &mut workspaces,
+            )?;
             self.record(generation, &population, &mut trace);
 
             let gen_best = population.best_evaluation().expect("evaluated");

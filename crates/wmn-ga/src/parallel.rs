@@ -7,10 +7,12 @@
 //! dependencies.
 
 use crate::population::Population;
-use wmn_metrics::evaluator::Evaluator;
+use wmn_metrics::evaluator::{EvalWorkspace, Evaluator};
 use wmn_model::ModelError;
 
-/// Evaluates every stale individual, using up to `threads` workers.
+/// Evaluates every stale individual, using up to `threads` workers and
+/// fresh per-call workspaces; prefer [`evaluate_population_with`] in loops
+/// (the GA engine does) so workspaces persist across generations.
 ///
 /// `threads <= 1` evaluates serially. The result is identical to serial
 /// evaluation regardless of thread count (verified by engine tests).
@@ -24,18 +26,44 @@ pub fn evaluate_population(
     population: &mut Population,
     threads: usize,
 ) -> Result<(), ModelError> {
+    evaluate_population_with(evaluator, population, threads, &mut Vec::new())
+}
+
+/// Evaluates every stale individual through caller-owned workspaces — one
+/// per worker chunk, grown on demand — so a generational loop pays the
+/// topology build once per worker for the whole run instead of once per
+/// generation.
+///
+/// # Errors
+///
+/// Propagates the first placement-validation failure.
+pub fn evaluate_population_with(
+    evaluator: &Evaluator<'_>,
+    population: &mut Population,
+    threads: usize,
+    workspaces: &mut Vec<EvalWorkspace>,
+) -> Result<(), ModelError> {
     if threads <= 1 {
-        return population.evaluate_all(evaluator);
+        if workspaces.is_empty() {
+            workspaces.push(EvalWorkspace::new());
+        }
+        return population.evaluate_all_with(evaluator, &mut workspaces[0]);
     }
     let individuals = population.individuals_mut();
     let chunk = individuals.len().div_ceil(threads).max(1);
+    let chunk_count = individuals.len().div_ceil(chunk);
+    if workspaces.len() < chunk_count {
+        workspaces.resize_with(chunk_count, EvalWorkspace::new);
+    }
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for slice in individuals.chunks_mut(chunk) {
+        for (slice, workspace) in individuals.chunks_mut(chunk).zip(workspaces.iter_mut()) {
             handles.push(scope.spawn(move || -> Result<(), ModelError> {
+                // One workspace per worker: in-place topology reuse across
+                // the whole chunk, no cross-thread sharing needed.
                 for ind in slice {
                     if !ind.is_evaluated() {
-                        let e = evaluator.evaluate(ind.placement())?;
+                        let e = evaluator.evaluate_with(workspace, ind.placement())?;
                         ind.set_evaluation(e);
                     }
                 }
@@ -90,6 +118,25 @@ mod tests {
         // Re-running is a no-op.
         evaluate_population(&evaluator, &mut pop, 4).unwrap();
         assert_eq!(pop, snapshot);
+    }
+
+    #[test]
+    fn persistent_workspaces_match_fresh_across_generations() {
+        let (instance, _) = population(24, 5);
+        let evaluator = Evaluator::paper_default(&instance);
+        let mut workspaces = Vec::new();
+        for round in 0..3 {
+            // New "generation": same shape, different placements.
+            let (_, generation) = population(24, 100 + round);
+            let mut fresh = generation.clone();
+            evaluate_population(&evaluator, &mut fresh, 4).unwrap();
+            let mut reused = generation.clone();
+            evaluate_population_with(&evaluator, &mut reused, 4, &mut workspaces).unwrap();
+            assert_eq!(reused, fresh, "round {round}");
+        }
+        // Workspaces were grown once (4 workers over 24 individuals) and
+        // kept across rounds.
+        assert_eq!(workspaces.len(), 4);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Populations of individuals.
 
 use crate::chromosome::Individual;
-use wmn_metrics::evaluator::{Evaluation, Evaluator};
+use wmn_metrics::evaluator::{EvalWorkspace, Evaluation, Evaluator};
 use wmn_model::ModelError;
 
 /// A GA population.
@@ -49,15 +49,33 @@ impl Population {
         self.individuals.push(individual);
     }
 
-    /// Evaluates every stale individual with `evaluator`.
+    /// Evaluates every stale individual with `evaluator`, through one
+    /// fresh [`EvalWorkspace`]; prefer
+    /// [`Population::evaluate_all_with`] in loops so the workspace — and
+    /// its topology buffers — carry over between calls.
     ///
     /// # Errors
     ///
     /// Propagates placement validation (first failure aborts).
     pub fn evaluate_all(&mut self, evaluator: &Evaluator<'_>) -> Result<(), ModelError> {
+        self.evaluate_all_with(evaluator, &mut EvalWorkspace::new())
+    }
+
+    /// Evaluates every stale individual through a caller-owned
+    /// [`EvalWorkspace`], so the per-individual topology is rebuilt in
+    /// place with zero allocations once the workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation (first failure aborts).
+    pub fn evaluate_all_with(
+        &mut self,
+        evaluator: &Evaluator<'_>,
+        workspace: &mut EvalWorkspace,
+    ) -> Result<(), ModelError> {
         for ind in &mut self.individuals {
             if !ind.is_evaluated() {
-                let e = evaluator.evaluate(ind.placement())?;
+                let e = evaluator.evaluate_with(workspace, ind.placement())?;
                 ind.set_evaluation(e);
             }
         }

@@ -55,6 +55,21 @@ impl LinkModel {
             LinkModel::FixedRange(r) => *r,
         }
     }
+
+    /// The spatial-index cell size adjacency construction uses for a point
+    /// set whose largest radius is `max_radius` — near the typical query
+    /// radius, so bucket scans stay tight. Shared between
+    /// [`MeshAdjacency::build`] and the router-side
+    /// [`DynamicGrid`](crate::spatial::DynamicGrid) that
+    /// [`WmnTopology`](crate::topology::WmnTopology) keeps in sync across
+    /// moves, so both paths see the same candidate structure.
+    #[inline]
+    pub fn grid_cell_size(&self, max_radius: f64) -> f64 {
+        match self {
+            LinkModel::FixedRange(r) => r.max(1e-9),
+            _ => (2.0 * max_radius).max(1e-9),
+        }
+    }
 }
 
 impl fmt::Display for LinkModel {
@@ -100,12 +115,7 @@ impl MeshAdjacency {
             return MeshAdjacency::default();
         }
         let max_radius = radii.iter().copied().fold(0.0_f64, f64::max);
-        // Cell size near the typical query radius keeps bucket scans tight.
-        let cell = match model {
-            LinkModel::FixedRange(r) => r.max(1e-9),
-            _ => (2.0 * max_radius).max(1e-9),
-        };
-        let index = GridIndex::build(area, positions, cell);
+        let index = GridIndex::build(area, positions, model.grid_cell_size(max_radius));
 
         let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut edge_count = 0;
@@ -195,33 +205,104 @@ impl MeshAdjacency {
     }
 
     /// Removes every edge incident to `i`, returning the former neighbors.
-    /// Part of the incremental-move repair path.
+    /// Part of the incremental-move repair path; prefer
+    /// [`MeshAdjacency::detach_node_into`] in loops — it reuses buffers.
     pub fn detach_node(&mut self, i: usize) -> Vec<usize> {
-        let old = std::mem::take(&mut self.neighbors[i]);
-        for &j in &old {
+        let mut old = Vec::new();
+        self.detach_node_into(i, &mut old);
+        old
+    }
+
+    /// Removes every edge incident to `i`, writing the former neighbors
+    /// (sorted) into `out` (cleared first). Neither `out` nor the internal
+    /// lists are reallocated once warm — this is the per-move hot path.
+    pub fn detach_node_into(&mut self, i: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let mut list = std::mem::take(&mut self.neighbors[i]);
+        for &j in &list {
             if let Ok(pos) = self.neighbors[j].binary_search(&i) {
                 self.neighbors[j].remove(pos);
             }
             self.edge_count -= 1;
         }
-        old
+        out.extend_from_slice(&list);
+        list.clear();
+        self.neighbors[i] = list; // hand the (empty) buffer back, capacity intact
     }
 
     /// Connects `i` to each node in `new_neighbors` (which must not contain
-    /// `i` or duplicates). Part of the incremental-move repair path.
+    /// `i` or duplicates). Part of the incremental-move repair path; prefer
+    /// [`MeshAdjacency::attach_node_from`] in loops.
     pub fn attach_node(&mut self, i: usize, new_neighbors: Vec<usize>) {
+        let mut sorted = new_neighbors;
+        sorted.sort_unstable();
+        self.attach_node_from(i, &sorted);
+    }
+
+    /// Connects `i` (currently detached) to each node in the **sorted,
+    /// duplicate-free** slice `new_neighbors`, without taking ownership of
+    /// any buffer. The allocation-free counterpart of
+    /// [`MeshAdjacency::attach_node`].
+    pub fn attach_node_from(&mut self, i: usize, new_neighbors: &[usize]) {
         debug_assert!(self.neighbors[i].is_empty(), "attach after detach only");
+        debug_assert!(new_neighbors.windows(2).all(|w| w[0] < w[1]), "sorted");
         debug_assert!(!new_neighbors.contains(&i));
-        for &j in &new_neighbors {
+        for &j in new_neighbors {
             match self.neighbors[j].binary_search(&i) {
                 Ok(_) => unreachable!("duplicate edge insertion"),
                 Err(pos) => self.neighbors[j].insert(pos, i),
             }
             self.edge_count += 1;
         }
-        let mut sorted = new_neighbors;
-        sorted.sort_unstable();
-        self.neighbors[i] = sorted;
+        self.neighbors[i].extend_from_slice(new_neighbors);
+    }
+
+    /// Recomputes the whole adjacency **in place** for `positions`/`radii`
+    /// under `model`, taking candidate pairs from `grid` (which must be in
+    /// sync with `positions`). Produces exactly the result of
+    /// [`MeshAdjacency::build`] while reusing every neighbor-list buffer —
+    /// the workspace path behind `Evaluator::evaluate_with` in
+    /// `wmn-metrics`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != radii.len()`.
+    pub fn rebuild_in_place(
+        &mut self,
+        positions: &[Point],
+        radii: &[f64],
+        model: LinkModel,
+        grid: &crate::spatial::DynamicGrid,
+    ) {
+        assert_eq!(
+            positions.len(),
+            radii.len(),
+            "positions and radii must be parallel vectors"
+        );
+        let n = positions.len();
+        self.neighbors.resize_with(n, Vec::new);
+        for list in &mut self.neighbors {
+            list.clear();
+        }
+        self.edge_count = 0;
+        let max_radius = radii.iter().copied().fold(0.0_f64, f64::max);
+        for i in 0..n {
+            let query_r = model.max_link_range(radii[i], max_radius);
+            for j in grid.candidates(positions[i], query_r) {
+                if j <= i {
+                    continue; // handle each unordered pair once
+                }
+                let d2 = positions[i].distance_squared(positions[j]);
+                if model.links(d2, radii[i], radii[j]) {
+                    self.neighbors[i].push(j);
+                    self.neighbors[j].push(i);
+                    self.edge_count += 1;
+                }
+            }
+        }
+        for list in &mut self.neighbors {
+            list.sort_unstable();
+        }
     }
 }
 
@@ -339,6 +420,42 @@ mod tests {
             "detach removes exactly the node's edges"
         );
         adj.attach_node(17, old);
+        assert_eq!(adj, original);
+    }
+
+    #[test]
+    fn rebuild_in_place_matches_build_all_models() {
+        use crate::spatial::DynamicGrid;
+        let area = area100();
+        for model in [
+            LinkModel::CoverageOverlap,
+            LinkModel::MutualRange,
+            LinkModel::FixedRange(12.0),
+        ] {
+            let mut adj = MeshAdjacency::default();
+            for trial in 0..5u64 {
+                let (pts, radii) = random_layout(60 + trial as usize * 40, 100 + trial);
+                let max_r = radii.iter().copied().fold(0.0_f64, f64::max);
+                let mut grid = DynamicGrid::new(&area, model.grid_cell_size(max_r));
+                grid.rebuild(&pts);
+                adj.rebuild_in_place(&pts, &radii, model, &grid);
+                let fresh = MeshAdjacency::build(&area, &pts, &radii, model);
+                assert_eq!(adj, fresh, "model {model} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn detach_into_and_attach_from_round_trip() {
+        let area = area100();
+        let (pts, radii) = random_layout(80, 14);
+        let original = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+        let mut adj = original.clone();
+        let mut old = Vec::new();
+        adj.detach_node_into(23, &mut old);
+        assert_eq!(adj.degree(23), 0);
+        assert!(old.windows(2).all(|w| w[0] < w[1]), "sorted neighbors");
+        adj.attach_node_from(23, &old);
         assert_eq!(adj, original);
     }
 

@@ -102,6 +102,50 @@ impl Components {
         }
     }
 
+    /// Recomputes this component structure from `adj` **in place**, using a
+    /// caller-provided [`UnionFind`] and label scratch buffer so that no
+    /// heap allocation happens once the buffers have grown to the graph
+    /// size. This is the per-move connectivity path of the incremental
+    /// topology engine.
+    ///
+    /// The result is identical to [`Components::from_adjacency`] (the DSU
+    /// labeling is canonicalized to first-appearance order, the same order
+    /// BFS assigns; verified by tests).
+    pub fn rebuild_incremental(
+        &mut self,
+        adj: &MeshAdjacency,
+        uf: &mut UnionFind,
+        label_of_root: &mut Vec<usize>,
+    ) {
+        let n = adj.node_count();
+        uf.reset(n);
+        for i in 0..n {
+            for &j in adj.neighbors(i) {
+                if j > i {
+                    uf.union(i, j);
+                }
+            }
+        }
+        label_of_root.clear();
+        label_of_root.resize(n, usize::MAX);
+        self.label.clear();
+        self.sizes.clear();
+        for x in 0..n {
+            let r = uf.find(x);
+            let l = if label_of_root[r] == usize::MAX {
+                let next = self.sizes.len();
+                label_of_root[r] = next;
+                self.sizes.push(0);
+                next
+            } else {
+                label_of_root[r]
+            };
+            self.label.push(l);
+            self.sizes[l] += 1;
+        }
+        self.giant = Self::giant_label(&self.sizes);
+    }
+
     fn giant_label(sizes: &[usize]) -> usize {
         let mut best = usize::MAX;
         let mut best_size = 0;
@@ -238,6 +282,26 @@ mod tests {
             let bfs = Components::from_adjacency(&adj);
             let dsu = Components::from_adjacency_dsu(&adj);
             assert_eq!(bfs, dsu, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_bfs_on_random_graphs() {
+        let area = Area::square(100.0).unwrap();
+        let mut rng = rng_from_seed(33);
+        let mut reused = Components::from_adjacency(&MeshAdjacency::default());
+        let mut uf = UnionFind::new(0);
+        let mut scratch = Vec::new();
+        for trial in 0..20 {
+            let n = 50 + trial * 17;
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0)))
+                .collect();
+            let radii: Vec<f64> = (0..n).map(|_| rng.gen_range(2.0..8.0)).collect();
+            let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::MutualRange);
+            reused.rebuild_incremental(&adj, &mut uf, &mut scratch);
+            let bfs = Components::from_adjacency(&adj);
+            assert_eq!(reused, bfs, "trial {trial}");
         }
     }
 

@@ -35,6 +35,13 @@ pub struct UnionFind {
     sets: usize,
 }
 
+impl Default for UnionFind {
+    /// An empty structure; grow it with [`UnionFind::reset`].
+    fn default() -> Self {
+        UnionFind::new(0)
+    }
+}
+
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
@@ -49,6 +56,20 @@ impl UnionFind {
     /// Number of elements (fixed at construction).
     pub fn len(&self) -> usize {
         self.parent.len()
+    }
+
+    /// Resets the structure to `n` singleton sets, **reusing** the existing
+    /// buffers. This is the allocation-free path the incremental topology
+    /// engine uses to rebuild connectivity after every router move: after
+    /// the first call at a given `n`, no further heap allocation occurs.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend((0..n).map(Cell::new));
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.sets = n;
     }
 
     /// Returns `true` if the structure holds no elements.
@@ -236,6 +257,27 @@ mod tests {
         assert_eq!(uf.set_count(), 1);
         assert_eq!(uf.largest_set_size(), n);
         assert!(uf.connected(0, n - 1));
+    }
+
+    #[test]
+    fn reset_restores_singletons_and_reuses_capacity() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.reset(8);
+        assert_eq!(uf.set_count(), 8);
+        assert_eq!(uf.largest_set_size(), 1);
+        for i in 0..8 {
+            assert_eq!(uf.find(i), i);
+        }
+        // Shrinking and regrowing keeps behaving.
+        uf.reset(3);
+        assert_eq!(uf.len(), 3);
+        uf.union(0, 2);
+        assert_eq!(uf.set_size(0), 2);
+        uf.reset(12);
+        assert_eq!(uf.len(), 12);
+        assert_eq!(uf.set_count(), 12);
     }
 
     #[test]

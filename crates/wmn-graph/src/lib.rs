@@ -3,15 +3,21 @@
 //! Everything the placement algorithms need to turn a candidate
 //! [`Placement`](wmn_model::Placement) into a measurable network:
 //!
-//! * [`dsu`] — union–find with rank + path compression.
-//! * [`spatial`] — a uniform-grid index for radius/rectangle queries.
-//! * [`adjacency`] — geometric link models and mesh adjacency construction.
+//! * [`dsu`] — union–find with rank + path compression, resettable in
+//!   place for the allocation-free per-move connectivity rebuild.
+//! * [`spatial`] — a uniform-grid index for radius/rectangle queries
+//!   (lazy, allocation-free iteration) plus the mutable
+//!   [`DynamicGrid`] the topology keeps in sync across router moves.
+//! * [`adjacency`] — geometric link models and mesh adjacency construction,
+//!   with in-place node detach/attach and whole-graph rebuild.
 //! * [`components`] — connected components and the giant component (the
-//!   paper's connectivity objective).
+//!   paper's connectivity objective), rebuildable through reusable scratch.
 //! * [`density`] — client-density cell grids with summed-area tables
 //!   (HotSpot's zone ranking and the swap movement's dense/sparse areas).
-//! * [`topology`] — [`WmnTopology`], the materialized network with
-//!   incremental repair after router moves.
+//! * [`topology`] — [`WmnTopology`], the materialized network with the
+//!   **delta-evaluation engine**: incremental, allocation-free repair of
+//!   edges, connectivity, and coverage after every router move (see the
+//!   [`topology`] module docs for the invariants and fallback rules).
 //!
 //! # Quick start
 //!
@@ -42,5 +48,5 @@ pub use adjacency::{LinkModel, MeshAdjacency};
 pub use components::Components;
 pub use density::{CellWindow, DensityMap};
 pub use dsu::UnionFind;
-pub use spatial::GridIndex;
+pub use spatial::{DynamicGrid, GridIndex};
 pub use topology::{CoverageRule, TopologyConfig, WmnTopology};

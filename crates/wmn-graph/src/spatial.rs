@@ -25,7 +25,8 @@ use wmn_model::geometry::{Area, Point, Rect};
 /// let points = vec![Point::new(10.0, 10.0), Point::new(11.0, 10.0), Point::new(90.0, 90.0)];
 /// let index = GridIndex::build(&area, &points, 8.0);
 ///
-/// let near: Vec<usize> = index.within_radius(Point::new(10.0, 10.0), 2.0).collect();
+/// let mut near: Vec<usize> = index.within_radius(Point::new(10.0, 10.0), 2.0).collect();
+/// near.sort_unstable();
 /// assert_eq!(near, vec![0, 1]);
 /// # Ok::<(), wmn_model::ModelError>(())
 /// ```
@@ -98,37 +99,32 @@ impl GridIndex {
     }
 
     /// Indices of all points within Euclidean distance `radius` of `center`
-    /// (inclusive), in ascending index order.
-    pub fn within_radius(&self, center: Point, radius: f64) -> impl Iterator<Item = usize> + '_ {
-        let mut found = self.collect_within_radius(center, radius);
-        found.sort_unstable();
-        found.into_iter()
-    }
-
-    fn collect_within_radius(&self, center: Point, radius: f64) -> Vec<usize> {
+    /// (inclusive), as a **lazy, allocation-free iterator**.
+    ///
+    /// Results come out in grid-cell order (row-major over the touched
+    /// cells, insertion order within a cell), which is deterministic but
+    /// **not sorted by index** — callers that need ascending order must
+    /// collect and sort. The hot coverage-delta path of
+    /// [`WmnTopology`](crate::topology::WmnTopology) iterates this directly,
+    /// so a radius query performs zero heap allocations.
+    pub fn within_radius(&self, center: Point, radius: f64) -> WithinRadius<'_> {
         if radius < 0.0 || self.points.is_empty() {
-            return Vec::new();
+            return WithinRadius {
+                index: self,
+                center,
+                r2: -1.0,
+                bucket: [].iter(),
+                cursor: CellCursor::empty(),
+            };
         }
-        let r2 = radius * radius;
-        let min_cx =
-            (((center.x - radius) / self.cell_size).floor().max(0.0) as usize).min(self.cols - 1);
-        let max_cx =
-            (((center.x + radius) / self.cell_size).floor().max(0.0) as usize).min(self.cols - 1);
-        let min_cy =
-            (((center.y - radius) / self.cell_size).floor().max(0.0) as usize).min(self.rows - 1);
-        let max_cy =
-            (((center.y + radius) / self.cell_size).floor().max(0.0) as usize).min(self.rows - 1);
-        let mut found = Vec::new();
-        for cy in min_cy..=max_cy {
-            for cx in min_cx..=max_cx {
-                for &i in &self.buckets[cy * self.cols + cx] {
-                    if self.points[i].distance_squared(center) <= r2 {
-                        found.push(i);
-                    }
-                }
-            }
+        let range = CellRange::covering(center, radius, self.cell_size, self.cols, self.rows);
+        WithinRadius {
+            index: self,
+            center,
+            r2: radius * radius,
+            bucket: self.buckets[range.first_bucket(self.cols)].iter(),
+            cursor: CellCursor::start(range),
         }
-        found
     }
 
     /// Indices of all points inside `rect` (closed), ascending.
@@ -169,23 +165,17 @@ impl GridIndex {
             (w * w + h * h).sqrt() + self.cell_size
         };
         loop {
-            let hits = self.collect_within_radius(center, radius);
-            if !hits.is_empty() {
+            let best = self.within_radius(center, radius).min_by(|&a, &b| {
+                let da = self.points[a].distance_squared(center);
+                let db = self.points[b].distance_squared(center);
+                da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+            });
+            if let Some(best) = best {
                 // Points one ring further out could still be closer than the
                 // farthest current hit; re-query with the best hit distance.
-                let best = hits
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        let da = self.points[a].distance_squared(center);
-                        let db = self.points[b].distance_squared(center);
-                        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
-                    })
-                    .expect("nonempty hits");
                 let best_d = self.points[best].distance(center);
-                let confirm = self.collect_within_radius(center, best_d);
-                return confirm
-                    .into_iter()
+                return self
+                    .within_radius(center, best_d)
                     .min_by(|&a, &b| {
                         let da = self.points[a].distance_squared(center);
                         let db = self.points[b].distance_squared(center);
@@ -222,6 +212,286 @@ impl GridIndex {
     }
 }
 
+/// The closed rectangle of grid cells a radius query must visit.
+#[derive(Debug, Clone, Copy)]
+struct CellRange {
+    min_cx: usize,
+    max_cx: usize,
+    min_cy: usize,
+    max_cy: usize,
+}
+
+impl CellRange {
+    fn covering(center: Point, radius: f64, cell_size: f64, cols: usize, rows: usize) -> CellRange {
+        let clamp_col = |v: f64| ((v / cell_size).floor().max(0.0) as usize).min(cols - 1);
+        let clamp_row = |v: f64| ((v / cell_size).floor().max(0.0) as usize).min(rows - 1);
+        CellRange {
+            min_cx: clamp_col(center.x - radius),
+            max_cx: clamp_col(center.x + radius),
+            min_cy: clamp_row(center.y - radius),
+            max_cy: clamp_row(center.y + radius),
+        }
+    }
+
+    fn first_bucket(&self, cols: usize) -> usize {
+        self.min_cy * cols + self.min_cx
+    }
+}
+
+/// Row-major walk over the cells of a [`CellRange`] — the single cursor
+/// both lazy query iterators share, so the stepping logic exists once.
+#[derive(Debug, Clone, Copy)]
+struct CellCursor {
+    range: CellRange,
+    cx: usize,
+    cy: usize,
+}
+
+impl CellCursor {
+    /// A cursor positioned on the range's first cell (whose bucket the
+    /// caller is expected to have loaded already).
+    fn start(range: CellRange) -> Self {
+        CellCursor {
+            cx: range.min_cx,
+            cy: range.min_cy,
+            range,
+        }
+    }
+
+    /// A cursor that is already past its (empty) range: `advance` returns
+    /// `false` immediately. Pair with an empty initial bucket.
+    fn empty() -> Self {
+        CellCursor::start(CellRange {
+            min_cx: 0,
+            max_cx: 0,
+            min_cy: 0,
+            max_cy: 0,
+        })
+    }
+
+    /// Steps to the next cell; returns `None` once every cell in the range
+    /// has been visited, otherwise the new cell's bucket index.
+    fn advance(&mut self, cols: usize) -> Option<usize> {
+        if self.cx < self.range.max_cx {
+            self.cx += 1;
+        } else if self.cy < self.range.max_cy {
+            self.cx = self.range.min_cx;
+            self.cy += 1;
+        } else {
+            return None;
+        }
+        Some(self.cy * cols + self.cx)
+    }
+}
+
+/// Lazy iterator over [`GridIndex::within_radius`] hits. Yields point
+/// indices in grid-cell order without allocating.
+#[derive(Debug)]
+pub struct WithinRadius<'a> {
+    index: &'a GridIndex,
+    center: Point,
+    r2: f64,
+    cursor: CellCursor,
+    bucket: std::slice::Iter<'a, usize>,
+}
+
+impl Iterator for WithinRadius<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            for &i in self.bucket.by_ref() {
+                if self.index.points[i].distance_squared(self.center) <= self.r2 {
+                    return Some(i);
+                }
+            }
+            let bucket = self.cursor.advance(self.index.cols)?;
+            self.bucket = self.index.buckets[bucket].iter();
+        }
+    }
+}
+
+/// A **mutable** uniform-grid bucket index over externally stored points.
+///
+/// Unlike [`GridIndex`] (immutable, owns a snapshot of the points), a
+/// `DynamicGrid` stores only bucket membership and is kept in sync by its
+/// owner as points move — the router-side index of
+/// [`WmnTopology`](crate::topology::WmnTopology) relocates exactly one
+/// bucket entry per router move instead of rebuilding the index. Queries
+/// return *candidate* indices (every point whose cell intersects the query
+/// disk); the caller applies the precise distance predicate, since it owns
+/// the coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_graph::spatial::DynamicGrid;
+/// use wmn_model::geometry::{Area, Point};
+///
+/// let area = Area::square(100.0)?;
+/// let mut pts = vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)];
+/// let mut grid = DynamicGrid::new(&area, 10.0);
+/// grid.rebuild(&pts);
+///
+/// let near: Vec<usize> = grid.candidates(Point::new(12.0, 12.0), 5.0).collect();
+/// assert_eq!(near, vec![0]);
+///
+/// let old = pts[0];
+/// pts[0] = Point::new(88.0, 88.0);
+/// grid.relocate(0, old, pts[0]);
+/// let far: Vec<usize> = grid.candidates(Point::new(90.0, 90.0), 5.0).collect();
+/// assert_eq!(far.len(), 2);
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicGrid {
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<usize>>,
+}
+
+impl DynamicGrid {
+    /// Creates an empty grid over `area` with square cells of side
+    /// `cell_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn new(area: &Area, cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        let cols = (area.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (area.height() / cell_size).ceil().max(1.0) as usize;
+        DynamicGrid {
+            cell_size,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+        }
+    }
+
+    /// Grid shape as `(columns, rows)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn bucket_of(&self, p: Point) -> usize {
+        let (cx, cy) = GridIndex::cell_of(&p, self.cell_size, self.cols, self.rows);
+        cy * self.cols + cx
+    }
+
+    /// Clears the grid and re-inserts every point, reusing bucket
+    /// allocations. Out-of-area points clamp into boundary cells, exactly
+    /// like [`GridIndex::build`].
+    pub fn rebuild(&mut self, points: &[Point]) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        for (i, p) in points.iter().enumerate() {
+            let b = self.bucket_of(*p);
+            self.buckets[b].push(i);
+        }
+    }
+
+    /// Records that point `i` sits at `p`.
+    pub fn insert(&mut self, i: usize, p: Point) {
+        let b = self.bucket_of(p);
+        self.buckets[b].push(i);
+    }
+
+    /// Forgets point `i`, which must currently be recorded at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not in the bucket `p` maps to (the grid drifted
+    /// from its owner's coordinates).
+    pub fn remove(&mut self, i: usize, p: Point) {
+        let b = self.bucket_of(p);
+        let bucket = &mut self.buckets[b];
+        let pos = bucket
+            .iter()
+            .position(|&j| j == i)
+            .expect("DynamicGrid::remove: point not in its recorded bucket");
+        bucket.swap_remove(pos);
+    }
+
+    /// Moves point `i` from `from` to `to` — a no-op when both map to the
+    /// same cell, one swap-remove plus one push otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not recorded at `from` (see [`DynamicGrid::remove`]).
+    pub fn relocate(&mut self, i: usize, from: Point, to: Point) {
+        if self.bucket_of(from) == self.bucket_of(to) {
+            return;
+        }
+        self.remove(i, from);
+        self.insert(i, to);
+    }
+
+    /// Lazy iterator over the indices recorded in every cell intersecting
+    /// the disk at `center` with `radius` — a superset of the true hits; no
+    /// distance filtering, no allocation. Yields nothing for a negative
+    /// radius.
+    pub fn candidates(&self, center: Point, radius: f64) -> Candidates<'_> {
+        if radius < 0.0 {
+            return Candidates {
+                grid: self,
+                bucket: [].iter(),
+                cursor: CellCursor::empty(),
+            };
+        }
+        let range = CellRange::covering(center, radius, self.cell_size, self.cols, self.rows);
+        Candidates {
+            grid: self,
+            bucket: self.buckets[range.first_bucket(self.cols)].iter(),
+            cursor: CellCursor::start(range),
+        }
+    }
+
+    /// Debug helper: asserts every point is recorded in the bucket its
+    /// coordinate maps to, and that no stale entries remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grid has drifted from `points`.
+    pub fn assert_in_sync(&self, points: &[Point]) {
+        let total: usize = self.buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, points.len(), "grid entry count drifted");
+        for (i, p) in points.iter().enumerate() {
+            assert!(
+                self.buckets[self.bucket_of(*p)].contains(&i),
+                "point {i} at {p} missing from its bucket"
+            );
+        }
+    }
+}
+
+/// Lazy iterator over [`DynamicGrid::candidates`].
+#[derive(Debug)]
+pub struct Candidates<'a> {
+    grid: &'a DynamicGrid,
+    cursor: CellCursor,
+    bucket: std::slice::Iter<'a, usize>,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if let Some(&i) = self.bucket.next() {
+                return Some(i);
+            }
+            let bucket = self.cursor.advance(self.grid.cols)?;
+            self.bucket = self.grid.buckets[bucket].iter();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,7 +518,8 @@ mod tests {
         for _ in 0..100 {
             let c = Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0));
             let r = rng.gen_range(0.0..30.0);
-            let fast: Vec<usize> = index.within_radius(c, r).collect();
+            let mut fast: Vec<usize> = index.within_radius(c, r).collect();
+            fast.sort_unstable();
             let slow = GridIndex::brute_force_within_radius(&pts, c, r);
             assert_eq!(fast, slow, "mismatch at center {c} radius {r}");
         }
@@ -339,9 +610,67 @@ mod tests {
         let coarse = GridIndex::build(&area, &pts, 50.0);
         let fine = GridIndex::build(&area, &pts, 1.0);
         let c = Point::new(33.0, 66.0);
-        let a: Vec<usize> = coarse.within_radius(c, 12.5).collect();
-        let b: Vec<usize> = fine.within_radius(c, 12.5).collect();
+        let mut a: Vec<usize> = coarse.within_radius(c, 12.5).collect();
+        let mut b: Vec<usize> = fine.within_radius(c, 12.5).collect();
+        a.sort_unstable();
+        b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn within_radius_is_lazy_and_restartable() {
+        // Taking only the first hit must not disturb later fresh queries.
+        let area = area100();
+        let pts = random_points(200, 17);
+        let index = GridIndex::build(&area, &pts, 5.0);
+        let c = Point::new(40.0, 40.0);
+        let first = index.within_radius(c, 25.0).next();
+        assert!(first.is_some());
+        let full_a: Vec<usize> = index.within_radius(c, 25.0).collect();
+        let full_b: Vec<usize> = index.within_radius(c, 25.0).collect();
+        assert_eq!(full_a, full_b, "queries are deterministic");
+        assert_eq!(full_a.first().copied(), first);
+    }
+
+    #[test]
+    fn dynamic_grid_tracks_relocations() {
+        let area = area100();
+        let mut pts = random_points(120, 23);
+        let mut grid = DynamicGrid::new(&area, 7.0);
+        grid.rebuild(&pts);
+        grid.assert_in_sync(&pts);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..300 {
+            let i = rng.gen_range(0..pts.len());
+            let to = Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0));
+            let from = pts[i];
+            pts[i] = to;
+            grid.relocate(i, from, to);
+        }
+        grid.assert_in_sync(&pts);
+        // Candidates are a superset of the true hits.
+        for _ in 0..50 {
+            let c = Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0));
+            let r = rng.gen_range(0.0..20.0);
+            let cands: Vec<usize> = grid.candidates(c, r).collect();
+            for hit in GridIndex::brute_force_within_radius(&pts, c, r) {
+                assert!(cands.contains(&hit), "candidate set missed true hit {hit}");
+            }
+        }
+        assert_eq!(grid.candidates(Point::new(1.0, 1.0), -1.0).count(), 0);
+    }
+
+    #[test]
+    fn dynamic_grid_shape_matches_grid_index() {
+        let grid = DynamicGrid::new(&area100(), 33.0);
+        assert_eq!(grid.shape(), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn dynamic_grid_remove_missing_panics() {
+        let mut grid = DynamicGrid::new(&area100(), 10.0);
+        grid.remove(3, Point::new(5.0, 5.0));
     }
 
     #[test]

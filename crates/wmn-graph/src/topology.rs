@@ -5,16 +5,62 @@
 //! router–router mesh (under a [`LinkModel`]), its connected components,
 //! and which clients are covered (under a [`CoverageRule`]).
 //!
+//! # The delta-evaluation engine
+//!
 //! The paper's Algorithm 3 ends with *"re-establish mesh nodes network
-//! connections"* after swapping two routers; [`WmnTopology::move_router`]
-//! and [`WmnTopology::swap_routers`] implement that repair incrementally
-//! (only the moved routers' edges are recomputed), which tests verify
-//! equivalent to a full rebuild and the `ablation_incremental` bench
-//! measures.
+//! connections"* after swapping two routers. The neighborhood-search hot
+//! loop is `propose → apply → evaluate → undo`, so [`move_router`] and
+//! [`swap_routers`] repair the network **incrementally** and — once the
+//! internal scratch buffers are warm — without heap allocation:
+//!
+//! 1. **Edges.** A router-side [`DynamicGrid`] is kept in sync with every
+//!    move (one bucket relocation), so re-deriving the moved router's edges
+//!    queries only nearby routers instead of scanning all *n*.
+//! 2. **Connectivity.** When the moved router's sorted neighbor set is
+//!    unchanged, the graph is identical and component/coverage work is
+//!    skipped entirely (the *no-op early-out*; only the moved disk is
+//!    re-counted). Otherwise components are rebuilt through a reusable
+//!    union–find ([`Components::rebuild_incremental`]) whose labeling is
+//!    canonically equal to the BFS labeling of a fresh build.
+//! 3. **Coverage.** Per-client *cover counts* (how many counting routers
+//!    reach each client) are maintained so a move only increments and
+//!    decrements the moved router's old and new disks, flipping `covered`
+//!    bits — and the covered total — exactly at 0↔1 transitions.
+//!
+//! ## Invariants
+//!
+//! * `positions`/`radii`/`router_index` agree at all times (the grid is
+//!   relocated *before* edge repair).
+//! * `adjacency` equals `MeshAdjacency::build` of the current positions;
+//!   `components` equals `Components::from_adjacency(adjacency)`
+//!   (canonical labels); `giant_mask[i] == components.in_giant(i)`.
+//! * `cover_count[c]` equals the number of counting routers whose disk
+//!   holds client `c`; `covered[c] == (cover_count[c] > 0)`;
+//!   `covered_count` equals the number of set bits.
+//!
+//! ## When the full-rebuild fallback triggers
+//!
+//! Under [`CoverageRule::GiantComponentOnly`], a changed edge set can flip
+//! the giant-component membership of routers that did not move; their disks
+//! would all need re-counting, so when any **non-moved** router's
+//! membership changes, coverage falls back to the one full
+//! [`recompute`](WmnTopology::rebuild_full)-style pass (still in place, no
+//! allocation). Under [`CoverageRule::AnyRouter`] membership is irrelevant
+//! and the delta path always applies. [`set_rebuild_mode`] disables the
+//! incremental engine wholesale — every move then runs
+//! [`rebuild_full`](WmnTopology::rebuild_full) — which is the reference
+//! baseline the equivalence tests and the `ablation_move_eval` bench
+//! compare against.
+//!
+//! [`move_router`]: WmnTopology::move_router
+//! [`swap_routers`]: WmnTopology::swap_routers
+//! [`set_rebuild_mode`]: WmnTopology::set_rebuild_mode
+//! [`DynamicGrid`]: crate::spatial::DynamicGrid
 
 use crate::adjacency::{LinkModel, MeshAdjacency};
 use crate::components::Components;
-use crate::spatial::GridIndex;
+use crate::dsu::UnionFind;
+use crate::spatial::{DynamicGrid, GridIndex};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use wmn_model::geometry::{Area, Point};
@@ -98,11 +144,36 @@ pub struct WmnTopology {
     config: TopologyConfig,
     positions: Vec<Point>,
     radii: Vec<f64>,
+    max_radius: f64,
     client_index: GridIndex,
+    /// Router-side mutable grid, kept in sync with `positions` on every
+    /// move/swap so edge repair queries only nearby routers.
+    router_index: DynamicGrid,
     adjacency: MeshAdjacency,
     components: Components,
+    /// `giant_mask[i] == components.in_giant(i)`, maintained so the
+    /// coverage delta can see *previous* membership during a move.
+    giant_mask: Vec<bool>,
+    /// Per-client count of counting routers whose disk holds the client.
+    cover_count: Vec<u32>,
     covered: Vec<bool>,
     covered_count: usize,
+    /// When set, every move runs `rebuild_full` (the reference baseline).
+    full_rebuild_mode: bool,
+    scratch: MoveScratch,
+}
+
+/// Reusable per-move scratch state; all buffers reach steady-state capacity
+/// after a handful of moves, making the hot loop allocation-free.
+#[derive(Debug, Clone, Default)]
+struct MoveScratch {
+    uf: UnionFind,
+    label_of_root: Vec<usize>,
+    old_a: Vec<usize>,
+    new_a: Vec<usize>,
+    old_b: Vec<usize>,
+    new_b: Vec<usize>,
+    mask: Vec<bool>,
 }
 
 impl WmnTopology {
@@ -129,6 +200,9 @@ impl WmnTopology {
         let clients = instance.client_positions();
         let max_radius = radii.iter().copied().fold(1.0_f64, f64::max);
         let client_index = GridIndex::build(&area, &clients, max_radius);
+        let mut router_index =
+            DynamicGrid::new(&area, config.link_model.grid_cell_size(max_radius));
+        router_index.rebuild(&positions);
         let adjacency = MeshAdjacency::build(&area, &positions, &radii, config.link_model);
         let components = Components::from_adjacency(&adjacency);
         let mut topo = WmnTopology {
@@ -136,14 +210,54 @@ impl WmnTopology {
             config,
             positions,
             radii,
+            max_radius,
             client_index,
+            router_index,
             adjacency,
             components,
+            giant_mask: Vec::new(),
+            cover_count: vec![0; clients.len()],
             covered: vec![false; clients.len()],
             covered_count: 0,
+            full_rebuild_mode: false,
+            scratch: MoveScratch::default(),
         };
+        topo.refresh_giant_mask();
         topo.recompute_coverage();
         Ok(topo)
+    }
+
+    /// Repositions every router according to `placement` (which must have
+    /// the right length and lie inside the area — callers validate against
+    /// the instance) and rebuilds all derived state **in place**, reusing
+    /// every buffer. This is the workspace path behind
+    /// `Evaluator::evaluate_with`: evaluating a stream of unrelated
+    /// placements without re-allocating a topology per candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement.len()` differs from the router count.
+    pub fn reset_placement(&mut self, placement: &Placement) {
+        assert_eq!(
+            placement.len(),
+            self.positions.len(),
+            "placement length must match router count"
+        );
+        self.positions.copy_from_slice(placement.as_slice());
+        self.router_index.rebuild(&self.positions);
+        self.adjacency.rebuild_in_place(
+            &self.positions,
+            &self.radii,
+            self.config.link_model,
+            &self.router_index,
+        );
+        self.components.rebuild_incremental(
+            &self.adjacency,
+            &mut self.scratch.uf,
+            &mut self.scratch.label_of_root,
+        );
+        self.refresh_giant_mask();
+        self.recompute_coverage();
     }
 
     /// The active configuration.
@@ -214,6 +328,13 @@ impl WmnTopology {
         &self.covered
     }
 
+    /// The client positions this topology was built against (fixed per
+    /// instance). Lets workspace reuse verify a topology still matches an
+    /// instance without rebuilding.
+    pub fn client_points(&self) -> &[Point] {
+        self.client_index.points()
+    }
+
     /// Returns `true` if router `id` is in the giant component.
     ///
     /// # Panics
@@ -223,47 +344,165 @@ impl WmnTopology {
         self.components.in_giant(id.index())
     }
 
-    fn recompute_coverage(&mut self) {
-        self.covered.fill(false);
+    /// Switches between the incremental engine (default) and the
+    /// full-rebuild reference path: when `full` is set, every
+    /// [`move_router`](WmnTopology::move_router) /
+    /// [`swap_routers`](WmnTopology::swap_routers) runs
+    /// [`rebuild_full`](WmnTopology::rebuild_full) instead of the delta
+    /// path. Results are bit-identical either way (verified by the
+    /// equivalence suites); the `ablation_move_eval` bench measures the
+    /// gap.
+    pub fn set_rebuild_mode(&mut self, full: bool) {
+        self.full_rebuild_mode = full;
+    }
+
+    /// Returns `true` when every move performs a full rebuild (see
+    /// [`set_rebuild_mode`](WmnTopology::set_rebuild_mode)).
+    pub fn rebuild_mode(&self) -> bool {
+        self.full_rebuild_mode
+    }
+
+    /// Whether router `i`'s disk currently counts toward client coverage,
+    /// per the *current* `giant_mask`.
+    #[inline]
+    fn is_counted(&self, i: usize) -> bool {
+        match self.config.coverage_rule {
+            CoverageRule::GiantComponentOnly => self.giant_mask[i],
+            CoverageRule::AnyRouter => true,
+        }
+    }
+
+    fn refresh_giant_mask(&mut self) {
         let n = self.positions.len();
-        for i in 0..n {
-            let counted = match self.config.coverage_rule {
-                CoverageRule::GiantComponentOnly => self.components.in_giant(i),
+        self.giant_mask.clear();
+        self.giant_mask
+            .extend((0..n).map(|i| self.components.in_giant(i)));
+    }
+
+    /// Adds (`inc`) or removes (`!inc`) one counting router's disk at
+    /// `center`/`radius` from the per-client cover counts, flipping
+    /// `covered` bits and the covered total at 0↔1 transitions.
+    fn disk_delta(&mut self, center: Point, radius: f64, inc: bool) {
+        let WmnTopology {
+            client_index,
+            cover_count,
+            covered,
+            covered_count,
+            ..
+        } = self;
+        for c in client_index.within_radius(center, radius) {
+            if inc {
+                cover_count[c] += 1;
+                if cover_count[c] == 1 {
+                    covered[c] = true;
+                    *covered_count += 1;
+                }
+            } else {
+                debug_assert!(cover_count[c] > 0, "cover count underflow");
+                cover_count[c] -= 1;
+                if cover_count[c] == 0 {
+                    covered[c] = false;
+                    *covered_count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Full coverage recomputation, in place: rebuilds cover counts, the
+    /// covered mask, and the covered total (maintained incrementally as
+    /// bits flip — no trailing count scan) from the current `giant_mask`.
+    fn recompute_coverage(&mut self) {
+        let WmnTopology {
+            client_index,
+            cover_count,
+            covered,
+            covered_count,
+            positions,
+            radii,
+            giant_mask,
+            config,
+            ..
+        } = self;
+        cover_count.fill(0);
+        covered.fill(false);
+        *covered_count = 0;
+        for i in 0..positions.len() {
+            let counted = match config.coverage_rule {
+                CoverageRule::GiantComponentOnly => giant_mask[i],
                 CoverageRule::AnyRouter => true,
             };
             if !counted {
                 continue;
             }
-            for c in self
-                .client_index
-                .within_radius(self.positions[i], self.radii[i])
-            {
-                self.covered[c] = true;
+            for c in client_index.within_radius(positions[i], radii[i]) {
+                cover_count[c] += 1;
+                if cover_count[c] == 1 {
+                    covered[c] = true;
+                    *covered_count += 1;
+                }
             }
         }
-        self.covered_count = self.covered.iter().filter(|&&b| b).count();
     }
 
-    fn recompute_router_edges(&mut self, i: usize) {
-        let _ = self.adjacency.detach_node(i);
+    /// Re-derives router `i`'s edges from the router-side grid, writing the
+    /// previous (sorted) neighbor set into `old` and the new one into
+    /// `new`. Allocation-free once the buffers are warm.
+    fn recompute_router_edges_into(
+        &mut self,
+        i: usize,
+        old: &mut Vec<usize>,
+        new: &mut Vec<usize>,
+    ) {
+        self.adjacency.detach_node_into(i, old);
+        new.clear();
         let model = self.config.link_model;
         let pi = self.positions[i];
         let ri = self.radii[i];
-        let mut new_neighbors = Vec::new();
-        for j in 0..self.positions.len() {
+        let query_r = model.max_link_range(ri, self.max_radius);
+        for j in self.router_index.candidates(pi, query_r) {
             if j == i {
                 continue;
             }
             let d2 = pi.distance_squared(self.positions[j]);
             if model.links(d2, ri, self.radii[j]) {
-                new_neighbors.push(j);
+                new.push(j);
             }
         }
-        self.adjacency.attach_node(i, new_neighbors);
+        new.sort_unstable();
+        self.adjacency.attach_node_from(i, new);
+    }
+
+    /// Rebuilds components through the reusable union–find and writes the
+    /// fresh giant mask into `scratch.mask`. Returns `true` when any router
+    /// **other than** `moved_a`/`moved_b` changed giant membership — the
+    /// coverage fallback trigger.
+    fn rebuild_components_incremental(&mut self, moved_a: usize, moved_b: usize) -> bool {
+        let MoveScratch {
+            uf,
+            label_of_root,
+            mask,
+            ..
+        } = &mut self.scratch;
+        self.components
+            .rebuild_incremental(&self.adjacency, uf, label_of_root);
+        let n = self.positions.len();
+        mask.clear();
+        let mut others_changed = false;
+        for (j, &was) in self.giant_mask.iter().enumerate().take(n) {
+            let is = self.components.in_giant(j);
+            mask.push(is);
+            if is != was && j != moved_a && j != moved_b {
+                others_changed = true;
+            }
+        }
+        others_changed
     }
 
     /// Moves router `id` to `new_position` and repairs the network
-    /// incrementally ("re-establish mesh nodes network connections").
+    /// incrementally ("re-establish mesh nodes network connections"):
+    /// grid-local edge repair, scratch-buffer connectivity, and delta
+    /// coverage — see the module docs for the invariants and when the full
+    /// fallback triggers.
     ///
     /// Returns the previous position, so callers can undo the move by
     /// moving back.
@@ -275,16 +514,62 @@ impl WmnTopology {
     pub fn move_router(&mut self, id: RouterId, new_position: Point) -> Point {
         let i = id.index();
         let old = self.positions[i];
-        self.positions[i] = self.area.clamp_point(new_position);
-        self.recompute_router_edges(i);
-        self.components = Components::from_adjacency(&self.adjacency);
-        self.recompute_coverage();
+        let new = self.area.clamp_point(new_position);
+        self.positions[i] = new;
+        self.router_index.relocate(i, old, new);
+        if self.full_rebuild_mode {
+            self.rebuild_full();
+            return old;
+        }
+
+        let mut old_n = std::mem::take(&mut self.scratch.old_a);
+        let mut new_n = std::mem::take(&mut self.scratch.new_a);
+        self.recompute_router_edges_into(i, &mut old_n, &mut new_n);
+        let links_changed = old_n != new_n;
+        self.scratch.old_a = old_n;
+        self.scratch.new_a = new_n;
+
+        let ri = self.radii[i];
+        if !links_changed {
+            // Identical graph ⇒ identical components and membership; only
+            // the moved disk needs re-counting.
+            if self.is_counted(i) {
+                self.disk_delta(old, ri, false);
+                self.disk_delta(new, ri, true);
+            }
+            return old;
+        }
+
+        let counted_before = self.is_counted(i);
+        let others_changed = self.rebuild_components_incremental(i, i);
+        match self.config.coverage_rule {
+            CoverageRule::AnyRouter => {
+                std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
+                self.disk_delta(old, ri, false);
+                self.disk_delta(new, ri, true);
+            }
+            CoverageRule::GiantComponentOnly if others_changed => {
+                std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
+                self.recompute_coverage();
+            }
+            CoverageRule::GiantComponentOnly => {
+                let counted_after = self.scratch.mask[i];
+                std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
+                if counted_before {
+                    self.disk_delta(old, ri, false);
+                }
+                if counted_after {
+                    self.disk_delta(new, ri, true);
+                }
+            }
+        }
         old
     }
 
     /// Exchanges the positions of two routers (the paper's swap movement)
-    /// and repairs the network incrementally. Swapping a router with itself
-    /// is a no-op.
+    /// and repairs the network incrementally, exactly like
+    /// [`move_router`](WmnTopology::move_router) but with two moved disks.
+    /// Swapping a router with itself is a no-op.
     ///
     /// # Panics
     ///
@@ -294,16 +579,83 @@ impl WmnTopology {
             return;
         }
         let (ia, ib) = (a.index(), b.index());
+        let (pa, pb) = (self.positions[ia], self.positions[ib]);
         self.positions.swap(ia, ib);
-        self.recompute_router_edges(ia);
-        self.recompute_router_edges(ib);
-        self.components = Components::from_adjacency(&self.adjacency);
-        self.recompute_coverage();
+        self.router_index.relocate(ia, pa, pb);
+        self.router_index.relocate(ib, pb, pa);
+        if self.full_rebuild_mode {
+            self.rebuild_full();
+            return;
+        }
+
+        let mut old_a = std::mem::take(&mut self.scratch.old_a);
+        let mut new_a = std::mem::take(&mut self.scratch.new_a);
+        let mut old_b = std::mem::take(&mut self.scratch.old_b);
+        let mut new_b = std::mem::take(&mut self.scratch.new_b);
+        self.recompute_router_edges_into(ia, &mut old_a, &mut new_a);
+        self.recompute_router_edges_into(ib, &mut old_b, &mut new_b);
+        // If `ia`'s repair was a no-op, `old_b` reflects the pre-swap graph,
+        // so both comparisons together certify the graph is unchanged.
+        let links_changed = old_a != new_a || old_b != new_b;
+        self.scratch.old_a = old_a;
+        self.scratch.new_a = new_a;
+        self.scratch.old_b = old_b;
+        self.scratch.new_b = new_b;
+
+        // Radii travel with the router id: `a` now sits at `pb`, `b` at `pa`.
+        let (ra, rb) = (self.radii[ia], self.radii[ib]);
+        if !links_changed {
+            if self.is_counted(ia) {
+                self.disk_delta(pa, ra, false);
+                self.disk_delta(pb, ra, true);
+            }
+            if self.is_counted(ib) {
+                self.disk_delta(pb, rb, false);
+                self.disk_delta(pa, rb, true);
+            }
+            return;
+        }
+
+        let counted_before_a = self.is_counted(ia);
+        let counted_before_b = self.is_counted(ib);
+        let others_changed = self.rebuild_components_incremental(ia, ib);
+        match self.config.coverage_rule {
+            CoverageRule::AnyRouter => {
+                std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
+                self.disk_delta(pa, ra, false);
+                self.disk_delta(pb, ra, true);
+                self.disk_delta(pb, rb, false);
+                self.disk_delta(pa, rb, true);
+            }
+            CoverageRule::GiantComponentOnly if others_changed => {
+                std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
+                self.recompute_coverage();
+            }
+            CoverageRule::GiantComponentOnly => {
+                let counted_after_a = self.scratch.mask[ia];
+                let counted_after_b = self.scratch.mask[ib];
+                std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
+                if counted_before_a {
+                    self.disk_delta(pa, ra, false);
+                }
+                if counted_after_a {
+                    self.disk_delta(pb, ra, true);
+                }
+                if counted_before_b {
+                    self.disk_delta(pb, rb, false);
+                }
+                if counted_after_b {
+                    self.disk_delta(pa, rb, true);
+                }
+            }
+        }
     }
 
-    /// Rebuilds adjacency, components, and coverage from scratch. Used by
-    /// tests and the `ablation_incremental` bench as the reference path.
+    /// Rebuilds the router grid, adjacency, components, and coverage from
+    /// scratch. The reference path: tests, the rebuild-mode baseline, and
+    /// the `ablation_move_eval` bench run it to pin the incremental engine.
     pub fn rebuild_full(&mut self) {
+        self.router_index.rebuild(&self.positions);
         self.adjacency = MeshAdjacency::build(
             &self.area,
             &self.positions,
@@ -311,29 +663,44 @@ impl WmnTopology {
             self.config.link_model,
         );
         self.components = Components::from_adjacency(&self.adjacency);
+        self.refresh_giant_mask();
         self.recompute_coverage();
     }
 
-    /// Debug helper: asserts the incremental state equals a fresh rebuild.
+    /// Debug helper: asserts the incremental state — adjacency, components,
+    /// giant mask, cover counts, covered mask, covered total, and the
+    /// router-side grid — equals a fresh rebuild.
     ///
     /// # Panics
     ///
     /// Panics when the incremental state has drifted from the ground truth.
     pub fn assert_consistent(&self) {
-        let fresh = MeshAdjacency::build(
-            &self.area,
-            &self.positions,
-            &self.radii,
-            self.config.link_model,
-        );
+        self.router_index.assert_in_sync(&self.positions);
+        let mut fresh = self.clone();
+        fresh.rebuild_full();
         assert_eq!(
-            self.adjacency, fresh,
+            self.adjacency, fresh.adjacency,
             "incremental adjacency drifted from full rebuild"
         );
-        let comps = Components::from_adjacency(&fresh);
         assert_eq!(
-            self.components, comps,
+            self.components, fresh.components,
             "components drifted from full rebuild"
+        );
+        assert_eq!(
+            self.giant_mask, fresh.giant_mask,
+            "giant mask drifted from components"
+        );
+        assert_eq!(
+            self.cover_count, fresh.cover_count,
+            "cover counts drifted from full recompute"
+        );
+        assert_eq!(
+            self.covered, fresh.covered,
+            "covered mask drifted from full recompute"
+        );
+        assert_eq!(
+            self.covered_count, fresh.covered_count,
+            "covered total drifted from full recompute"
         );
     }
 }

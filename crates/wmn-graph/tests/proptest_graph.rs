@@ -79,7 +79,8 @@ proptest! {
     ) {
         let area = Area::square(100.0).unwrap();
         let index = GridIndex::build(&area, &pts, cell);
-        let fast: Vec<usize> = index.within_radius(center, radius).collect();
+        let mut fast: Vec<usize> = index.within_radius(center, radius).collect();
+        fast.sort_unstable();
         let slow = GridIndex::brute_force_within_radius(&pts, center, radius);
         prop_assert_eq!(fast, slow);
     }

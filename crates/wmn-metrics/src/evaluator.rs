@@ -42,6 +42,46 @@ impl fmt::Display for Evaluation {
     }
 }
 
+/// Reusable evaluation state for [`Evaluator::evaluate_with`]: one
+/// lazily-built [`WmnTopology`] whose buffers are rebuilt **in place** for
+/// each new placement, so evaluating a stream of unrelated candidates (the
+/// GA's per-generation population, a batch of ad hoc placements) performs
+/// no per-candidate topology allocation.
+///
+/// A workspace adapts automatically: if it was last used against a
+/// different instance or configuration (detected by comparing router
+/// radii, client positions, and the topology config), the stored topology
+/// is discarded and rebuilt from scratch.
+///
+/// # Examples
+///
+/// ```
+/// use wmn_metrics::evaluator::{EvalWorkspace, Evaluator};
+/// use wmn_model::prelude::*;
+///
+/// let instance = InstanceSpec::paper_normal()?.generate(3)?;
+/// let evaluator = Evaluator::paper_default(&instance);
+/// let mut rng = rng_from_seed(4);
+/// let mut ws = EvalWorkspace::new();
+/// for _ in 0..4 {
+///     let placement = instance.random_placement(&mut rng);
+///     let with_ws = evaluator.evaluate_with(&mut ws, &placement)?;
+///     assert_eq!(with_ws, evaluator.evaluate(&placement)?);
+/// }
+/// # Ok::<(), wmn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalWorkspace {
+    topo: Option<WmnTopology>,
+}
+
+impl EvalWorkspace {
+    /// Creates an empty workspace; the first evaluation populates it.
+    pub fn new() -> Self {
+        EvalWorkspace::default()
+    }
+}
+
 /// Evaluates placements against one instance under a fixed configuration.
 ///
 /// # Examples
@@ -126,6 +166,57 @@ impl<'a> Evaluator<'a> {
         Ok(self.evaluate_topology(&topo))
     }
 
+    /// Evaluates a placement through a reusable [`EvalWorkspace`]:
+    /// identical results to [`Evaluator::evaluate`], but the underlying
+    /// topology is rebuilt in place instead of allocated per call. This is
+    /// the batch-evaluation hot path (the GA evaluates every individual of
+    /// every generation through one workspace per worker).
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation.
+    pub fn evaluate_with(
+        &self,
+        workspace: &mut EvalWorkspace,
+        placement: &Placement,
+    ) -> Result<Evaluation, ModelError> {
+        self.instance.validate_placement(placement)?;
+        if let Some(topo) = workspace
+            .topo
+            .as_mut()
+            .filter(|t| self.workspace_matches(t))
+        {
+            topo.reset_placement(placement);
+            return Ok(self.evaluate_topology(topo));
+        }
+        let topo = WmnTopology::build(self.instance, placement, self.topology_config)?;
+        let evaluation = self.evaluate_topology(&topo);
+        workspace.topo = Some(topo);
+        Ok(evaluation)
+    }
+
+    /// Whether a stored workspace topology is still valid for this
+    /// evaluator: same config, same router radii, same client positions.
+    /// O(routers + clients) float compares — negligible next to an
+    /// evaluation, and it makes cross-instance workspace reuse safe.
+    fn workspace_matches(&self, topo: &WmnTopology) -> bool {
+        topo.config() == self.topology_config
+            && topo.router_count() == self.instance.router_count()
+            && topo.client_count() == self.instance.client_count()
+            && self
+                .instance
+                .routers()
+                .iter()
+                .enumerate()
+                .all(|(i, r)| topo.radius(wmn_model::RouterId(i)) == r.current_radius())
+            && self
+                .instance
+                .clients()
+                .iter()
+                .zip(topo.client_points())
+                .all(|(c, p)| c.position() == *p)
+    }
+
     /// Evaluates an already-built topology (no validation, no rebuild).
     pub fn evaluate_topology(&self, topo: &WmnTopology) -> Evaluation {
         let measurement = NetworkMeasurement::from_topology(topo);
@@ -205,6 +296,46 @@ mod tests {
         let topo = ev.topology(&p).unwrap();
         let via_topo = ev.evaluate_topology(&topo);
         assert_eq!(via_placement, via_topo);
+    }
+
+    #[test]
+    fn workspace_evaluation_matches_fresh_and_survives_instance_switch() {
+        let a = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let b = InstanceSpec::paper_uniform().unwrap().generate(9).unwrap();
+        let ev_a = Evaluator::paper_default(&a);
+        let ev_b = Evaluator::paper_default(&b);
+        let mut ws = EvalWorkspace::new();
+        let mut rng = rng_from_seed(7);
+        for round in 0..3 {
+            let pa = a.random_placement(&mut rng);
+            let pb = b.random_placement(&mut rng);
+            // Interleave instances through ONE workspace: the stale-topology
+            // check must rebuild rather than reuse across instances.
+            assert_eq!(
+                ev_a.evaluate_with(&mut ws, &pa).unwrap(),
+                ev_a.evaluate(&pa).unwrap(),
+                "round {round} instance a"
+            );
+            assert_eq!(
+                ev_b.evaluate_with(&mut ws, &pb).unwrap(),
+                ev_b.evaluate(&pb).unwrap(),
+                "round {round} instance b"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_rejects_invalid_placement() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(1).unwrap();
+        let ev = Evaluator::paper_default(&instance);
+        let mut ws = EvalWorkspace::new();
+        assert!(ev.evaluate_with(&mut ws, &Placement::new()).is_err());
+        // A failed validation must not poison the workspace.
+        let p = instance.random_placement(&mut rng_from_seed(2));
+        assert_eq!(
+            ev.evaluate_with(&mut ws, &p).unwrap(),
+            ev.evaluate(&p).unwrap()
+        );
     }
 
     #[test]

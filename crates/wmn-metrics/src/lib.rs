@@ -38,7 +38,7 @@ pub mod measurement;
 pub mod objective;
 pub mod stats;
 
-pub use evaluator::{Evaluation, Evaluator};
+pub use evaluator::{EvalWorkspace, Evaluation, Evaluator};
 pub use fitness::FitnessFunction;
 pub use measurement::NetworkMeasurement;
 pub use objective::{GiantComponentSize, Objective, UserCoverage};

@@ -8,6 +8,7 @@
 use crate::movement::Movement;
 use crate::trace::{PhaseRecord, SearchTrace};
 use rand::{Rng, RngCore};
+use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
@@ -120,10 +121,21 @@ impl<'e, 'i> SimulatedAnnealing<'e, 'i> {
         rng: &mut dyn RngCore,
     ) -> Result<AnnealingOutcome, ModelError> {
         let mut topo = self.evaluator.topology(initial)?;
-        let initial_evaluation = self.evaluator.evaluate_topology(&topo);
+        Ok(self.run_with_topology(&mut topo, rng))
+    }
+
+    /// Runs over a caller-provided topology (its current state is the
+    /// initial solution), reusing the topology's scratch buffers; see
+    /// [`NeighborhoodSearch::run_with_topology`](crate::search::NeighborhoodSearch::run_with_topology).
+    pub fn run_with_topology(
+        &self,
+        topo: &mut WmnTopology,
+        rng: &mut dyn RngCore,
+    ) -> AnnealingOutcome {
+        let initial_evaluation = self.evaluator.evaluate_topology(topo);
         let mut current = initial_evaluation;
         let mut best_evaluation = initial_evaluation;
-        let mut best_placement = initial.clone();
+        let mut best_placement = topo.placement();
         let mut trace = SearchTrace::new();
         let mut temperature = self.config.initial_temperature;
         let mut accepted_moves = 0usize;
@@ -131,9 +143,9 @@ impl<'e, 'i> SimulatedAnnealing<'e, 'i> {
         for phase in 1..=self.config.phases {
             let mut phase_accepted = false;
             for _ in 0..self.config.moves_per_phase {
-                let action = self.movement.propose(&topo, rng);
-                let undo = action.apply(&mut topo);
-                let eval = self.evaluator.evaluate_topology(&topo);
+                let action = self.movement.propose(topo, rng);
+                let undo = action.apply(topo);
+                let eval = self.evaluator.evaluate_topology(topo);
                 let delta = eval.fitness - current.fitness;
                 let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temperature).exp();
                 if accept {
@@ -145,7 +157,7 @@ impl<'e, 'i> SimulatedAnnealing<'e, 'i> {
                         best_placement = topo.placement();
                     }
                 } else {
-                    undo.undo(&mut topo);
+                    undo.undo(topo);
                 }
             }
             trace.push(PhaseRecord {
@@ -158,13 +170,13 @@ impl<'e, 'i> SimulatedAnnealing<'e, 'i> {
             temperature *= self.config.cooling;
         }
 
-        Ok(AnnealingOutcome {
+        AnnealingOutcome {
             best_placement,
             best_evaluation,
             initial_evaluation,
             trace,
             accepted_moves,
-        })
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::movement::Movement;
 use crate::trace::{PhaseRecord, SearchTrace};
 use rand::RngCore;
+use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
@@ -102,7 +103,18 @@ impl<'e, 'i> HillClimb<'e, 'i> {
         rng: &mut dyn RngCore,
     ) -> Result<HillClimbOutcome, ModelError> {
         let mut topo = self.evaluator.topology(initial)?;
-        let initial_evaluation = self.evaluator.evaluate_topology(&topo);
+        Ok(self.run_with_topology(&mut topo, rng))
+    }
+
+    /// Runs over a caller-provided topology (its current state is the
+    /// initial solution), reusing the topology's scratch buffers; see
+    /// [`NeighborhoodSearch::run_with_topology`](crate::search::NeighborhoodSearch::run_with_topology).
+    pub fn run_with_topology(
+        &self,
+        topo: &mut WmnTopology,
+        rng: &mut dyn RngCore,
+    ) -> HillClimbOutcome {
+        let initial_evaluation = self.evaluator.evaluate_topology(topo);
         let mut current = initial_evaluation;
         let mut trace = SearchTrace::new();
         let mut stale_phases = 0usize;
@@ -110,15 +122,15 @@ impl<'e, 'i> HillClimb<'e, 'i> {
         for phase in 1..=self.config.max_phases {
             let mut accepted = false;
             for _ in 0..self.config.samples_per_phase {
-                let action = self.movement.propose(&topo, rng);
-                let undo = action.apply(&mut topo);
-                let eval = self.evaluator.evaluate_topology(&topo);
+                let action = self.movement.propose(topo, rng);
+                let undo = action.apply(topo);
+                let eval = self.evaluator.evaluate_topology(topo);
                 if eval.fitness > current.fitness {
                     current = eval;
                     accepted = true;
                     break; // first improvement: keep the applied move
                 }
-                undo.undo(&mut topo);
+                undo.undo(topo);
             }
             trace.push(PhaseRecord {
                 phase,
@@ -133,12 +145,12 @@ impl<'e, 'i> HillClimb<'e, 'i> {
             }
         }
 
-        Ok(HillClimbOutcome {
+        HillClimbOutcome {
             best_placement: topo.placement(),
             best_evaluation: current,
             initial_evaluation,
             trace,
-        })
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 //! This gap-fill is documented in DESIGN.md and exercised by tests.
 
 use rand::{Rng, RngCore};
+use std::cell::RefCell;
 use std::fmt;
 use wmn_graph::density::{CellWindow, DensityMap};
 use wmn_graph::topology::WmnTopology;
@@ -182,6 +183,22 @@ pub struct SwapMovement {
     /// All disjoint windows ranked by client count, descending. Computed
     /// once — client positions are fixed per instance.
     ranked_zones: Vec<CellWindow>,
+    /// Per-proposal scratch buffers (interior mutability because
+    /// [`Movement::propose`] takes `&self`): once warm, a proposal
+    /// performs zero heap allocations, keeping the whole search inner
+    /// loop allocation-free.
+    scratch: RefCell<ProposeScratch>,
+}
+
+/// Reusable buffers for one [`SwapMovement::propose`] call.
+#[derive(Debug, Clone, Default)]
+struct ProposeScratch {
+    routers_per_zone: Vec<usize>,
+    dense_pool: Vec<usize>,
+    sparse_pool: Vec<usize>,
+    sparse_routers: Vec<RouterId>,
+    dense_routers: Vec<RouterId>,
+    non_giant: Vec<RouterId>,
 }
 
 impl SwapMovement {
@@ -199,6 +216,7 @@ impl SwapMovement {
             config,
             client_map,
             ranked_zones,
+            scratch: RefCell::new(ProposeScratch::default()),
         }
     }
 
@@ -207,11 +225,13 @@ impl SwapMovement {
         &self.config
     }
 
-    fn routers_in(&self, topo: &WmnTopology, rect: &Rect) -> Vec<RouterId> {
-        (0..topo.router_count())
-            .map(RouterId)
-            .filter(|&id| rect.contains(topo.position(id)))
-            .collect()
+    fn routers_into(&self, topo: &WmnTopology, rect: &Rect, out: &mut Vec<RouterId>) {
+        out.clear();
+        out.extend(
+            (0..topo.router_count())
+                .map(RouterId)
+                .filter(|&id| rect.contains(topo.position(id))),
+        );
     }
 
     fn weakest(&self, topo: &WmnTopology, ids: &[RouterId]) -> Option<RouterId> {
@@ -250,9 +270,20 @@ impl Movement for SwapMovement {
     }
 
     fn propose(&self, topo: &WmnTopology, rng: &mut dyn RngCore) -> MoveAction {
+        let mut scratch = self.scratch.borrow_mut();
+        let ProposeScratch {
+            routers_per_zone,
+            dense_pool,
+            sparse_pool,
+            sparse_routers,
+            dense_routers,
+            non_giant,
+        } = &mut *scratch;
+
         // Current router occupancy per zone (zones are disjoint, so each
         // router maps to at most one).
-        let mut routers_per_zone = vec![0usize; self.ranked_zones.len()];
+        routers_per_zone.clear();
+        routers_per_zone.resize(self.ranked_zones.len(), 0);
         for i in 0..topo.router_count() {
             let p = topo.position(RouterId(i));
             for (zi, z) in self.ranked_zones.iter().enumerate() {
@@ -270,21 +301,26 @@ impl Movement for SwapMovement {
         // the densest under-served zone ranks first.
         let total_clients: f64 = self.client_map.total() as f64;
         let kappa = (total_clients / topo.router_count() as f64).max(1.0);
-        let dense_pool: Vec<usize> = (0..self.ranked_zones.len())
-            .filter(|&zi| {
-                let clients = self.client_map.window_count(&self.ranked_zones[zi]);
-                clients >= self.config.dense_threshold.max(1)
-                    && (clients as f64) / kappa > routers_per_zone[zi] as f64
-            })
-            .take(self.config.dense_candidates.max(1))
-            .collect();
+        dense_pool.clear();
+        let dense_cap = self.config.dense_candidates.max(1);
+        for (zi, &occupancy) in routers_per_zone.iter().enumerate() {
+            if dense_pool.len() == dense_cap {
+                break;
+            }
+            let clients = self.client_map.window_count(&self.ranked_zones[zi]);
+            if clients >= self.config.dense_threshold.max(1)
+                && (clients as f64) / kappa > occupancy as f64
+            {
+                dense_pool.push(zi);
+            }
+        }
 
         // Step 3: the dense target. With a deficit somewhere, the dense zone
         // is an under-served one (relocate mode); otherwise it is the
         // densest zone that holds a router (literal swap mode).
         let relocate_mode = !dense_pool.is_empty();
         let dense_zi = if relocate_mode {
-            *pick(&dense_pool, rng).expect("nonempty pool")
+            *pick(dense_pool, rng).expect("nonempty pool")
         } else {
             match (0..self.ranked_zones.len()).find(|&zi| routers_per_zone[zi] > 0) {
                 Some(zi) => zi,
@@ -295,17 +331,21 @@ impl Movement for SwapMovement {
 
         // Step 5 of Algorithm 3: the sparsest zones that still hold a
         // router to take the strong one from (never the dense zone itself).
-        let sparse_pool: Vec<usize> = (0..self.ranked_zones.len())
-            .rev()
-            .filter(|&zi| {
-                zi != dense_zi
-                    && self.client_map.window_count(&self.ranked_zones[zi])
-                        <= self.config.sparse_threshold
-                    && routers_per_zone[zi] > 0
-            })
-            .take(self.config.sparse_candidates.max(1))
-            .collect();
-        let Some(&sparse_zi) = pick(&sparse_pool, rng) else {
+        sparse_pool.clear();
+        let sparse_cap = self.config.sparse_candidates.max(1);
+        for zi in (0..self.ranked_zones.len()).rev() {
+            if sparse_pool.len() == sparse_cap {
+                break;
+            }
+            if zi != dense_zi
+                && self.client_map.window_count(&self.ranked_zones[zi])
+                    <= self.config.sparse_threshold
+                && routers_per_zone[zi] > 0
+            {
+                sparse_pool.push(zi);
+            }
+        }
+        let Some(&sparse_zi) = pick(sparse_pool, rng) else {
             return self.fallback_random(topo, rng);
         };
         // A "sparse" zone at least as client-heavy as the dense target means
@@ -322,17 +362,19 @@ impl Movement for SwapMovement {
         // mode prefer a router *outside* the giant component — pulling a
         // giant member out would tear down the connectivity the move is
         // meant to build.
-        let sparse_routers = self.routers_in(topo, &sparse_rect);
+        self.routers_into(topo, &sparse_rect, sparse_routers);
         let strong = if relocate_mode {
-            let non_giant: Vec<RouterId> = sparse_routers
-                .iter()
-                .copied()
-                .filter(|&id| !topo.in_giant(id))
-                .collect();
-            self.strongest(topo, &non_giant)
-                .or_else(|| self.strongest(topo, &sparse_routers))
+            non_giant.clear();
+            non_giant.extend(
+                sparse_routers
+                    .iter()
+                    .copied()
+                    .filter(|&id| !topo.in_giant(id)),
+            );
+            self.strongest(topo, non_giant)
+                .or_else(|| self.strongest(topo, sparse_routers))
         } else {
-            self.strongest(topo, &sparse_routers)
+            self.strongest(topo, sparse_routers)
         };
         let Some(strong) = strong else {
             return self.fallback_random(topo, rng);
@@ -350,9 +392,9 @@ impl Movement for SwapMovement {
             // links under the mutual-range rule and would be rejected by
             // the improvement-only acceptance of Algorithm 1.
             let center = dense_rect.center();
-            let mut occupants = self.routers_in(topo, &dense_rect);
-            occupants.retain(|&id| id != strong);
-            let anchor = pick(&occupants, rng).copied().or_else(|| {
+            self.routers_into(topo, &dense_rect, dense_routers);
+            dense_routers.retain(|&id| id != strong);
+            let anchor = pick(dense_routers, rng).copied().or_else(|| {
                 (0..topo.router_count())
                     .map(RouterId)
                     .filter(|&id| id != strong && topo.in_giant(id))
@@ -383,8 +425,8 @@ impl Movement for SwapMovement {
 
         // Step 4 + 7: the literal Algorithm 3 swap — weakest router of the
         // dense zone exchanges positions with the strong one.
-        let dense_routers = self.routers_in(topo, &dense_rect);
-        match self.weakest(topo, &dense_routers) {
+        self.routers_into(topo, &dense_rect, dense_routers);
+        match self.weakest(topo, dense_routers) {
             Some(weak) if weak != strong => MoveAction::Swap { a: weak, b: strong },
             _ => self.fallback_random(topo, rng),
         }

@@ -11,6 +11,7 @@ use crate::movement::Movement;
 use crate::neighborhood::{best_neighbor, ExplorationBudget};
 use crate::trace::{PhaseRecord, SearchTrace};
 use rand::RngCore;
+use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
@@ -150,15 +151,30 @@ impl<'e, 'i> NeighborhoodSearch<'e, 'i> {
         rng: &mut dyn RngCore,
     ) -> Result<SearchOutcome, ModelError> {
         let mut topo = self.evaluator.topology(initial)?;
-        let initial_evaluation = self.evaluator.evaluate_topology(&topo);
+        Ok(self.run_with_topology(&mut topo, rng))
+    }
+
+    /// Runs the search over a caller-provided topology (its current state
+    /// is the initial solution). Lets callers reuse one topology — and its
+    /// internal scratch buffers — across many runs, or pin the search to
+    /// the full-rebuild reference engine via
+    /// [`WmnTopology::set_rebuild_mode`]; results are identical to
+    /// [`NeighborhoodSearch::run`] either way. The topology is left at the
+    /// search's final *current* state.
+    pub fn run_with_topology(
+        &self,
+        topo: &mut WmnTopology,
+        rng: &mut dyn RngCore,
+    ) -> SearchOutcome {
+        let initial_evaluation = self.evaluator.evaluate_topology(topo);
         let mut current = initial_evaluation;
-        let mut best_placement = initial.clone();
+        let mut best_placement = topo.placement();
         let mut best_evaluation = initial_evaluation;
         let mut trace = SearchTrace::new();
 
         for phase in 1..=self.config.stopping.max_phases {
             let neighbor = best_neighbor(
-                &mut topo,
+                topo,
                 self.evaluator,
                 self.movement.as_ref(),
                 self.config.budget,
@@ -166,7 +182,7 @@ impl<'e, 'i> NeighborhoodSearch<'e, 'i> {
             );
             let accepted = match neighbor {
                 Some(n) if n.evaluation.fitness > current.fitness => {
-                    let _ = n.action.apply(&mut topo);
+                    let _ = n.action.apply(topo);
                     current = n.evaluation;
                     if current.fitness > best_evaluation.fitness {
                         best_evaluation = current;
@@ -188,12 +204,12 @@ impl<'e, 'i> NeighborhoodSearch<'e, 'i> {
             }
         }
 
-        Ok(SearchOutcome {
+        SearchOutcome {
             best_placement,
             best_evaluation,
             initial_evaluation,
             trace,
-        })
+        }
     }
 }
 

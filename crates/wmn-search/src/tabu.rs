@@ -10,6 +10,7 @@ use crate::movement::{MoveAction, Movement};
 use crate::trace::{PhaseRecord, SearchTrace};
 use rand::RngCore;
 use std::collections::VecDeque;
+use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::node::RouterId;
 use wmn_model::placement::Placement;
@@ -113,10 +114,17 @@ impl<'e, 'i> TabuSearch<'e, 'i> {
         rng: &mut dyn RngCore,
     ) -> Result<TabuOutcome, ModelError> {
         let mut topo = self.evaluator.topology(initial)?;
-        let initial_evaluation = self.evaluator.evaluate_topology(&topo);
+        Ok(self.run_with_topology(&mut topo, rng))
+    }
+
+    /// Runs over a caller-provided topology (its current state is the
+    /// initial solution), reusing the topology's scratch buffers; see
+    /// [`NeighborhoodSearch::run_with_topology`](crate::search::NeighborhoodSearch::run_with_topology).
+    pub fn run_with_topology(&self, topo: &mut WmnTopology, rng: &mut dyn RngCore) -> TabuOutcome {
+        let initial_evaluation = self.evaluator.evaluate_topology(topo);
         let mut current = initial_evaluation;
         let mut best_evaluation = initial_evaluation;
-        let mut best_placement = initial.clone();
+        let mut best_placement = topo.placement();
         let mut trace = SearchTrace::new();
         // Tabu list: router -> phase until which it is tabu, kept as a FIFO
         // of (router, expiry) with a parallel bitmap for O(1) checks.
@@ -127,10 +135,10 @@ impl<'e, 'i> TabuSearch<'e, 'i> {
         for phase in 1..=self.config.phases {
             let mut chosen: Option<(MoveAction, Evaluation, bool)> = None;
             for _ in 0..self.config.candidates_per_phase {
-                let action = self.movement.propose(&topo, rng);
-                let undo = action.apply(&mut topo);
-                let eval = self.evaluator.evaluate_topology(&topo);
-                undo.undo(&mut topo);
+                let action = self.movement.propose(topo, rng);
+                let undo = action.apply(topo);
+                let eval = self.evaluator.evaluate_topology(topo);
+                undo.undo(topo);
 
                 let is_tabu = touched_routers(&action)
                     .into_iter()
@@ -150,7 +158,7 @@ impl<'e, 'i> TabuSearch<'e, 'i> {
             }
 
             let accepted = if let Some((action, eval, was_tabu)) = chosen {
-                let _ = action.apply(&mut topo);
+                let _ = action.apply(topo);
                 current = eval;
                 if was_tabu {
                     aspirations += 1;
@@ -180,13 +188,13 @@ impl<'e, 'i> TabuSearch<'e, 'i> {
             });
         }
 
-        Ok(TabuOutcome {
+        TabuOutcome {
             best_placement,
             best_evaluation,
             initial_evaluation,
             trace,
             aspirations,
-        })
+        }
     }
 }
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Records the incremental-vs-rebuild move-evaluation criterion medians into
+# BENCH_move_eval.json, the repo's perf-trajectory artifact for the
+# neighborhood-search hot loop.
+#
+# Usage: scripts/bench_move_eval.sh [--quick]
+#   --quick   one sample per benchmark (CI smoke; medians are then noisy)
+#
+# Requires jq. The criterion shim (vendor/criterion) appends one JSON line
+# per benchmark to $WMN_BENCH_JSON; this script aggregates those lines and
+# computes the rebuild/incremental median speedup per scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw="$PWD/target/bench-move-eval.jsonl"
+out=BENCH_move_eval.json
+rm -f "$raw"
+
+# The bench binary's working directory is the package dir, so the sink path
+# must be absolute. Extra args (e.g. --quick) pass through to the shim.
+WMN_BENCH_JSON="$raw" cargo bench --bench ablations -- "$@" move_eval
+
+jq -s '
+  def median_of(name): (map(select(.id == name)) | first).median_ns;
+  {
+    schema: "wmn-bench-move-eval/v1",
+    description: "1000-move neighborhood-search inner loop (propose→apply→evaluate→undo): incremental delta-evaluation engine vs full-rebuild reference, per scale",
+    bench: "cargo bench --bench ablations -- move_eval",
+    benches: .,
+    speedup_median: {
+      paper: (median_of("ablation_move_eval/rebuild/paper")
+              / median_of("ablation_move_eval/incremental/paper")),
+      scale4: (median_of("ablation_move_eval/rebuild/scale4")
+               / median_of("ablation_move_eval/incremental/scale4"))
+    }
+  }
+' "$raw" >"$out"
+
+echo "wrote $out:"
+jq .speedup_median "$out"

@@ -77,7 +77,9 @@ pub use wmn_runtime::Runtime;
 pub mod prelude {
     pub use wmn_ga::prelude::*;
     pub use wmn_graph::{CoverageRule, LinkModel, TopologyConfig, WmnTopology};
-    pub use wmn_metrics::{Evaluation, Evaluator, FitnessFunction, NetworkMeasurement};
+    pub use wmn_metrics::{
+        EvalWorkspace, Evaluation, Evaluator, FitnessFunction, NetworkMeasurement,
+    };
     pub use wmn_model::prelude::*;
     pub use wmn_placement::prelude::*;
     pub use wmn_runtime::{Cell, MemorySink, RowSink, Runtime};

@@ -5,15 +5,82 @@
 //! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. Instead of criterion's
 //! statistical analysis, each benchmark runs a warmup pass plus
-//! `sample_size` timed samples and reports the per-iteration mean and
-//! best sample — enough to compare hot paths between commits without any
-//! external dependency.
+//! `sample_size` timed samples and reports the per-iteration mean, median,
+//! and best sample — enough to compare hot paths between commits without
+//! any external dependency.
+//!
+//! Two upstream-flavoured conveniences the workspace tooling relies on:
+//!
+//! * **CLI filters.** Positional arguments (as passed by
+//!   `cargo bench --bench <target> -- <filter>…`) select benchmarks by
+//!   substring match on the full id; `--test` or `--quick` runs a single
+//!   sample per benchmark (the CI smoke mode). Other `-`-prefixed flags
+//!   (e.g. the `--bench` cargo appends) are ignored.
+//! * **Machine-readable output.** When the `WMN_BENCH_JSON` environment
+//!   variable names a file, each benchmark appends one JSON line
+//!   (`{"id", "samples", "mean_ns", "median_ns", "best_ns"}`) to it —
+//!   `scripts/bench_move_eval.sh` turns these into `BENCH_move_eval.json`.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::hint;
+use std::io::Write as _;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Lazily-parsed process arguments: positional substring filters plus the
+/// quick-run flag.
+#[derive(Debug, Default)]
+struct CliArgs {
+    filters: Vec<String>,
+    quick: bool,
+}
+
+fn cli_args() -> &'static CliArgs {
+    static ARGS: OnceLock<CliArgs> = OnceLock::new();
+    ARGS.get_or_init(|| {
+        let mut parsed = CliArgs::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" || arg == "--quick" {
+                parsed.quick = true;
+            } else if !arg.starts_with('-') {
+                parsed.filters.push(arg);
+            }
+        }
+        parsed
+    })
+}
+
+fn emit_json_line(id: &str, samples: usize, mean: Duration, median: Duration, best: Duration) {
+    let Ok(path) = std::env::var("WMN_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"samples\":{samples},\"mean_ns\":{},\"median_ns\":{},\"best_ns\":{}}}\n",
+        mean.as_nanos(),
+        median.as_nanos(),
+        best.as_nanos()
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("warning: could not append to WMN_BENCH_JSON={path}: {e}");
+    }
+}
 
 /// Opaque value barrier; keeps the optimizer from deleting benchmark work.
 pub fn black_box<T>(value: T) -> T {
@@ -83,8 +150,19 @@ impl Bencher {
         }
         let total: Duration = self.results.iter().sum();
         let mean = total / self.results.len() as u32;
-        let best = self.results.iter().min().expect("non-empty");
-        println!("{id:<48} mean {mean:>12.3?}   best {best:>12.3?}");
+        let best = *self.results.iter().min().expect("non-empty");
+        let median = {
+            let mut sorted = self.results.clone();
+            sorted.sort_unstable();
+            let mid = sorted.len() / 2;
+            if sorted.len() & 1 == 1 {
+                sorted[mid]
+            } else {
+                (sorted[mid - 1] + sorted[mid]) / 2
+            }
+        };
+        println!("{id:<48} mean {mean:>12.3?}   median {median:>12.3?}   best {best:>12.3?}");
+        emit_json_line(id, self.results.len(), mean, median, best);
     }
 }
 
@@ -187,6 +265,11 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(id: &str, samples: usize, body: &mut dyn FnMut(&mut Bencher)) {
+    let args = cli_args();
+    if !args.filters.is_empty() && !args.filters.iter().any(|f| id.contains(f.as_str())) {
+        return;
+    }
+    let samples = if args.quick { 1 } else { samples };
     let mut bencher = Bencher {
         samples,
         results: Vec::with_capacity(samples),
