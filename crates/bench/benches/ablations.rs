@@ -131,6 +131,134 @@ fn ablation_move_eval(c: &mut Criterion) {
     group.finish();
 }
 
+/// One generation of GA child evaluation — the population-eval hot loop of
+/// the topology-backed GA — through the three pipelines:
+///
+/// * `incremental` — each child adopts its lineage parent's live topology
+///   (buffer-reusing state copy) and repairs the placement diff through
+///   `WmnTopology::apply_moves` (`GaEvalMode::Incremental`);
+/// * `rebuild` — each child's topology is fully rebuilt in place through a
+///   persistent workspace (`GaEvalMode::Rebuild`, the engine's reference
+///   baseline);
+/// * `scratch` — each child allocates and builds a fresh topology
+///   (`Evaluator::evaluate` — the "Chromosome → fresh topology → scratch
+///   evaluate" pipeline the topology-backed GA replaces).
+///
+/// Two child mixes, both real `GaEngine::reproduce` generations from a
+/// 40-generation-evolved HotSpot-seeded population: `generation` uses the
+/// paper operator mix (crossover 0.8 + mutation stack; diffs span the
+/// recombined genes), `mutation` uses a mutation-only mix (crossover 0 —
+/// the steady-state/memetic regime where every child is a parent plus a
+/// handful of move deltas, which is where the incremental engine's
+/// advantage is largest). Identical children and identical results in
+/// every pipeline (pinned by the `incremental_equivalence` suite); only
+/// the evaluation strategy differs. Run at paper scale and `--scale 4`.
+fn ablation_ga_eval(c: &mut Criterion) {
+    use wmn_ga::engine::{GaConfig, GaEngine};
+    use wmn_ga::init::PopulationInit;
+    use wmn_ga::parallel::{evaluate_generation, evaluate_initial, evaluate_population_with};
+    use wmn_ga::population::Population;
+    use wmn_metrics::evaluator::EvalWorkspace;
+    use wmn_placement::registry::AdHocMethod;
+
+    /// Re-stales exactly the children that were unevaluated after
+    /// reproduction (elites keep their cache, as in the real engine loop).
+    fn invalidate(kids: &mut Population, stale: &[bool]) {
+        for (ind, &s) in kids.individuals_mut().iter_mut().zip(stale) {
+            if s {
+                let _ = ind.placement_mut(); // clears the evaluation cache
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_ga_eval");
+    group.sample_size(30);
+    for (scale_label, factor) in [("paper", 1u32), ("scale4", 4u32)] {
+        let instance = Scenario::Normal
+            .scaled_spec(ScenarioScale::proportional(factor))
+            .expect("valid scaled spec")
+            .generate(2)
+            .expect("generates");
+        let evaluator = Evaluator::paper_default(&instance);
+        for (mix, crossover_rate) in [("generation", 0.8), ("mutation", 0.0)] {
+            let config = GaConfig::builder()
+                .population_size(64)
+                .generations(40)
+                .crossover_rate(crossover_rate)
+                .build()
+                .expect("valid config");
+            let engine = GaEngine::new(&evaluator, config);
+            // Evolve the parent population first: mid-run generations (not
+            // the diverse ad hoc seed) are what the 800-generation figures
+            // spend their time on.
+            let mut rng = rng_from_seed(3);
+            let mut parents = engine
+                .run(&PopulationInit::AdHoc(AdHocMethod::HotSpot), &mut rng)
+                .expect("runs")
+                .final_population;
+            let mut parent_slots: Vec<EvalWorkspace> = Vec::new();
+            parent_slots.resize_with(parents.len(), EvalWorkspace::new);
+            evaluate_initial(&evaluator, &mut parents, &mut parent_slots, 1).expect("evaluates");
+            let (mut kids, lineage) = engine.reproduce(&parents, &mut rng_from_seed(4));
+            let stale: Vec<bool> = kids
+                .individuals()
+                .iter()
+                .map(|i| !i.is_evaluated())
+                .collect();
+
+            group.bench_function(
+                BenchmarkId::new(&format!("incremental_{mix}"), scale_label),
+                |b| {
+                    let mut child_slots: Vec<EvalWorkspace> = Vec::new();
+                    child_slots.resize_with(kids.len(), EvalWorkspace::new);
+                    b.iter(|| {
+                        invalidate(&mut kids, &stale);
+                        evaluate_generation(
+                            &evaluator,
+                            &parents,
+                            &parent_slots,
+                            &mut kids,
+                            &mut child_slots,
+                            &lineage,
+                            1,
+                        )
+                        .expect("evaluates");
+                        kids.best_index()
+                    });
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(&format!("rebuild_{mix}"), scale_label),
+                |b| {
+                    let mut workspaces = Vec::new();
+                    b.iter(|| {
+                        invalidate(&mut kids, &stale);
+                        evaluate_population_with(&evaluator, &mut kids, 1, &mut workspaces)
+                            .expect("evaluates");
+                        kids.best_index()
+                    });
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(&format!("scratch_{mix}"), scale_label),
+                |b| {
+                    b.iter(|| {
+                        invalidate(&mut kids, &stale);
+                        for ind in kids.individuals_mut() {
+                            if !ind.is_evaluated() {
+                                let e = evaluator.evaluate(ind.placement()).expect("evaluates");
+                                ind.set_evaluation(e);
+                            }
+                        }
+                        kids.best_index()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// BFS vs union-find for connected components.
 fn ablation_components(c: &mut Criterion) {
     let area = Area::square(128.0).expect("valid area");
@@ -233,6 +361,7 @@ criterion_group!(
     ablation_spatial_index,
     ablation_incremental,
     ablation_move_eval,
+    ablation_ga_eval,
     ablation_components,
     ablation_density,
     ablation_parallel_eval,

@@ -24,6 +24,6 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
         )
     );
     write_ga_figure(&opts.out_dir, &fig)?;
-    println!("wrote {}/fig2.{{csv,txt}}", opts.out_dir.display());
+    println!("wrote {}/fig2.{{csv,jsonl,txt}}", opts.out_dir.display());
     Ok(())
 }

@@ -24,6 +24,6 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
         )
     );
     write_ga_figure(&opts.out_dir, &fig)?;
-    println!("wrote {}/fig3.{{csv,txt}}", opts.out_dir.display());
+    println!("wrote {}/fig3.{{csv,jsonl,txt}}", opts.out_dir.display());
     Ok(())
 }

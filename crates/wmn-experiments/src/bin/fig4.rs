@@ -29,6 +29,6 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
         fig.random.last_y().unwrap_or(0.0)
     );
     write_ns_figure(&opts.out_dir, &fig)?;
-    println!("wrote {}/fig4.{{csv,txt}}", opts.out_dir.display());
+    println!("wrote {}/fig4.{{csv,jsonl,txt}}", opts.out_dir.display());
     Ok(())
 }

@@ -27,28 +27,46 @@ where
     out
 }
 
+/// Header row for aligned-series output: the x label, then one column per
+/// series name. The single row-shaping implementation shared by
+/// [`render_series`] and the streaming
+/// [`stream_series`](crate::report::stream_series).
+pub fn series_header(header_x: &str, series: &[wmn_metrics::stats::Trace]) -> Vec<String> {
+    let mut header: Vec<String> = vec![header_x.to_owned()];
+    header.extend(series.iter().map(|s| s.name().to_owned()));
+    header
+}
+
+/// Number of data rows aligned series produce (the longest series wins;
+/// shorter series render empty trailing fields).
+pub fn series_row_count(series: &[wmn_metrics::stats::Trace]) -> usize {
+    series.iter().map(|s| s.len()).max().unwrap_or(0)
+}
+
+/// The `i`-th aligned data row: the shared x value (taken from the first
+/// series that has a point at `i`), then each series' y (empty when
+/// absent).
+pub fn series_row(series: &[wmn_metrics::stats::Trace], i: usize) -> Vec<String> {
+    let x = series
+        .iter()
+        .find_map(|s| s.points().get(i).map(|&(x, _)| x));
+    let mut row = vec![x.map_or(String::new(), trim_float)];
+    for s in series {
+        row.push(
+            s.points()
+                .get(i)
+                .map_or(String::new(), |&(_, y)| trim_float(y)),
+        );
+    }
+    row
+}
+
 /// Renders aligned series as CSV: the first column is x, then one column
 /// per series (y values matched by position). Series must share x values;
 /// missing trailing points render as empty fields.
 pub fn render_series(header_x: &str, series: &[wmn_metrics::stats::Trace]) -> String {
-    let mut header: Vec<String> = vec![header_x.to_owned()];
-    header.extend(series.iter().map(|s| s.name().to_owned()));
-    let longest = series.iter().map(|s| s.len()).max().unwrap_or(0);
-    let mut rows: Vec<Vec<String>> = vec![header];
-    for i in 0..longest {
-        let x = series
-            .iter()
-            .find_map(|s| s.points().get(i).map(|&(x, _)| x));
-        let mut row = vec![x.map_or(String::new(), trim_float)];
-        for s in series {
-            row.push(
-                s.points()
-                    .get(i)
-                    .map_or(String::new(), |&(_, y)| trim_float(y)),
-            );
-        }
-        rows.push(row);
-    }
+    let mut rows: Vec<Vec<String>> = vec![series_header(header_x, series)];
+    rows.extend((0..series_row_count(series)).map(|i| series_row(series, i)));
     render(&rows)
 }
 

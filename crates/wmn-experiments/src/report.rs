@@ -35,7 +35,43 @@ pub fn write_table(dir: &Path, table: &TableResult) -> Result<(), ExperimentErro
     write_file(&dir.join(format!("table{n}.csv")), &table.to_csv())
 }
 
-/// Writes a GA-evolution figure as `figN.csv` and an ASCII `figN.txt`.
+/// Streams aligned series through a [`RowSink`], one row per x value
+/// (header `[x, name…]`, the JSONL/CSV twin of
+/// [`render_series`](crate::csv::render_series)). This is what lets the
+/// `--scale 8`+ figure runs emit machine-readable output incrementally
+/// through [`JsonlSink`] instead of accumulating a rendered document.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O failures.
+pub fn stream_series<S: RowSink + ?Sized>(
+    sink: &mut S,
+    header_x: &str,
+    series: &[wmn_metrics::stats::Trace],
+) -> io::Result<()> {
+    sink.header(&crate::csv::series_header(header_x, series))?;
+    for i in 0..crate::csv::series_row_count(series) {
+        sink.row(&crate::csv::series_row(series, i))?;
+    }
+    sink.finish()
+}
+
+/// Streams `series` into `path` as JSON Lines, row by row through a
+/// buffered file sink (no in-memory document).
+fn write_series_jsonl(
+    dir: &Path,
+    file: &str,
+    header_x: &str,
+    series: &[wmn_metrics::stats::Trace],
+) -> Result<(), ExperimentError> {
+    let path = dir.join(file);
+    let out = std::fs::File::create(&path).map_err(|e| ExperimentError::io(&path, e))?;
+    let mut sink = JsonlSink::new(io::BufWriter::new(out));
+    stream_series(&mut sink, header_x, series).map_err(|e| ExperimentError::io(&path, e))
+}
+
+/// Writes a GA-evolution figure as `figN.csv`, `figN.jsonl`, and an ASCII
+/// `figN.txt`.
 ///
 /// # Errors
 ///
@@ -47,6 +83,7 @@ pub fn write_ga_figure(dir: &Path, figure: &GaFigure) -> Result<(), ExperimentEr
         &dir.join(format!("fig{n}.csv")),
         &render_series("generation", &figure.series),
     )?;
+    write_series_jsonl(dir, &format!("fig{n}.jsonl"), "generation", &figure.series)?;
     let title = format!(
         "Figure {n}: size of giant component vs GA generations ({} clients)",
         figure.scenario
@@ -57,7 +94,7 @@ pub fn write_ga_figure(dir: &Path, figure: &GaFigure) -> Result<(), ExperimentEr
     )
 }
 
-/// Writes Figure 4 as `fig4.csv` and an ASCII `fig4.txt`.
+/// Writes Figure 4 as `fig4.csv`, `fig4.jsonl`, and an ASCII `fig4.txt`.
 ///
 /// # Errors
 ///
@@ -66,6 +103,7 @@ pub fn write_ns_figure(dir: &Path, figure: &NsFigure) -> Result<(), ExperimentEr
     create_dir(dir)?;
     let series = [figure.swap.clone(), figure.random.clone()];
     write_file(&dir.join("fig4.csv"), &render_series("phase", &series))?;
+    write_series_jsonl(dir, "fig4.jsonl", "phase", &series)?;
     write_file(
         &dir.join("fig4.txt"),
         &plot(
@@ -219,12 +257,35 @@ mod tests {
         write_ga_figure(&dir, &fig).unwrap();
         assert!(dir.join("fig3.csv").exists());
         assert!(dir.join("fig3.txt").exists());
+        let jsonl = fs::read_to_string(dir.join("fig3.jsonl")).unwrap();
+        assert_eq!(
+            jsonl.lines().count(),
+            fig.series[0].len(),
+            "one JSONL row per sampled generation"
+        );
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"generation\":")));
 
         let ns = run_ns_figure(&ExperimentConfig::quick()).unwrap();
         write_ns_figure(&dir, &ns).unwrap();
         let csv = fs::read_to_string(dir.join("fig4.csv")).unwrap();
         assert!(csv.starts_with("phase,Swap,Random"));
+        let jsonl = fs::read_to_string(dir.join("fig4.jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), ns.swap.len());
+        assert!(jsonl.lines().all(|l| l.contains("\"Swap\":")));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_series_rows_match_csv_rendering() {
+        let fig = run_ga_figure(Scenario::Normal, &ExperimentConfig::quick()).unwrap();
+        let mut sink = CsvSink::new(Vec::new());
+        stream_series(&mut sink, "generation", &fig.series).unwrap();
+        let streamed = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            streamed,
+            crate::csv::render_series("generation", &fig.series),
+            "streaming and document rendering must agree"
+        );
     }
 
     #[test]

@@ -259,6 +259,19 @@ impl ExperimentConfig {
         }
     }
 
+    /// The large-instance smoke preset for library callers: exactly the
+    /// configuration the `--quick --scale n` CLI flags produce (pinned by
+    /// a test, so the two surfaces cannot drift). `quick_scale(8)` — 512
+    /// routers / 1536 clients on a ~362×362 area — is the shape CI runs
+    /// fig3/fig4 at (via those CLI flags) to prove beyond-paper-scale GA
+    /// and search runs stay affordable now that evaluation is
+    /// topology-backed and figures stream JSONL.
+    pub fn quick_scale(n: u32) -> Self {
+        let mut config = ExperimentConfig::quick();
+        config.scale = ScenarioScale::proportional(n.max(1));
+        config
+    }
+
     /// Generates `scenario`'s instance at this config's seed and scale.
     ///
     /// # Errors
@@ -341,6 +354,22 @@ mod tests {
         assert_eq!(q.run_seed, 7);
         assert_eq!(q.runner_threads, 3);
         assert_eq!(q.scale, ScenarioScale::proportional(2));
+    }
+
+    #[test]
+    fn quick_scale_preset_matches_cli_flags() {
+        let preset = ExperimentConfig::quick_scale(8);
+        // The preset IS `--quick --scale 8`: pin it to the CLI parse so
+        // the two surfaces cannot drift.
+        let cli = crate::cli::parse(["--quick", "--scale", "8"].map(String::from))
+            .unwrap()
+            .config;
+        assert_eq!(preset, cli);
+        let spec = Scenario::Normal.scaled_spec(preset.scale).unwrap();
+        assert_eq!(spec.router_count(), 512);
+        assert_eq!(spec.client_count(), 1536);
+        // Zero clamps to the identity scale rather than a degenerate spec.
+        assert!(ExperimentConfig::quick_scale(0).scale.is_identity());
     }
 
     #[test]

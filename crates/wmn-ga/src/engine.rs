@@ -1,22 +1,76 @@
-//! The generational GA engine.
+//! The generational GA engine over a **population of live topologies**.
 //!
-//! A classical elitist generational GA over placement chromosomes: evaluate,
-//! record, select (tournament by default), cross (single-point by default),
-//! mutate (jitter + reset stack), repeat. The engine records a
+//! A classical elitist generational GA over placement chromosomes:
+//! evaluate, record, select (tournament by default), cross (single-point by
+//! default), mutate (jitter + reset stack), repeat. The engine records a
 //! [`GaTrace`] — per-generation best giant component size — which is
 //! exactly the data plotted in the paper's Figures 1–3.
+//!
+//! # Topology-backed evaluation
+//!
+//! Under the default [`GaEvalMode::Incremental`], every individual owns an
+//! `EvalWorkspace` slot holding a **live `WmnTopology`** of its placement.
+//! A child is evaluated as its *lineage parent's* topology plus a delta:
+//! the worker copies the parent's state into the child's slot
+//! (`WmnTopology::clone_from`, buffer-reusing) and repairs the placement
+//! diff — crossover genes and mutation moves folded into one batch —
+//! through the incremental engine (`apply_moves`), instead of rebuilding
+//! adjacency/components/coverage from scratch per child.
+//!
+//! Invariants of the representation (mirroring the `wmn-graph::topology`
+//! module docs):
+//!
+//! * after every evaluation step, individual `i`'s slot holds a topology
+//!   whose state equals a fresh build of `individuals[i].placement()` —
+//!   elites included (they skip the fitness write but still sync their
+//!   topology so they can parent the next generation);
+//! * chromosomes (placements) remain the source of truth; topologies are
+//!   derived state and never feed back into reproduction;
+//! * reproduction consumes the RNG identically in every mode, and
+//!   evaluation consumes none, so [`GaEvalMode::Rebuild`] (the
+//!   full-rebuild reference pipeline) and any thread count produce
+//!   **bit-identical** outcomes (pinned by the `incremental_equivalence`
+//!   suite; the `ablation_ga_eval` bench measures the gap).
 
 use crate::crossover::CrossoverOp;
 use crate::init::PopulationInit;
 use crate::mutation::MutationOp;
 use crate::parallel;
-use crate::population::Population;
+use crate::population::{Lineage, Population};
 use crate::selection::SelectionOp;
 use crate::trace::{GaTrace, GenerationRecord};
 use rand::{Rng, RngCore};
-use wmn_metrics::evaluator::{Evaluation, Evaluator};
+use std::fmt;
+use wmn_metrics::evaluator::{EvalWorkspace, Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_search::movement::MoveAction;
+
+/// How the engine evaluates the individuals of each generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum GaEvalMode {
+    /// Topology-backed delta evaluation (the default): children adopt
+    /// their lineage parent's live topology and repair the placement diff
+    /// through the incremental batch engine.
+    #[default]
+    Incremental,
+    /// Full-rebuild reference pipeline: every child is evaluated through a
+    /// per-worker workspace whose topology is rebuilt in place per
+    /// candidate — the pre-topology-backed behavior, kept as the
+    /// bit-identical baseline for equivalence tests and the
+    /// `ablation_ga_eval` bench.
+    Rebuild,
+}
+
+impl fmt::Display for GaEvalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaEvalMode::Incremental => write!(f, "incremental"),
+            GaEvalMode::Rebuild => write!(f, "rebuild"),
+        }
+    }
+}
 
 /// GA parameters (see [`GaConfigBuilder`] for construction).
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +91,9 @@ pub struct GaConfig {
     pub mutations: Vec<MutationOp>,
     /// Worker threads for fitness evaluation (1 = serial).
     pub threads: usize,
+    /// Evaluation pipeline (incremental topology-backed vs full rebuild);
+    /// outcomes are bit-identical either way.
+    pub eval_mode: GaEvalMode,
 }
 
 impl GaConfig {
@@ -53,6 +110,7 @@ impl GaConfig {
             crossover: CrossoverOp::paper_default(),
             mutations: MutationOp::paper_default_stack(),
             threads: 1,
+            eval_mode: GaEvalMode::Incremental,
         }
     }
 
@@ -122,6 +180,12 @@ impl GaConfigBuilder {
     /// Sets the evaluation thread count.
     pub fn threads(&mut self, n: usize) -> &mut Self {
         self.config.threads = n.max(1);
+        self
+    }
+
+    /// Sets the evaluation pipeline (incremental vs full rebuild).
+    pub fn eval_mode(&mut self, mode: GaEvalMode) -> &mut Self {
+        self.config.eval_mode = mode;
         self
     }
 
@@ -222,6 +286,86 @@ impl<'e, 'i> GaEngine<'e, 'i> {
         });
     }
 
+    /// Produces the next generation from an evaluated population: elites,
+    /// then selection → crossover/clone → mutation, exactly as one
+    /// generational step of [`run`](GaEngine::run) (which calls this).
+    /// Mutations are planned as [`MoveAction`] deltas and applied to the
+    /// chromosome; the returned [`Lineage`] records each child's parents so
+    /// evaluation can take the incremental parent-plus-diff path.
+    pub fn reproduce(
+        &self,
+        population: &Population,
+        rng: &mut dyn RngCore,
+    ) -> (Population, Vec<Lineage>) {
+        let instance = self.evaluator.instance();
+        let mut next = Population::new();
+        let mut lineage = Vec::with_capacity(self.config.population_size);
+        // Elites survive unchanged (evaluation cache carries over).
+        for &idx in population.ranked_indices().iter().take(self.config.elitism) {
+            next.push(population.individuals()[idx].clone());
+            lineage.push(Lineage::cloned(idx));
+        }
+        // Offspring.
+        let mut actions: Vec<MoveAction> = Vec::new();
+        while next.len() < self.config.population_size {
+            let pa = self.config.selection.select(population, rng);
+            let pb = self.config.selection.select(population, rng);
+            let (crossed, (mut c1, mut c2)) = if rng.gen::<f64>() < self.config.crossover_rate {
+                (
+                    true,
+                    self.config.crossover.cross(
+                        population.individuals()[pa].placement(),
+                        population.individuals()[pb].placement(),
+                        rng,
+                    ),
+                )
+            } else {
+                (
+                    false,
+                    (
+                        population.individuals()[pa].placement().clone(),
+                        population.individuals()[pb].placement().clone(),
+                    ),
+                )
+            };
+            self.mutate_stack(&mut c1, instance, rng, &mut actions);
+            next.push(c1.into());
+            lineage.push(if crossed {
+                Lineage { a: pa, b: pb }
+            } else {
+                Lineage::cloned(pa)
+            });
+            if next.len() < self.config.population_size {
+                self.mutate_stack(&mut c2, instance, rng, &mut actions);
+                next.push(c2.into());
+                lineage.push(if crossed {
+                    Lineage { a: pa, b: pb }
+                } else {
+                    Lineage::cloned(pb)
+                });
+            }
+        }
+        (next, lineage)
+    }
+
+    /// Applies the configured mutation stack to one chromosome through the
+    /// plan-then-apply path, reusing `actions` as scratch. RNG consumption
+    /// is identical to calling `MutationOp::mutate` per operator.
+    fn mutate_stack(
+        &self,
+        placement: &mut Placement,
+        instance: &wmn_model::ProblemInstance,
+        rng: &mut dyn RngCore,
+        actions: &mut Vec<MoveAction>,
+    ) {
+        for op in &self.config.mutations {
+            op.plan(placement, instance, rng, actions);
+            for action in actions.iter() {
+                action.apply_to_placement(placement);
+            }
+        }
+    }
+
     /// Runs the GA from an initial population built by `init`.
     ///
     /// # Errors
@@ -235,15 +379,8 @@ impl<'e, 'i> GaEngine<'e, 'i> {
     ) -> Result<GaOutcome, ModelError> {
         let mut population =
             init.build(self.evaluator.instance(), self.config.population_size, rng);
-        // One workspace set for the entire run: each worker's topology is
-        // built once and rebuilt in place every generation thereafter.
-        let mut workspaces = Vec::new();
-        parallel::evaluate_population_with(
-            self.evaluator,
-            &mut population,
-            self.config.threads,
-            &mut workspaces,
-        )?;
+        let mut backend = EvalBackend::new(self.config.eval_mode);
+        backend.evaluate_initial(self.evaluator, &mut population, self.config.threads)?;
 
         let mut trace = GaTrace::new();
         self.record(0, &population, &mut trace);
@@ -254,46 +391,15 @@ impl<'e, 'i> GaEngine<'e, 'i> {
             .clone();
         let mut best_evaluation = population.best_evaluation().expect("evaluated");
 
-        let instance = self.evaluator.instance();
         for generation in 1..=self.config.generations {
-            let mut next = Population::new();
-            // Elites survive unchanged (evaluation cache carries over).
-            for &idx in population.ranked_indices().iter().take(self.config.elitism) {
-                next.push(population.individuals()[idx].clone());
-            }
-            // Offspring.
-            while next.len() < self.config.population_size {
-                let pa = self.config.selection.select(&population, rng);
-                let pb = self.config.selection.select(&population, rng);
-                let (mut c1, mut c2) = if rng.gen::<f64>() < self.config.crossover_rate {
-                    self.config.crossover.cross(
-                        population.individuals()[pa].placement(),
-                        population.individuals()[pb].placement(),
-                        rng,
-                    )
-                } else {
-                    (
-                        population.individuals()[pa].placement().clone(),
-                        population.individuals()[pb].placement().clone(),
-                    )
-                };
-                for op in &self.config.mutations {
-                    op.mutate(&mut c1, instance, rng);
-                }
-                next.push(c1.into());
-                if next.len() < self.config.population_size {
-                    for op in &self.config.mutations {
-                        op.mutate(&mut c2, instance, rng);
-                    }
-                    next.push(c2.into());
-                }
-            }
-            population = next;
-            parallel::evaluate_population_with(
+            let (next, lineage) = self.reproduce(&population, rng);
+            let parents = std::mem::replace(&mut population, next);
+            backend.evaluate_generation(
                 self.evaluator,
+                &parents,
                 &mut population,
+                &lineage,
                 self.config.threads,
-                &mut workspaces,
             )?;
             self.record(generation, &population, &mut trace);
 
@@ -310,6 +416,80 @@ impl<'e, 'i> GaEngine<'e, 'i> {
             trace,
             final_population: population,
         })
+    }
+}
+
+/// The engine's per-run evaluation state: either the topology-backed slot
+/// pool (one live topology per individual, double-buffered across
+/// generations) or the legacy per-worker workspace set of the rebuild
+/// reference pipeline.
+#[derive(Debug)]
+enum EvalBackend {
+    Incremental {
+        /// One slot per individual of the *current* population.
+        slots: Vec<EvalWorkspace>,
+        /// Last generation's slots, recycled as the next children's lease
+        /// pool (their warm topologies get `clone_from`'d over).
+        spare: Vec<EvalWorkspace>,
+    },
+    Rebuild {
+        /// One workspace per evaluation worker, persistent across
+        /// generations.
+        workspaces: Vec<EvalWorkspace>,
+    },
+}
+
+impl EvalBackend {
+    fn new(mode: GaEvalMode) -> Self {
+        match mode {
+            GaEvalMode::Incremental => EvalBackend::Incremental {
+                slots: Vec::new(),
+                spare: Vec::new(),
+            },
+            GaEvalMode::Rebuild => EvalBackend::Rebuild {
+                workspaces: Vec::new(),
+            },
+        }
+    }
+
+    fn evaluate_initial(
+        &mut self,
+        evaluator: &Evaluator<'_>,
+        population: &mut Population,
+        threads: usize,
+    ) -> Result<(), ModelError> {
+        match self {
+            EvalBackend::Incremental { slots, .. } => {
+                slots.resize_with(population.len(), EvalWorkspace::new);
+                parallel::evaluate_initial(evaluator, population, slots, threads)
+            }
+            EvalBackend::Rebuild { workspaces } => {
+                parallel::evaluate_population_with(evaluator, population, threads, workspaces)
+            }
+        }
+    }
+
+    fn evaluate_generation(
+        &mut self,
+        evaluator: &Evaluator<'_>,
+        parents: &Population,
+        children: &mut Population,
+        lineage: &[Lineage],
+        threads: usize,
+    ) -> Result<(), ModelError> {
+        match self {
+            EvalBackend::Incremental { slots, spare } => {
+                spare.resize_with(children.len(), EvalWorkspace::new);
+                parallel::evaluate_generation(
+                    evaluator, parents, slots, children, spare, lineage, threads,
+                )?;
+                std::mem::swap(slots, spare);
+                Ok(())
+            }
+            EvalBackend::Rebuild { workspaces } => {
+                parallel::evaluate_population_with(evaluator, children, threads, workspaces)
+            }
+        }
     }
 }
 

@@ -6,17 +6,28 @@
 //! component size. This crate provides that machinery:
 //!
 //! * [`chromosome`] / [`population`] — individuals (placement + cached
-//!   evaluation) and populations with diversity measures.
+//!   evaluation), populations with diversity measures, and per-child
+//!   [`Lineage`] reproduction metadata.
 //! * [`selection`] — tournament (paper default), roulette-wheel, rank.
 //! * [`crossover`] — single-point (paper default), two-point, uniform,
 //!   blend, region-exchange.
 //! * [`mutation`] — Gaussian jitter + uniform reset (paper stack) and a
-//!   swap-pair operator mirroring the paper's swap movement.
+//!   swap-pair operator mirroring the paper's swap movement; every
+//!   operator plans its perturbation as `wmn-search` [`MoveAction`]
+//!   deltas.
 //! * [`init`] — ad-hoc-seeded population initialization
 //!   ([`PopulationInit`]).
 //! * [`engine`] — the elitist generational [`GaEngine`] with per-generation
-//!   [`trace`] recording (the Figures 1–3 data).
-//! * [`parallel`] — threaded fitness evaluation.
+//!   [`trace`] recording (the Figures 1–3 data). Evaluation is
+//!   **topology-backed** by default ([`GaEvalMode::Incremental`]): each
+//!   individual owns a live `WmnTopology`, and children evaluate as
+//!   "parent state copy + incremental batch repair of the placement diff"
+//!   — bit-identical to the full-rebuild reference
+//!   ([`GaEvalMode::Rebuild`]) at a fraction of the cost (see the
+//!   `ablation_ga_eval` bench).
+//! * [`parallel`] — threaded fitness evaluation (both pipelines).
+//!
+//! [`MoveAction`]: wmn_search::movement::MoveAction
 //!
 //! # Quick start
 //!
@@ -56,10 +67,10 @@ pub mod trace;
 
 pub use chromosome::Individual;
 pub use crossover::CrossoverOp;
-pub use engine::{GaConfig, GaConfigBuilder, GaEngine, GaOutcome};
+pub use engine::{GaConfig, GaConfigBuilder, GaEngine, GaEvalMode, GaOutcome};
 pub use init::PopulationInit;
 pub use mutation::MutationOp;
-pub use population::Population;
+pub use population::{Lineage, Population};
 pub use selection::SelectionOp;
 pub use trace::{GaTrace, GenerationRecord};
 
@@ -67,10 +78,10 @@ pub use trace::{GaTrace, GenerationRecord};
 pub mod prelude {
     pub use crate::chromosome::Individual;
     pub use crate::crossover::CrossoverOp;
-    pub use crate::engine::{GaConfig, GaConfigBuilder, GaEngine, GaOutcome};
+    pub use crate::engine::{GaConfig, GaConfigBuilder, GaEngine, GaEvalMode, GaOutcome};
     pub use crate::init::PopulationInit;
     pub use crate::mutation::MutationOp;
-    pub use crate::population::Population;
+    pub use crate::population::{Lineage, Population};
     pub use crate::selection::SelectionOp;
     pub use crate::trace::{GaTrace, GenerationRecord};
 }

@@ -9,6 +9,13 @@
 //! "re-establish mesh nodes network connections" step, and the operator
 //! that lets populations assemble connected meshes at all under the
 //! mutual-range link model.
+//!
+//! Every operator is expressed as a **plan of [`MoveAction`] deltas**
+//! ([`MutationOp::plan`]) — the same move vocabulary `wmn-search` uses —
+//! which the topology-backed GA engine applies to chromosomes and folds
+//! into the incremental batch repair of the evaluation topology.
+//! [`MutationOp::mutate`] is plan-then-apply, so the two paths cannot
+//! drift.
 
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
@@ -17,6 +24,7 @@ use wmn_model::distribution::standard_normal;
 use wmn_model::geometry::Point;
 use wmn_model::instance::ProblemInstance;
 use wmn_model::placement::Placement;
+use wmn_search::movement::MoveAction;
 
 /// A mutation strategy; `rate` fields are probabilities (per gene for the
 /// gene-wise operators, per application for the pairwise ones).
@@ -79,13 +87,29 @@ impl MutationOp {
         ]
     }
 
-    /// Applies the mutation in place. Returns the number of genes changed.
-    pub fn mutate(
+    /// Plans the mutation as a batch of [`MoveAction`] deltas against
+    /// `placement`, **without applying them**, writing the actions into
+    /// `out` (cleared first). Returns the number of genes the actions will
+    /// change.
+    ///
+    /// The RNG stream is consumed exactly as [`MutationOp::mutate`]
+    /// consumes it (`mutate` *is* plan-then-apply), so planning callers —
+    /// the topology-backed GA engine routes every mutation through here and
+    /// applies the actions with [`MoveAction::apply_to_placement`] — stay
+    /// bit-identical to in-place mutation. Relocation targets are already
+    /// clamped into the deployment area.
+    ///
+    /// Actions are planned against the *incoming* placement: within one
+    /// operator no action's target depends on another's effect, so applying
+    /// them in any order lands the same placement.
+    pub fn plan(
         &self,
-        placement: &mut Placement,
+        placement: &Placement,
         instance: &ProblemInstance,
         rng: &mut dyn RngCore,
+        out: &mut Vec<MoveAction>,
     ) -> usize {
+        out.clear();
         let area = instance.area();
         let n = placement.len();
         if n == 0 {
@@ -93,41 +117,46 @@ impl MutationOp {
         }
         match *self {
             MutationOp::UniformReset { rate } => {
-                let mut changed = 0;
                 for i in 0..n {
                     if rng.gen::<f64>() < rate {
-                        placement[wmn_model::RouterId(i)] = Point::new(
-                            rng.gen_range(0.0..=area.width()),
-                            rng.gen_range(0.0..=area.height()),
-                        );
-                        changed += 1;
+                        out.push(MoveAction::Relocate {
+                            router: wmn_model::RouterId(i),
+                            to: Point::new(
+                                rng.gen_range(0.0..=area.width()),
+                                rng.gen_range(0.0..=area.height()),
+                            ),
+                        });
                     }
                 }
-                changed
+                out.len()
             }
             MutationOp::GaussianJitter {
                 rate,
                 sigma_fraction,
             } => {
                 let sigma = sigma_fraction.max(0.0) * area.width().min(area.height());
-                let mut changed = 0;
                 for i in 0..n {
                     if rng.gen::<f64>() < rate {
                         let id = wmn_model::RouterId(i);
                         let p = placement[id];
-                        placement[id] = area.clamp_point(Point::new(
-                            p.x + sigma * standard_normal(rng),
-                            p.y + sigma * standard_normal(rng),
-                        ));
-                        changed += 1;
+                        out.push(MoveAction::Relocate {
+                            router: id,
+                            to: area.clamp_point(Point::new(
+                                p.x + sigma * standard_normal(rng),
+                                p.y + sigma * standard_normal(rng),
+                            )),
+                        });
                     }
                 }
-                changed
+                out.len()
             }
             MutationOp::SwapPair { rate } => {
                 if n >= 2 && rng.gen::<f64>() < rate {
                     let (a, b) = pick_distinct_pair(n, rng);
-                    placement.swap(wmn_model::RouterId(a), wmn_model::RouterId(b));
+                    out.push(MoveAction::Swap {
+                        a: wmn_model::RouterId(a),
+                        b: wmn_model::RouterId(b),
+                    });
                     2
                 } else {
                     0
@@ -159,16 +188,38 @@ impl MutationOp {
                     let angle = rng.gen_range(0.0..std::f64::consts::TAU);
                     let dist = reach * rng.gen_range(0.4..0.95);
                     let a = placement[wmn_model::RouterId(anchor)];
-                    placement[wmn_model::RouterId(mover)] = area.clamp_point(Point::new(
-                        a.x + dist * angle.cos(),
-                        a.y + dist * angle.sin(),
-                    ));
+                    out.push(MoveAction::Relocate {
+                        router: wmn_model::RouterId(mover),
+                        to: area.clamp_point(Point::new(
+                            a.x + dist * angle.cos(),
+                            a.y + dist * angle.sin(),
+                        )),
+                    });
                     1
                 } else {
                     0
                 }
             }
         }
+    }
+
+    /// Applies the mutation in place. Returns the number of genes changed.
+    ///
+    /// Implemented as [`plan`](MutationOp::plan) followed by placement-level
+    /// application, so the two paths cannot drift; loops that care about
+    /// allocations should call `plan` with a reused buffer instead.
+    pub fn mutate(
+        &self,
+        placement: &mut Placement,
+        instance: &ProblemInstance,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let mut actions = Vec::new();
+        let changed = self.plan(placement, instance, rng, &mut actions);
+        for action in &actions {
+            action.apply_to_placement(placement);
+        }
+        changed
     }
 }
 
@@ -374,6 +425,32 @@ mod tests {
             }
         }
         assert!(p.validate(&inst.area(), 64).is_ok());
+    }
+
+    #[test]
+    fn plan_is_pure_and_matches_mutate_per_seed() {
+        let inst = instance(32);
+        for op in MutationOp::paper_default_stack()
+            .into_iter()
+            .chain([MutationOp::SwapPair { rate: 1.0 }])
+        {
+            let base = placement(32);
+            // Planning must not touch the placement...
+            let mut actions = Vec::new();
+            let probe = base.clone();
+            let changed = op.plan(&probe, &inst, &mut rng_from_seed(77), &mut actions);
+            assert_eq!(probe, base, "{op}: plan mutated the placement");
+            // ...and plan-then-apply must equal mutate on the same stream.
+            let mut planned = base.clone();
+            for a in &actions {
+                a.apply_to_placement(&mut planned);
+            }
+            let mut mutated = base.clone();
+            let changed2 = op.mutate(&mut mutated, &inst, &mut rng_from_seed(77));
+            assert_eq!(planned, mutated, "{op}");
+            assert_eq!(changed, changed2, "{op}");
+            assert!(planned.validate(&inst.area(), 32).is_ok(), "{op}");
+        }
     }
 
     #[test]

@@ -1,14 +1,36 @@
 //! Threaded population evaluation.
 //!
-//! Fitness evaluation dominates GA runtime (a topology build per
-//! individual), and individuals are independent — a textbook fork/join.
-//! Implemented with `std::thread::scope` so the evaluator (which borrows
-//! the instance) can be shared without `'static` gymnastics or extra
-//! dependencies.
+//! Fitness evaluation dominates GA runtime, and individuals are
+//! independent — a textbook fork/join. Implemented with
+//! `std::thread::scope` so the evaluator (which borrows the instance) can
+//! be shared without `'static` gymnastics or extra dependencies.
+//!
+//! Two evaluation paths exist, and both are deterministic in the thread
+//! count (consuming no RNG, with per-child results a pure function of the
+//! child's placement):
+//!
+//! * [`evaluate_population_with`] — the **rebuild** path: every stale
+//!   individual is evaluated through a per-worker [`EvalWorkspace`] whose
+//!   topology is fully rebuilt in place per candidate. This is the
+//!   reference baseline ([`GaEvalMode::Rebuild`]) and the entry point for
+//!   populations without live topologies.
+//! * [`evaluate_generation`] — the **incremental** path of the
+//!   topology-backed GA ([`GaEvalMode::Incremental`]): every child owns an
+//!   `EvalWorkspace` slot; a worker copies the lineage parent's live
+//!   topology state into the child's slot (`WmnTopology::clone_from`,
+//!   allocation-free once warm) and repairs the placement diff through the
+//!   incremental batch engine instead of rebuilding. Workers only *read*
+//!   the parent generation's slots, so chunks share them freely.
+//!
+//! [`GaEvalMode::Rebuild`]: crate::engine::GaEvalMode
+//! [`GaEvalMode::Incremental`]: crate::engine::GaEvalMode
 
-use crate::population::Population;
+use crate::chromosome::Individual;
+use crate::population::{Lineage, Population};
 use wmn_metrics::evaluator::{EvalWorkspace, Evaluator};
-use wmn_model::ModelError;
+use wmn_model::geometry::Point;
+use wmn_model::placement::Placement;
+use wmn_model::{ModelError, RouterId};
 
 /// Evaluates every stale individual, using up to `threads` workers and
 /// fresh per-call workspaces; prefer [`evaluate_population_with`] in loops
@@ -66,6 +88,212 @@ pub fn evaluate_population_with(
                         let e = evaluator.evaluate_with(workspace, ind.placement())?;
                         ind.set_evaluation(e);
                     }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("evaluation worker panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// Evaluates an initial population **into per-individual workspace slots**:
+/// each individual is evaluated through its own slot, leaving every slot
+/// holding a live topology of that individual's placement — the seed state
+/// of the topology-backed generational loop.
+///
+/// `threads <= 1` evaluates serially; results are identical for every
+/// thread count.
+///
+/// # Errors
+///
+/// Propagates the first placement-validation failure.
+///
+/// # Panics
+///
+/// Panics if `slots.len() != population.len()`.
+pub fn evaluate_initial(
+    evaluator: &Evaluator<'_>,
+    population: &mut Population,
+    slots: &mut [EvalWorkspace],
+    threads: usize,
+) -> Result<(), ModelError> {
+    fn seed_slot(
+        evaluator: &Evaluator<'_>,
+        ind: &mut Individual,
+        slot: &mut EvalWorkspace,
+    ) -> Result<(), ModelError> {
+        let e = evaluator.evaluate_with(slot, ind.placement())?;
+        if !ind.is_evaluated() {
+            ind.set_evaluation(e);
+        }
+        Ok(())
+    }
+    let individuals = population.individuals_mut();
+    assert_eq!(individuals.len(), slots.len(), "one slot per individual");
+    if threads <= 1 || individuals.len() <= 1 {
+        for (ind, slot) in individuals.iter_mut().zip(slots.iter_mut()) {
+            seed_slot(evaluator, ind, slot)?;
+        }
+        return Ok(());
+    }
+    let chunk = individuals.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (inds, slot_chunk) in individuals.chunks_mut(chunk).zip(slots.chunks_mut(chunk)) {
+            handles.push(scope.spawn(move || -> Result<(), ModelError> {
+                for (ind, slot) in inds.iter_mut().zip(slot_chunk.iter_mut()) {
+                    seed_slot(evaluator, ind, slot)?;
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("evaluation worker panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// The child's lineage parent: whichever recorded parent differs from the
+/// child in fewer genes (ties toward `a`). Deterministic, so results are
+/// independent of scheduling.
+fn closer_parent(parents: &Population, lineage: Lineage, child: &Placement) -> usize {
+    if lineage.a == lineage.b {
+        return lineage.a;
+    }
+    let diff = |idx: usize| {
+        parents.individuals()[idx]
+            .placement()
+            .as_slice()
+            .iter()
+            .zip(child.as_slice())
+            .filter(|(p, c)| p != c)
+            .count()
+    };
+    if diff(lineage.b) < diff(lineage.a) {
+        lineage.b
+    } else {
+        lineage.a
+    }
+}
+
+/// Evaluates one child of a generation through the incremental path: adopt
+/// the lineage parent's live topology, apply the placement diff, evaluate.
+/// Falls back to the workspace rebuild path when the parent has no live
+/// topology (a caller-assembled parent population).
+fn evaluate_child(
+    evaluator: &Evaluator<'_>,
+    parents: &Population,
+    parent_slots: &[EvalWorkspace],
+    child: &mut Individual,
+    slot: &mut EvalWorkspace,
+    lineage: Lineage,
+    moves: &mut Vec<(RouterId, Point)>,
+) -> Result<(), ModelError> {
+    let parent = closer_parent(parents, lineage, child.placement());
+    let Some(parent_topo) = parent_slots[parent].topology() else {
+        let e = evaluator.evaluate_with(slot, child.placement())?;
+        if !child.is_evaluated() {
+            child.set_evaluation(e);
+        }
+        return Ok(());
+    };
+    slot.adopt_topology(parent_topo);
+    let topo = slot.topology_mut().expect("topology just adopted");
+    let e = evaluator.evaluate_moves_to(topo, child.placement(), moves)?;
+    if !child.is_evaluated() {
+        child.set_evaluation(e);
+    }
+    Ok(())
+}
+
+/// Evaluates a reproduced generation through the **incremental** path:
+/// every child's slot adopts its lineage parent's live topology (state
+/// copy, buffer-reusing) and repairs the child's placement diff through
+/// `WmnTopology::apply_moves` — one batch repair per child instead of a
+/// full rebuild. Already-evaluated children (elites) skip the fitness
+/// write but still get a live topology, so they can parent the next
+/// generation.
+///
+/// Results are bit-identical to [`evaluate_population_with`] on the same
+/// children (pinned by the `incremental_equivalence` suite) for every
+/// thread count: no RNG is consumed and each child's evaluation is a pure
+/// function of its placement.
+///
+/// # Errors
+///
+/// Propagates the first placement-validation failure.
+///
+/// # Panics
+///
+/// Panics if `parent_slots`, `child_slots`, or `lineage` lengths are
+/// inconsistent with their populations, or a lineage index is out of
+/// range.
+pub fn evaluate_generation(
+    evaluator: &Evaluator<'_>,
+    parents: &Population,
+    parent_slots: &[EvalWorkspace],
+    children: &mut Population,
+    child_slots: &mut [EvalWorkspace],
+    lineage: &[Lineage],
+    threads: usize,
+) -> Result<(), ModelError> {
+    assert_eq!(
+        parents.len(),
+        parent_slots.len(),
+        "one slot per parent individual"
+    );
+    let individuals = children.individuals_mut();
+    assert_eq!(
+        individuals.len(),
+        child_slots.len(),
+        "one slot per child individual"
+    );
+    assert_eq!(individuals.len(), lineage.len(), "one lineage per child");
+    if threads <= 1 || individuals.len() <= 1 {
+        let mut moves = Vec::new();
+        for ((ind, slot), &line) in individuals
+            .iter_mut()
+            .zip(child_slots.iter_mut())
+            .zip(lineage)
+        {
+            evaluate_child(
+                evaluator,
+                parents,
+                parent_slots,
+                ind,
+                slot,
+                line,
+                &mut moves,
+            )?;
+        }
+        return Ok(());
+    }
+    let chunk = individuals.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ((inds, slot_chunk), line_chunk) in individuals
+            .chunks_mut(chunk)
+            .zip(child_slots.chunks_mut(chunk))
+            .zip(lineage.chunks(chunk))
+        {
+            handles.push(scope.spawn(move || -> Result<(), ModelError> {
+                let mut moves = Vec::new();
+                for ((ind, slot), &line) in
+                    inds.iter_mut().zip(slot_chunk.iter_mut()).zip(line_chunk)
+                {
+                    evaluate_child(
+                        evaluator,
+                        parents,
+                        parent_slots,
+                        ind,
+                        slot,
+                        line,
+                        &mut moves,
+                    )?;
                 }
                 Ok(())
             }));

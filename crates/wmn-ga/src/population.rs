@@ -4,6 +4,32 @@ use crate::chromosome::Individual;
 use wmn_metrics::evaluator::{EvalWorkspace, Evaluation, Evaluator};
 use wmn_model::ModelError;
 
+/// Reproduction metadata for one child of a generation: the indices (into
+/// the parent generation) of the two individuals whose genetic material
+/// produced it. Clones and elites record the copied parent in both slots.
+///
+/// The topology-backed evaluation path uses this to pick the child's
+/// *lineage parent* — the recorded parent whose placement differs in the
+/// fewest genes — and evaluate the child as that parent's live topology
+/// plus the diff, instead of rebuilding from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lineage {
+    /// First recorded parent (the prefix donor for positional crossovers).
+    pub a: usize,
+    /// Second recorded parent.
+    pub b: usize,
+}
+
+impl Lineage {
+    /// Lineage of a straight copy (clone child or elite).
+    pub fn cloned(parent: usize) -> Self {
+        Lineage {
+            a: parent,
+            b: parent,
+        }
+    }
+}
+
 /// A GA population.
 ///
 /// Invariant maintained by the engine (not the type): all individuals are

@@ -86,10 +86,27 @@ impl fmt::Display for LinkModel {
 ///
 /// Node `i` corresponds to router `i`; neighbor lists are sorted and
 /// deduplicated.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct MeshAdjacency {
     neighbors: Vec<Vec<usize>>,
     edge_count: usize,
+}
+
+impl Clone for MeshAdjacency {
+    fn clone(&self) -> Self {
+        MeshAdjacency {
+            neighbors: self.neighbors.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// Buffer-reusing copy: every neighbor-list allocation already held by
+    /// `self` is kept, so copying adjacency between same-sized topologies
+    /// (the GA population pool) is allocation-free once warm.
+    fn clone_from(&mut self, src: &Self) {
+        crate::spatial::clone_buckets_from(&mut self.neighbors, &src.neighbors);
+        self.edge_count = src.edge_count;
+    }
 }
 
 impl MeshAdjacency {

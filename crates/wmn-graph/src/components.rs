@@ -32,7 +32,7 @@ use crate::dsu::UnionFind;
 /// assert!(comps.in_giant(0) && comps.in_giant(1) && !comps.in_giant(2));
 /// # Ok::<(), wmn_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Components {
     /// Component label per node, labels in `0..count`, assigned in order of
     /// first appearance (lowest node index first).
@@ -42,6 +42,24 @@ pub struct Components {
     /// Label of the giant component (lowest label among maxima), or
     /// `usize::MAX` for an empty graph.
     giant: usize,
+}
+
+impl Clone for Components {
+    fn clone(&self) -> Self {
+        Components {
+            label: self.label.clone(),
+            sizes: self.sizes.clone(),
+            giant: self.giant,
+        }
+    }
+
+    /// Buffer-reusing copy (allocation-free once `self` has seen a graph at
+    /// least this large).
+    fn clone_from(&mut self, src: &Self) {
+        self.label.clone_from(&src.label);
+        self.sizes.clone_from(&src.sizes);
+        self.giant = src.giant;
+    }
 }
 
 impl Components {

@@ -5,14 +5,16 @@
 //! tracks set sizes so the giant component is available in O(1) after the
 //! merge phase.
 
-use std::cell::Cell;
-
 /// A disjoint-set forest over `0..n`.
 ///
 /// Uses union by rank and path compression (halving), giving effectively
-/// constant amortized operations. `find` takes `&self` — compression is
-/// interior mutability over the parent table, which keeps read-side APIs
-/// (component queries) ergonomic.
+/// constant amortized operations. Compression happens on the `&mut`
+/// mutation path ([`UnionFind::find`] / [`UnionFind::union`]); read-side
+/// queries ([`UnionFind::root_of`], [`UnionFind::connected`], …) walk
+/// without compressing, keeping the type free of interior mutability — so
+/// structures that embed it (`WmnTopology` and the GA's live-topology
+/// population) stay `Sync` and can be shared read-only across evaluation
+/// workers.
 ///
 /// # Examples
 ///
@@ -29,7 +31,7 @@ use std::cell::Cell;
 /// ```
 #[derive(Debug, Clone)]
 pub struct UnionFind {
-    parent: Vec<Cell<usize>>,
+    parent: Vec<usize>,
     rank: Vec<u8>,
     size: Vec<usize>,
     sets: usize,
@@ -46,7 +48,7 @@ impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
         UnionFind {
-            parent: (0..n).map(Cell::new).collect(),
+            parent: (0..n).collect(),
             rank: vec![0; n],
             size: vec![1; n],
             sets: n,
@@ -64,7 +66,7 @@ impl UnionFind {
     /// the first call at a given `n`, no further heap allocation occurs.
     pub fn reset(&mut self, n: usize) {
         self.parent.clear();
-        self.parent.extend((0..n).map(Cell::new));
+        self.parent.extend(0..n);
         self.rank.clear();
         self.rank.resize(n, 0);
         self.size.clear();
@@ -82,22 +84,37 @@ impl UnionFind {
         self.sets
     }
 
-    /// Representative of `x`'s set, with path halving.
+    /// Representative of `x`'s set, with path halving (the hot mutation
+    /// path); see [`UnionFind::root_of`] for the read-only query.
     ///
     /// # Panics
     ///
     /// Panics if `x >= len()`.
-    pub fn find(&self, x: usize) -> usize {
+    pub fn find(&mut self, x: usize) -> usize {
         let mut x = x;
         loop {
-            let p = self.parent[x].get();
+            let p = self.parent[x];
             if p == x {
                 return x;
             }
-            let gp = self.parent[p].get();
-            self.parent[x].set(gp); // path halving
+            let gp = self.parent[p];
+            self.parent[x] = gp; // path halving
             x = gp;
         }
+    }
+
+    /// Representative of `x`'s set, without compressing (read-only; walks
+    /// the full path, so prefer [`UnionFind::find`] in hot loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn root_of(&self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
     }
 
     /// Merges the sets containing `a` and `b`; returns `true` if they were
@@ -114,7 +131,7 @@ impl UnionFind {
         if self.rank[ra] < self.rank[rb] {
             std::mem::swap(&mut ra, &mut rb);
         }
-        self.parent[rb].set(ra);
+        self.parent[rb] = ra;
         self.size[ra] += self.size[rb];
         if self.rank[ra] == self.rank[rb] {
             self.rank[ra] += 1;
@@ -129,7 +146,7 @@ impl UnionFind {
     ///
     /// Panics if `a >= len()` or `b >= len()`.
     pub fn connected(&self, a: usize, b: usize) -> bool {
-        self.find(a) == self.find(b)
+        self.root_of(a) == self.root_of(b)
     }
 
     /// Size of the set containing `x`.
@@ -138,13 +155,13 @@ impl UnionFind {
     ///
     /// Panics if `x >= len()`.
     pub fn set_size(&self, x: usize) -> usize {
-        self.size[self.find(x)]
+        self.size[self.root_of(x)]
     }
 
     /// Size of the largest set (0 for an empty structure).
     pub fn largest_set_size(&self) -> usize {
         (0..self.len())
-            .filter(|&i| self.parent[i].get() == i)
+            .filter(|&i| self.parent[i] == i)
             .map(|i| self.size[i])
             .max()
             .unwrap_or(0)
@@ -153,7 +170,7 @@ impl UnionFind {
     /// Representative of a largest set, or `None` when empty.
     pub fn largest_set_root(&self) -> Option<usize> {
         (0..self.len())
-            .filter(|&i| self.parent[i].get() == i)
+            .filter(|&i| self.parent[i] == i)
             .max_by_key(|&i| self.size[i])
     }
 
@@ -165,7 +182,7 @@ impl UnionFind {
         let mut labels = Vec::with_capacity(n);
         let mut next = 0;
         for x in 0..n {
-            let r = self.find(x);
+            let r = self.root_of(x);
             if label_of_root[r] == usize::MAX {
                 label_of_root[r] = next;
                 next += 1;
@@ -182,13 +199,28 @@ mod tests {
 
     #[test]
     fn singletons_at_start() {
-        let uf = UnionFind::new(4);
+        let mut uf = UnionFind::new(4);
         assert_eq!(uf.set_count(), 4);
         assert_eq!(uf.largest_set_size(), 1);
         for i in 0..4 {
+            assert_eq!(uf.root_of(i), i);
             assert_eq!(uf.find(i), i);
             assert_eq!(uf.set_size(i), 1);
         }
+    }
+
+    #[test]
+    fn root_of_agrees_with_find_without_compressing() {
+        let mut uf = UnionFind::new(16);
+        for i in 1..16 {
+            uf.union(i - 1, i);
+        }
+        let snapshot = uf.clone();
+        for i in 0..16 {
+            assert_eq!(uf.root_of(i), uf.clone().find(i));
+        }
+        // Read-only queries never mutate the parent table.
+        assert_eq!(uf.parent, snapshot.parent);
     }
 
     #[test]
@@ -283,7 +315,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn find_out_of_range_panics() {
-        let uf = UnionFind::new(2);
+        let mut uf = UnionFind::new(2);
         let _ = uf.find(5);
     }
 }

@@ -9,6 +9,24 @@
 
 use wmn_model::geometry::{Area, Point, Rect};
 
+/// Copies nested index buckets from `src` into `dst`, reusing every inner
+/// allocation already present in `dst` — the shared building block behind
+/// the `Clone::clone_from` impls of the spatial indexes and
+/// [`MeshAdjacency`](crate::adjacency::MeshAdjacency), which the
+/// population-pool state copy (`WmnTopology::clone_from`) relies on to stay
+/// allocation-free once warm.
+pub(crate) fn clone_buckets_from(dst: &mut Vec<Vec<usize>>, src: &[Vec<usize>]) {
+    dst.truncate(src.len());
+    let prefix = dst.len();
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clear();
+        d.extend_from_slice(s);
+    }
+    for s in &src[prefix..] {
+        dst.push(s.clone());
+    }
+}
+
 /// A uniform-grid index over a fixed slice of points.
 ///
 /// The index stores point *indices* (into the original slice) bucketed by
@@ -30,13 +48,35 @@ use wmn_model::geometry::{Area, Point, Rect};
 /// assert_eq!(near, vec![0, 1]);
 /// # Ok::<(), wmn_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GridIndex {
     cell_size: f64,
     cols: usize,
     rows: usize,
     buckets: Vec<Vec<usize>>,
     points: Vec<Point>,
+}
+
+impl Clone for GridIndex {
+    fn clone(&self) -> Self {
+        GridIndex {
+            cell_size: self.cell_size,
+            cols: self.cols,
+            rows: self.rows,
+            buckets: self.buckets.clone(),
+            points: self.points.clone(),
+        }
+    }
+
+    /// Buffer-reusing copy: once `self` has seen a grid of the same shape,
+    /// no heap allocation happens.
+    fn clone_from(&mut self, src: &Self) {
+        self.cell_size = src.cell_size;
+        self.cols = src.cols;
+        self.rows = src.rows;
+        clone_buckets_from(&mut self.buckets, &src.buckets);
+        self.points.clone_from(&src.points);
+    }
 }
 
 impl GridIndex {
@@ -343,12 +383,32 @@ impl Iterator for WithinRadius<'_> {
 /// assert_eq!(far.len(), 2);
 /// # Ok::<(), wmn_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DynamicGrid {
     cell_size: f64,
     cols: usize,
     rows: usize,
     buckets: Vec<Vec<usize>>,
+}
+
+impl Clone for DynamicGrid {
+    fn clone(&self) -> Self {
+        DynamicGrid {
+            cell_size: self.cell_size,
+            cols: self.cols,
+            rows: self.rows,
+            buckets: self.buckets.clone(),
+        }
+    }
+
+    /// Buffer-reusing copy: once `self` has seen a grid of the same shape,
+    /// no heap allocation happens.
+    fn clone_from(&mut self, src: &Self) {
+        self.cell_size = src.cell_size;
+        self.cols = src.cols;
+        self.rows = src.rows;
+        clone_buckets_from(&mut self.buckets, &src.buckets);
+    }
 }
 
 impl DynamicGrid {

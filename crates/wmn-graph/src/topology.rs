@@ -27,6 +27,15 @@
 //!    decrements the moved router's old and new disks, flipping `covered`
 //!    bits — and the covered total — exactly at 0↔1 transitions.
 //!
+//! Population-based methods (the GA) perturb **many** genes at once, so
+//! [`apply_moves`] generalizes the same three steps to a batch: all
+//! positions and grid buckets update first, then *one* repair pass — one
+//! grid-local edge re-derivation per moved router, one connectivity
+//! rebuild, one coverage delta over the moved disks (or one full in-place
+//! pass when the fallback below triggers). Combined with the
+//! buffer-reusing [`Clone::clone_from`], a GA child evaluates as "copy
+//! parent state + apply the placement diff" instead of a full rebuild.
+//!
 //! ## Invariants
 //!
 //! * `positions`/`radii`/`router_index` agree at all times (the grid is
@@ -54,6 +63,7 @@
 //!
 //! [`move_router`]: WmnTopology::move_router
 //! [`swap_routers`]: WmnTopology::swap_routers
+//! [`apply_moves`]: WmnTopology::apply_moves
 //! [`set_rebuild_mode`]: WmnTopology::set_rebuild_mode
 //! [`DynamicGrid`]: crate::spatial::DynamicGrid
 
@@ -63,6 +73,7 @@ use crate::dsu::UnionFind;
 use crate::spatial::{DynamicGrid, GridIndex};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use wmn_model::geometry::{Area, Point};
 use wmn_model::instance::ProblemInstance;
 use wmn_model::node::RouterId;
@@ -138,14 +149,17 @@ impl TopologyConfig {
 /// assert!(topo.covered_count() <= instance.client_count());
 /// # Ok::<(), wmn_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct WmnTopology {
     area: Area,
     config: TopologyConfig,
     positions: Vec<Point>,
     radii: Vec<f64>,
     max_radius: f64,
-    client_index: GridIndex,
+    /// Client-side spatial index. Clients never move, so the index is
+    /// shared (`Arc`) between topologies of the same instance — state
+    /// copies between population-pool members are a pointer clone.
+    client_index: Arc<GridIndex>,
     /// Router-side mutable grid, kept in sync with `positions` on every
     /// move/swap so edge repair queries only nearby routers.
     router_index: DynamicGrid,
@@ -174,6 +188,65 @@ struct MoveScratch {
     old_b: Vec<usize>,
     new_b: Vec<usize>,
     mask: Vec<bool>,
+    batch: Vec<BatchEntry>,
+    is_moved: Vec<bool>,
+}
+
+/// One unique moved router of a batch application
+/// ([`WmnTopology::apply_moves`]): its pre-batch position plus whether its
+/// disk counted toward coverage before and after the repair.
+#[derive(Debug, Clone, Copy)]
+struct BatchEntry {
+    router: usize,
+    old: Point,
+    counted_before: bool,
+    counted_after: bool,
+}
+
+impl Clone for WmnTopology {
+    fn clone(&self) -> Self {
+        WmnTopology {
+            area: self.area,
+            config: self.config,
+            positions: self.positions.clone(),
+            radii: self.radii.clone(),
+            max_radius: self.max_radius,
+            client_index: self.client_index.clone(),
+            router_index: self.router_index.clone(),
+            adjacency: self.adjacency.clone(),
+            components: self.components.clone(),
+            giant_mask: self.giant_mask.clone(),
+            cover_count: self.cover_count.clone(),
+            covered: self.covered.clone(),
+            covered_count: self.covered_count,
+            full_rebuild_mode: self.full_rebuild_mode,
+            scratch: MoveScratch::default(),
+        }
+    }
+
+    /// Buffer-reusing state copy: `self` becomes an exact copy of `src`
+    /// (scratch buffers are kept, they carry no observable state), reusing
+    /// every allocation already held. This is the population-pool hot path:
+    /// a GA child leases a topology, `clone_from`s its parent's, and
+    /// repairs the placement delta through [`WmnTopology::apply_moves`] —
+    /// no per-child topology allocation once the pool is warm.
+    fn clone_from(&mut self, src: &Self) {
+        self.area = src.area;
+        self.config = src.config;
+        self.positions.clone_from(&src.positions);
+        self.radii.clone_from(&src.radii);
+        self.max_radius = src.max_radius;
+        // Pointer copy: the client index is immutable and shared.
+        self.client_index = Arc::clone(&src.client_index);
+        self.router_index.clone_from(&src.router_index);
+        self.adjacency.clone_from(&src.adjacency);
+        self.components.clone_from(&src.components);
+        self.giant_mask.clone_from(&src.giant_mask);
+        self.cover_count.clone_from(&src.cover_count);
+        self.covered.clone_from(&src.covered);
+        self.covered_count = src.covered_count;
+        self.full_rebuild_mode = src.full_rebuild_mode;
+    }
 }
 
 impl WmnTopology {
@@ -199,7 +272,7 @@ impl WmnTopology {
             .collect();
         let clients = instance.client_positions();
         let max_radius = radii.iter().copied().fold(1.0_f64, f64::max);
-        let client_index = GridIndex::build(&area, &clients, max_radius);
+        let client_index = Arc::new(GridIndex::build(&area, &clients, max_radius));
         let mut router_index =
             DynamicGrid::new(&area, config.link_model.grid_cell_size(max_radius));
         router_index.rebuild(&positions);
@@ -651,6 +724,214 @@ impl WmnTopology {
         }
     }
 
+    /// Writes the per-router relocations that morph this topology's current
+    /// placement into `target` — one `(router, target position)` entry per
+    /// router whose position differs — into `out` (cleared first). Feeding
+    /// the result to [`apply_moves`](WmnTopology::apply_moves) is the
+    /// delta-evaluation path for population-based search: a GA child is
+    /// evaluated as "parent topology + diff" instead of a full rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len()` differs from the router count.
+    pub fn diff_placement_into(&self, target: &Placement, out: &mut Vec<(RouterId, Point)>) {
+        assert_eq!(
+            target.len(),
+            self.positions.len(),
+            "target placement length must match router count"
+        );
+        out.clear();
+        for (i, (cur, want)) in self.positions.iter().zip(target.as_slice()).enumerate() {
+            if cur != want {
+                out.push((RouterId(i), *want));
+            }
+        }
+    }
+
+    /// Applies a batch of router relocations with a **single** repair pass:
+    /// all positions (clamped into the area) and grid buckets are updated
+    /// first, then each unique moved router's edges are re-derived
+    /// grid-locally, and connectivity + coverage are repaired **once** —
+    /// instead of once per move as a [`move_router`](WmnTopology::move_router)
+    /// loop would. This is the batch path population-based methods use for
+    /// multi-gene deltas (GA crossover/mutation diffs).
+    ///
+    /// Semantics are exactly "set each listed router to its target
+    /// position": later entries for the same router win, an empty batch is
+    /// a no-op, and a single-entry batch delegates to `move_router` (so it
+    /// keeps that path's early-outs). The resulting state is identical to a
+    /// full rebuild at the final positions (pinned by tests); undoing is
+    /// applying the inverse batch of previous positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any router id is out of range.
+    pub fn apply_moves(&mut self, moves: &[(RouterId, Point)]) {
+        match moves {
+            [] => return,
+            [(id, to)] => {
+                self.move_router(*id, *to);
+                return;
+            }
+            _ => {}
+        }
+        // Record each unique moved router with its pre-batch position while
+        // updating positions and grid buckets in order; `is_moved` is both
+        // the O(1) dedup test here and the batch-membership mask the
+        // component rebuild reads later.
+        let mut batch = std::mem::take(&mut self.scratch.batch);
+        batch.clear();
+        self.scratch.is_moved.clear();
+        self.scratch.is_moved.resize(self.positions.len(), false);
+        for &(id, to) in moves {
+            let i = id.index();
+            let old = self.positions[i];
+            let new = self.area.clamp_point(to);
+            self.positions[i] = new;
+            self.router_index.relocate(i, old, new);
+            if !self.scratch.is_moved[i] {
+                self.scratch.is_moved[i] = true;
+                batch.push(BatchEntry {
+                    router: i,
+                    old,
+                    counted_before: false,
+                    counted_after: false,
+                });
+            }
+        }
+        if self.full_rebuild_mode {
+            self.scratch.batch = batch;
+            self.rebuild_full();
+            return;
+        }
+
+        // One grid-local edge repair per unique moved router, against the
+        // final positions. Any edge change is incident to a moved router
+        // and shows up in at least one old-vs-new comparison (a repair by
+        // an earlier-processed moved router that alters a later one's list
+        // is caught by the earlier router's own comparison).
+        let mut old_n = std::mem::take(&mut self.scratch.old_a);
+        let mut new_n = std::mem::take(&mut self.scratch.new_a);
+        let mut links_changed = false;
+        for e in &batch {
+            self.recompute_router_edges_into(e.router, &mut old_n, &mut new_n);
+            links_changed |= old_n != new_n;
+        }
+        self.scratch.old_a = old_n;
+        self.scratch.new_a = new_n;
+
+        if !links_changed {
+            // Identical graph ⇒ identical components and membership; only
+            // the moved disks need re-counting.
+            for &BatchEntry { router: i, old, .. } in &batch {
+                if self.is_counted(i) {
+                    let (new, r) = (self.positions[i], self.radii[i]);
+                    self.disk_delta(old, r, false);
+                    self.disk_delta(new, r, true);
+                }
+            }
+            self.scratch.batch = batch;
+            return;
+        }
+
+        for e in &mut batch {
+            e.counted_before = self.is_counted(e.router);
+        }
+        let flipped_others = self.rebuild_components_incremental_batch();
+        match self.config.coverage_rule {
+            CoverageRule::AnyRouter => {
+                // Membership is irrelevant: only the moved disks changed.
+                std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
+                for &BatchEntry { router: i, old, .. } in &batch {
+                    let (new, r) = (self.positions[i], self.radii[i]);
+                    self.disk_delta(old, r, false);
+                    self.disk_delta(new, r, true);
+                }
+            }
+            CoverageRule::GiantComponentOnly => {
+                for e in &mut batch {
+                    e.counted_after = self.scratch.mask[e.router];
+                }
+                // Disk-op budget of the exact delta repair (moved disks
+                // plus the non-moved routers whose membership flipped) vs
+                // the one full in-place pass (every counting router's
+                // disk). Cover counts commute, so both paths land the
+                // identical state; pick the cheaper one.
+                let moved_ops: usize = batch
+                    .iter()
+                    .map(|e| usize::from(e.counted_before) + usize::from(e.counted_after))
+                    .sum();
+                let full_ops = self.components.giant_size();
+                std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
+                if flipped_others + moved_ops <= full_ops {
+                    // Exact delta: removals first, then additions (grouped
+                    // passes; order is irrelevant for counts).
+                    // `scratch.mask` holds the *previous* membership,
+                    // `giant_mask` the new one.
+                    for &e in &batch {
+                        if e.counted_before {
+                            self.disk_delta(e.old, self.radii[e.router], false);
+                        }
+                    }
+                    if flipped_others > 0 {
+                        let old_mask = std::mem::take(&mut self.scratch.mask);
+                        let is_moved = std::mem::take(&mut self.scratch.is_moved);
+                        for j in 0..self.positions.len() {
+                            if !is_moved[j] && old_mask[j] && !self.giant_mask[j] {
+                                self.disk_delta(self.positions[j], self.radii[j], false);
+                            }
+                        }
+                        for j in 0..self.positions.len() {
+                            if !is_moved[j] && !old_mask[j] && self.giant_mask[j] {
+                                self.disk_delta(self.positions[j], self.radii[j], true);
+                            }
+                        }
+                        self.scratch.mask = old_mask;
+                        self.scratch.is_moved = is_moved;
+                    }
+                    for &e in &batch {
+                        if e.counted_after {
+                            let (new, r) = (self.positions[e.router], self.radii[e.router]);
+                            self.disk_delta(new, r, true);
+                        }
+                    }
+                } else {
+                    self.recompute_coverage();
+                }
+            }
+        }
+        self.scratch.batch = batch;
+    }
+
+    /// Like [`rebuild_components_incremental`]
+    /// (WmnTopology::rebuild_components_incremental) but for a batch:
+    /// returns how many routers **outside** the batch changed giant
+    /// membership (the flip count steering the coverage-repair choice).
+    /// Expects `scratch.is_moved` to hold the batch-membership mask
+    /// [`apply_moves`](WmnTopology::apply_moves) filled while deduplicating.
+    fn rebuild_components_incremental_batch(&mut self) -> usize {
+        let n = self.positions.len();
+        let MoveScratch {
+            uf,
+            label_of_root,
+            mask,
+            is_moved,
+            ..
+        } = &mut self.scratch;
+        self.components
+            .rebuild_incremental(&self.adjacency, uf, label_of_root);
+        mask.clear();
+        let mut flipped_others = 0;
+        for (j, &was) in self.giant_mask.iter().enumerate().take(n) {
+            let is = self.components.in_giant(j);
+            mask.push(is);
+            if is != was && !is_moved[j] {
+                flipped_others += 1;
+            }
+        }
+        flipped_others
+    }
+
     /// Rebuilds the router grid, adjacency, components, and coverage from
     /// scratch. The reference path: tests, the rebuild-mode baseline, and
     /// the `ablation_move_eval` bench run it to pin the incremental engine.
@@ -930,5 +1211,151 @@ mod tests {
         let (_instance, topo) = paper_topology(37);
         let s = topo.to_string();
         assert!(s.contains("routers") && s.contains("giant"));
+    }
+
+    #[test]
+    fn apply_moves_matches_full_rebuild() {
+        let (_instance, mut topo) = paper_topology(41);
+        let mut rng = rng_from_seed(7);
+        for step in 0..20 {
+            let k = rng.gen_range(2..20);
+            let moves: Vec<(RouterId, Point)> = (0..k)
+                .map(|_| {
+                    (
+                        RouterId(rng.gen_range(0..topo.router_count())),
+                        Point::new(rng.gen_range(-5.0..=133.0), rng.gen_range(-5.0..=133.0)),
+                    )
+                })
+                .collect();
+            topo.apply_moves(&moves);
+            topo.assert_consistent();
+            let mut fresh = topo.clone();
+            fresh.rebuild_full();
+            assert_eq!(
+                (topo.giant_size(), topo.covered_count()),
+                (fresh.giant_size(), fresh.covered_count()),
+                "drift after batch {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_moves_equals_sequential_single_moves() {
+        let (_instance, mut batch) = paper_topology(43);
+        let mut single = batch.clone();
+        let mut rng = rng_from_seed(11);
+        for _ in 0..10 {
+            let k = rng.gen_range(2..12);
+            let moves: Vec<(RouterId, Point)> = (0..k)
+                .map(|_| {
+                    (
+                        RouterId(rng.gen_range(0..batch.router_count())),
+                        Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0)),
+                    )
+                })
+                .collect();
+            batch.apply_moves(&moves);
+            for &(id, to) in &moves {
+                single.move_router(id, to);
+            }
+            assert_eq!(batch.placement(), single.placement());
+            assert_eq!(batch.giant_size(), single.giant_size());
+            assert_eq!(batch.covered_count(), single.covered_count());
+            assert_eq!(batch.covered_mask(), single.covered_mask());
+        }
+    }
+
+    #[test]
+    fn apply_moves_empty_is_noop_and_inverse_batch_undoes() {
+        let (_instance, mut topo) = paper_topology(47);
+        let before = (topo.giant_size(), topo.covered_count(), topo.placement());
+        topo.apply_moves(&[]);
+        assert_eq!(
+            (topo.giant_size(), topo.covered_count(), topo.placement()),
+            before
+        );
+        // Duplicate entries: later ones win; the inverse batch (unique
+        // routers back to their pre-batch positions) restores the state.
+        let undo: Vec<(RouterId, Point)> = [3usize, 9, 9, 21]
+            .iter()
+            .map(|&i| (RouterId(i), topo.position(RouterId(i))))
+            .collect();
+        let moves = vec![
+            (RouterId(3), Point::new(1.0, 1.0)),
+            (RouterId(9), Point::new(2.0, 2.0)),
+            (RouterId(9), Point::new(100.0, 100.0)),
+            (RouterId(21), Point::new(64.0, 64.0)),
+        ];
+        topo.apply_moves(&moves);
+        topo.assert_consistent();
+        assert_eq!(topo.position(RouterId(9)), Point::new(100.0, 100.0));
+        topo.apply_moves(&undo);
+        topo.assert_consistent();
+        assert_eq!(
+            (topo.giant_size(), topo.covered_count(), topo.placement()),
+            before
+        );
+    }
+
+    #[test]
+    fn diff_then_apply_morphs_to_target() {
+        let (instance, mut topo) = paper_topology(53);
+        let mut rng = rng_from_seed(13);
+        let mut moves = Vec::new();
+        for _ in 0..5 {
+            let target = instance.random_placement(&mut rng);
+            topo.diff_placement_into(&target, &mut moves);
+            topo.apply_moves(&moves);
+            topo.assert_consistent();
+            assert_eq!(topo.placement(), target);
+            // A second diff against the reached target is empty.
+            topo.diff_placement_into(&target, &mut moves);
+            assert!(moves.is_empty());
+        }
+    }
+
+    #[test]
+    fn clone_from_copies_state_and_reuses_buffers() {
+        let (instance, mut a) = paper_topology(59);
+        let mut rng = rng_from_seed(17);
+        // `b` starts from a different placement, then adopts `a`'s state.
+        let other = instance.random_placement(&mut rng);
+        let mut b = WmnTopology::build(&instance, &other, TopologyConfig::paper_default()).unwrap();
+        a.move_router(RouterId(0), Point::new(64.0, 64.0));
+        b.clone_from(&a);
+        b.assert_consistent();
+        assert_eq!(b.placement(), a.placement());
+        assert_eq!(b.giant_size(), a.giant_size());
+        assert_eq!(b.covered_count(), a.covered_count());
+        // The copy is live: further moves keep it consistent independently.
+        b.move_router(RouterId(5), Point::new(10.0, 10.0));
+        b.assert_consistent();
+        assert_ne!(b.placement(), a.placement());
+        a.assert_consistent();
+    }
+
+    #[test]
+    fn apply_moves_in_rebuild_mode_matches_incremental() {
+        let (_instance, mut inc) = paper_topology(61);
+        let mut reb = inc.clone();
+        reb.set_rebuild_mode(true);
+        let mut rng = rng_from_seed(19);
+        for _ in 0..10 {
+            let k = rng.gen_range(2..10);
+            let moves: Vec<(RouterId, Point)> = (0..k)
+                .map(|_| {
+                    (
+                        RouterId(rng.gen_range(0..inc.router_count())),
+                        Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0)),
+                    )
+                })
+                .collect();
+            inc.apply_moves(&moves);
+            reb.apply_moves(&moves);
+            assert_eq!(inc.placement(), reb.placement());
+            assert_eq!(inc.giant_size(), reb.giant_size());
+            assert_eq!(inc.covered_count(), reb.covered_count());
+            assert_eq!(inc.covered_mask(), reb.covered_mask());
+        }
     }
 }

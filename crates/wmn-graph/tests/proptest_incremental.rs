@@ -183,6 +183,91 @@ proptest! {
     }
 
     #[test]
+    fn batch_apply_matches_fresh_build_all_configs(
+        instance in instance_strategy(),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (any::<usize>(), -10.0..170.0f64, -10.0..170.0f64),
+                0..20,
+            ),
+            1..6,
+        ),
+        seed in any::<u64>(),
+    ) {
+        for config in all_configs() {
+            let mut rng = rng_from_seed(seed);
+            let placement = instance.random_placement(&mut rng);
+            let mut topo = WmnTopology::build(&instance, &placement, config).unwrap();
+            let n = topo.router_count();
+            let mut moves = Vec::new();
+            for batch in &batches {
+                moves.clear();
+                moves.extend(
+                    batch
+                        .iter()
+                        .map(|&(r, x, y)| (RouterId(r % n), Point::new(x, y))),
+                );
+                // The inverse batch: each unique router back to where it was.
+                let mut undo: Vec<(RouterId, Point)> = Vec::new();
+                for &(id, _) in &moves {
+                    if !undo.iter().any(|&(u, _)| u == id) {
+                        undo.push((id, topo.position(id)));
+                    }
+                }
+                let before = (topo.giant_size(), topo.covered_count(), topo.placement());
+                topo.apply_moves(&moves);
+                topo.assert_consistent();
+                let fresh =
+                    WmnTopology::build(&instance, &topo.placement(), config).unwrap();
+                prop_assert_eq!(topo.giant_size(), fresh.giant_size());
+                prop_assert_eq!(topo.covered_count(), fresh.covered_count());
+                prop_assert_eq!(topo.covered_mask(), fresh.covered_mask());
+                topo.apply_moves(&undo);
+                topo.assert_consistent();
+                prop_assert_eq!(
+                    (topo.giant_size(), topo.covered_count(), topo.placement()),
+                    before
+                );
+                // Leave the batch applied for the next round.
+                topo.apply_moves(&moves);
+                topo.assert_consistent();
+            }
+        }
+    }
+
+    #[test]
+    fn clone_from_then_diff_apply_equals_fresh_build(
+        instance in instance_strategy(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        // The GA child-evaluation shape: copy a parent's state, apply the
+        // placement diff, compare against a from-scratch build.
+        for config in all_configs() {
+            let mut rng = rng_from_seed(seed);
+            let parent_placement = instance.random_placement(&mut rng);
+            let parent = WmnTopology::build(&instance, &parent_placement, config).unwrap();
+            let mut leased =
+                WmnTopology::build(&instance, &instance.random_placement(&mut rng), config)
+                    .unwrap();
+            let mut moves = Vec::new();
+            for child_seed in &seeds {
+                let child: Placement =
+                    instance.random_placement(&mut rng_from_seed(*child_seed));
+                leased.clone_from(&parent);
+                leased.diff_placement_into(&child, &mut moves);
+                leased.apply_moves(&moves);
+                leased.assert_consistent();
+                let fresh = WmnTopology::build(&instance, &child, config).unwrap();
+                prop_assert_eq!(leased.placement(), child);
+                prop_assert_eq!(leased.giant_size(), fresh.giant_size());
+                prop_assert_eq!(leased.covered_count(), fresh.covered_count());
+                prop_assert_eq!(leased.covered_mask(), fresh.covered_mask());
+            }
+        }
+    }
+
+    #[test]
     fn reset_placement_equals_fresh_build(
         instance in instance_strategy(),
         seeds in proptest::collection::vec(any::<u64>(), 1..6),

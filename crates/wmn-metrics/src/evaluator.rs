@@ -80,6 +80,36 @@ impl EvalWorkspace {
     pub fn new() -> Self {
         EvalWorkspace::default()
     }
+
+    /// The stored topology, if an evaluation has populated it.
+    ///
+    /// Delta-backed callers (the topology-backed GA) read a parent's
+    /// workspace topology here and copy its state into a leased one via
+    /// `WmnTopology::clone_from` instead of rebuilding.
+    pub fn topology(&self) -> Option<&WmnTopology> {
+        self.topo.as_ref()
+    }
+
+    /// Mutable access to the stored topology (for incremental
+    /// `move_router` / `apply_moves` deltas between evaluations).
+    pub fn topology_mut(&mut self) -> Option<&mut WmnTopology> {
+        self.topo.as_mut()
+    }
+
+    /// Stores `topo` as the workspace topology, replacing any previous one.
+    pub fn set_topology(&mut self, topo: WmnTopology) {
+        self.topo = Some(topo);
+    }
+
+    /// Makes this workspace's topology an exact state copy of `src`,
+    /// reusing the stored topology's buffers when one exists (see
+    /// `WmnTopology::clone_from`) and cloning `src` otherwise.
+    pub fn adopt_topology(&mut self, src: &WmnTopology) {
+        match &mut self.topo {
+            Some(t) => t.clone_from(src),
+            None => self.topo = Some(src.clone()),
+        }
+    }
 }
 
 /// Evaluates placements against one instance under a fixed configuration.
@@ -217,6 +247,40 @@ impl<'a> Evaluator<'a> {
                 .all(|(c, p)| c.position() == *p)
     }
 
+    /// Evaluates `target` by **delta-morphing** an existing topology
+    /// instead of rebuilding: the per-router placement diff is computed
+    /// into `moves` (a caller-owned scratch buffer, so the hot loop stays
+    /// allocation-free) and applied through the incremental batch engine
+    /// (`WmnTopology::apply_moves`), then the repaired topology is
+    /// evaluated. Results are identical to [`Evaluator::evaluate`] on
+    /// `target` (pinned by the equivalence suites); only the repair cost
+    /// differs — proportional to the diff, not the instance.
+    ///
+    /// This is the evaluation entry point for delta-backed individuals:
+    /// the topology-backed GA copies a parent's topology state into a
+    /// leased one and calls this with the child's placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation. The topology is untouched on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` does not have this instance's router count (a
+    /// validated `target` and a topology of the same instance never
+    /// mismatch).
+    pub fn evaluate_moves_to(
+        &self,
+        topo: &mut WmnTopology,
+        target: &Placement,
+        moves: &mut Vec<(wmn_model::RouterId, wmn_model::geometry::Point)>,
+    ) -> Result<Evaluation, ModelError> {
+        self.instance.validate_placement(target)?;
+        topo.diff_placement_into(target, moves);
+        topo.apply_moves(moves);
+        Ok(self.evaluate_topology(topo))
+    }
+
     /// Evaluates an already-built topology (no validation, no rebuild).
     pub fn evaluate_topology(&self, topo: &WmnTopology) -> Evaluation {
         let measurement = NetworkMeasurement::from_topology(topo);
@@ -336,6 +400,54 @@ mod tests {
             ev.evaluate_with(&mut ws, &p).unwrap(),
             ev.evaluate(&p).unwrap()
         );
+    }
+
+    #[test]
+    fn evaluate_moves_to_matches_fresh_evaluation() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(11).unwrap();
+        let ev = Evaluator::paper_default(&instance);
+        let mut rng = rng_from_seed(21);
+        let parent = instance.random_placement(&mut rng);
+        let mut topo = ev.topology(&parent).unwrap();
+        let mut moves = Vec::new();
+        for round in 0..5 {
+            let target = instance.random_placement(&mut rng);
+            let delta = ev
+                .evaluate_moves_to(&mut topo, &target, &mut moves)
+                .unwrap();
+            assert_eq!(delta, ev.evaluate(&target).unwrap(), "round {round}");
+        }
+        // Invalid target leaves the topology untouched.
+        let held = topo.placement();
+        assert!(ev
+            .evaluate_moves_to(&mut topo, &Placement::new(), &mut moves)
+            .is_err());
+        assert_eq!(topo.placement(), held);
+    }
+
+    #[test]
+    fn workspace_topology_access_and_adoption() {
+        let instance = InstanceSpec::paper_normal().unwrap().generate(13).unwrap();
+        let ev = Evaluator::paper_default(&instance);
+        let mut ws = EvalWorkspace::new();
+        assert!(ws.topology().is_none());
+        let mut rng = rng_from_seed(23);
+        let p = instance.random_placement(&mut rng);
+        ev.evaluate_with(&mut ws, &p).unwrap();
+        let parent_topo = ws.topology().expect("populated").clone();
+
+        // Adoption into an empty workspace clones; into a warm one copies.
+        for warm in [false, true] {
+            let mut child_ws = EvalWorkspace::new();
+            if warm {
+                let q = instance.random_placement(&mut rng);
+                ev.evaluate_with(&mut child_ws, &q).unwrap();
+            }
+            child_ws.adopt_topology(&parent_topo);
+            let t = child_ws.topology_mut().expect("adopted");
+            assert_eq!(t.placement(), p);
+            assert_eq!(ev.evaluate_topology(t), ev.evaluate(&p).unwrap());
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use wmn_graph::topology::WmnTopology;
 use wmn_model::geometry::{Point, Rect};
 use wmn_model::instance::ProblemInstance;
 use wmn_model::node::RouterId;
+use wmn_model::placement::Placement;
 
 /// A concrete, applicable local perturbation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +59,24 @@ impl MoveAction {
                 topo.swap_routers(a, b);
                 UndoAction(MoveAction::Swap { a, b })
             }
+        }
+    }
+
+    /// Applies the move to a bare placement vector, without any network
+    /// repair: a relocation sets the router's gene **verbatim** (no area
+    /// clamping — producers of placement-level moves, e.g. the GA's
+    /// mutation planner, clamp at proposal time) and a swap exchanges two
+    /// genes. This is the chromosome-side counterpart of
+    /// [`MoveAction::apply`], shared by the GA so mutation and search
+    /// speak the same move vocabulary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a router id is out of range for `placement`.
+    pub fn apply_to_placement(&self, placement: &mut Placement) {
+        match *self {
+            MoveAction::Relocate { router, to } => placement[router] = to,
+            MoveAction::Swap { a, b } => placement.swap(a, b),
         }
     }
 }
@@ -482,6 +501,32 @@ mod tests {
                     "{} move not undone cleanly",
                     movement.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_to_placement_tracks_topology_apply() {
+        // Placement-level application must land the same placements as the
+        // topology-level one (for in-area targets, which movements propose).
+        let (instance, mut topo) = setup(2);
+        let mut placement = topo.placement();
+        let mut rng = rng_from_seed(9);
+        let movements: Vec<Box<dyn Movement>> = vec![
+            Box::new(RandomMovement::new(&instance)),
+            Box::new(SwapMovement::new(&instance, SwapConfig::default())),
+        ];
+        for movement in &movements {
+            for _ in 0..30 {
+                let mut action = movement.propose(&topo, &mut rng);
+                // Placement-level application is verbatim (no clamping);
+                // clamp the proposal first, as placement-level producers do.
+                if let MoveAction::Relocate { to, .. } = &mut action {
+                    *to = instance.area().clamp_point(*to);
+                }
+                action.apply(&mut topo);
+                action.apply_to_placement(&mut placement);
+                assert_eq!(placement, topo.placement(), "{}", movement.name());
             }
         }
     }
