@@ -265,7 +265,10 @@ impl ExperimentConfig {
     /// routers / 1536 clients on a ~362×362 area — is the shape CI runs
     /// fig3/fig4 at (via those CLI flags) to prove beyond-paper-scale GA
     /// and search runs stay affordable now that evaluation is
-    /// topology-backed and figures stream JSONL.
+    /// topology-backed and figures stream JSONL; `quick_scale(16)` — 1024
+    /// routers / 3072 clients on a ~512×512 area — is the rural-deployment
+    /// shape CI runs fig3 at to prove the dynamic-connectivity repair path
+    /// at scale.
     pub fn quick_scale(n: u32) -> Self {
         let mut config = ExperimentConfig::quick();
         config.scale = ScenarioScale::proportional(n.max(1));
@@ -370,6 +373,20 @@ mod tests {
         assert_eq!(spec.client_count(), 1536);
         // Zero clamps to the identity scale rather than a degenerate spec.
         assert!(ExperimentConfig::quick_scale(0).scale.is_identity());
+    }
+
+    #[test]
+    fn quick_scale_16_is_the_rural_deployment_preset() {
+        // 1024 routers / 3072 clients: the `--scale 16` shape CI runs fig3
+        // at to prove the dynamic-connectivity repair path at scale.
+        let preset = ExperimentConfig::quick_scale(16);
+        let cli = crate::cli::parse(["--quick", "--scale", "16"].map(String::from))
+            .unwrap()
+            .config;
+        assert_eq!(preset, cli);
+        let spec = Scenario::Normal.scaled_spec(preset.scale).unwrap();
+        assert_eq!(spec.router_count(), 1024);
+        assert_eq!(spec.client_count(), 3072);
     }
 
     #[test]

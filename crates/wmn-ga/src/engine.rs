@@ -41,6 +41,7 @@ use crate::selection::SelectionOp;
 use crate::trace::{GaTrace, GenerationRecord};
 use rand::{Rng, RngCore};
 use std::fmt;
+use wmn_graph::topology::ConnectivityMode;
 use wmn_metrics::evaluator::{EvalWorkspace, Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
@@ -52,9 +53,17 @@ use wmn_search::movement::MoveAction;
 pub enum GaEvalMode {
     /// Topology-backed delta evaluation (the default): children adopt
     /// their lineage parent's live topology and repair the placement diff
-    /// through the incremental batch engine.
+    /// through the incremental batch engine, with connectivity repaired
+    /// component-locally by the dynamic connectivity engine
+    /// ([`ConnectivityMode::Dynamic`]).
     #[default]
     Incremental,
+    /// The incremental pipeline with connectivity pinned to the
+    /// whole-graph DSU rescan ([`ConnectivityMode::DsuRescan`]) — the
+    /// dynamic connectivity engine's reference oracle, kept so the
+    /// equivalence suites can pin the new engine end-to-end through full
+    /// GA runs.
+    IncrementalDsuRescan,
     /// Full-rebuild reference pipeline: every child is evaluated through a
     /// per-worker workspace whose topology is rebuilt in place per
     /// candidate — the pre-topology-backed behavior, kept as the
@@ -67,6 +76,7 @@ impl fmt::Display for GaEvalMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GaEvalMode::Incremental => write!(f, "incremental"),
+            GaEvalMode::IncrementalDsuRescan => write!(f, "incremental-dsu-rescan"),
             GaEvalMode::Rebuild => write!(f, "rebuild"),
         }
     }
@@ -431,6 +441,10 @@ enum EvalBackend {
         /// Last generation's slots, recycled as the next children's lease
         /// pool (their warm topologies get `clone_from`'d over).
         spare: Vec<EvalWorkspace>,
+        /// Connectivity repair strategy pinned onto the slot topologies
+        /// (children inherit it through `clone_from`, so one pass after
+        /// the initial evaluation pins the whole run).
+        connectivity: ConnectivityMode,
     },
     Rebuild {
         /// One workspace per evaluation worker, persistent across
@@ -445,6 +459,12 @@ impl EvalBackend {
             GaEvalMode::Incremental => EvalBackend::Incremental {
                 slots: Vec::new(),
                 spare: Vec::new(),
+                connectivity: ConnectivityMode::Dynamic,
+            },
+            GaEvalMode::IncrementalDsuRescan => EvalBackend::Incremental {
+                slots: Vec::new(),
+                spare: Vec::new(),
+                connectivity: ConnectivityMode::DsuRescan,
             },
             GaEvalMode::Rebuild => EvalBackend::Rebuild {
                 workspaces: Vec::new(),
@@ -459,9 +479,19 @@ impl EvalBackend {
         threads: usize,
     ) -> Result<(), ModelError> {
         match self {
-            EvalBackend::Incremental { slots, .. } => {
+            EvalBackend::Incremental {
+                slots,
+                connectivity,
+                ..
+            } => {
                 slots.resize_with(population.len(), EvalWorkspace::new);
-                parallel::evaluate_initial(evaluator, population, slots, threads)
+                parallel::evaluate_initial(evaluator, population, slots, threads)?;
+                for slot in slots.iter_mut() {
+                    if let Some(topo) = slot.topology_mut() {
+                        topo.set_connectivity_mode(*connectivity);
+                    }
+                }
+                Ok(())
             }
             EvalBackend::Rebuild { workspaces } => {
                 parallel::evaluate_population_with(evaluator, population, threads, workspaces)
@@ -478,7 +508,7 @@ impl EvalBackend {
         threads: usize,
     ) -> Result<(), ModelError> {
         match self {
-            EvalBackend::Incremental { slots, spare } => {
+            EvalBackend::Incremental { slots, spare, .. } => {
                 spare.resize_with(children.len(), EvalWorkspace::new);
                 parallel::evaluate_generation(
                     evaluator, parents, slots, children, spare, lineage, threads,

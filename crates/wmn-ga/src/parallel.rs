@@ -202,8 +202,17 @@ fn evaluate_child(
         return Ok(());
     };
     slot.adopt_topology(parent_topo);
+    // The non-lineage parent donates disk caches for the recombined genes:
+    // a crossover child's moved positions are verbatim that parent's, so
+    // its cached disks transfer instead of being re-queried.
+    let other = lineage.a + lineage.b - parent;
+    let donor = if other != parent {
+        parent_slots[other].topology()
+    } else {
+        None
+    };
     let topo = slot.topology_mut().expect("topology just adopted");
-    let e = evaluator.evaluate_moves_to(topo, child.placement(), moves)?;
+    let e = evaluator.evaluate_moves_to_from(topo, child.placement(), moves, donor)?;
     if !child.is_evaluated() {
         child.set_evaluation(e);
     }

@@ -164,6 +164,51 @@ impl Components {
         self.giant = Self::giant_label(&self.sizes);
     }
 
+    /// The current label vector (canonical between repairs; the dynamic
+    /// connectivity engine reads component ids per node from here).
+    pub(crate) fn labels(&self) -> &[usize] {
+        &self.label
+    }
+
+    /// Mutable label access for the dynamic connectivity engine's
+    /// split-relabeling; callers must restore canonical form via
+    /// [`Components::relabel_canonical`] (or a rebuild) before the
+    /// structure is observed again.
+    pub(crate) fn labels_mut(&mut self) -> &mut [usize] {
+        &mut self.label
+    }
+
+    /// Rewrites a label vector holding arbitrary working ids (canonical
+    /// pre-repair labels merged through `id_dsu` plus fresh split ids)
+    /// into canonical first-appearance form, recounting sizes and
+    /// re-picking the giant — one O(n·α) pass, allocation-free once
+    /// `label_of_root` has grown to the id-space size. The result is
+    /// exactly what [`Components::from_adjacency`] would assign to the
+    /// same partition.
+    pub(crate) fn relabel_canonical(
+        &mut self,
+        id_dsu: &mut UnionFind,
+        label_of_root: &mut Vec<usize>,
+    ) {
+        label_of_root.clear();
+        label_of_root.resize(id_dsu.len(), usize::MAX);
+        self.sizes.clear();
+        for l in &mut self.label {
+            let r = id_dsu.find(*l);
+            let canon = if label_of_root[r] == usize::MAX {
+                let next = self.sizes.len();
+                label_of_root[r] = next;
+                self.sizes.push(0);
+                next
+            } else {
+                label_of_root[r]
+            };
+            *l = canon;
+            self.sizes[canon] += 1;
+        }
+        self.giant = Self::giant_label(&self.sizes);
+    }
+
     fn giant_label(sizes: &[usize]) -> usize {
         let mut best = usize::MAX;
         let mut best_size = 0;

@@ -12,6 +12,10 @@
 //!   with in-place node detach/attach and whole-graph rebuild.
 //! * [`components`] — connected components and the giant component (the
 //!   paper's connectivity objective), rebuildable through reusable scratch.
+//! * [`connectivity`] — [`DynamicConnectivity`], component-local repair of
+//!   the component structure under edge insertions (pure DSU unions) and
+//!   deletions (bounded bidirectional BFS with a whole-graph-rescan
+//!   fallback) — the sub-linear engine behind per-move connectivity.
 //! * [`density`] — client-density cell grids with summed-area tables
 //!   (HotSpot's zone ranking and the swap movement's dense/sparse areas).
 //! * [`topology`] — [`WmnTopology`], the materialized network with the
@@ -39,6 +43,7 @@
 
 pub mod adjacency;
 pub mod components;
+pub mod connectivity;
 pub mod density;
 pub mod dsu;
 pub mod spatial;
@@ -46,7 +51,8 @@ pub mod topology;
 
 pub use adjacency::{LinkModel, MeshAdjacency};
 pub use components::Components;
+pub use connectivity::{ConnectivityStats, DynamicConnectivity, RepairOutcome};
 pub use density::{CellWindow, DensityMap};
 pub use dsu::UnionFind;
 pub use spatial::{DynamicGrid, GridIndex};
-pub use topology::{CoverageRule, TopologyConfig, WmnTopology};
+pub use topology::{ConnectivityMode, CoverageRule, TopologyConfig, WmnTopology};

@@ -15,7 +15,7 @@ use wmn_model::geometry::{Area, Point, Rect};
 /// [`MeshAdjacency`](crate::adjacency::MeshAdjacency), which the
 /// population-pool state copy (`WmnTopology::clone_from`) relies on to stay
 /// allocation-free once warm.
-pub(crate) fn clone_buckets_from(dst: &mut Vec<Vec<usize>>, src: &[Vec<usize>]) {
+pub(crate) fn clone_buckets_from<T: Copy>(dst: &mut Vec<Vec<T>>, src: &[Vec<T>]) {
     dst.truncate(src.len());
     let prefix = dst.len();
     for (d, s) in dst.iter_mut().zip(src) {
@@ -164,6 +164,31 @@ impl GridIndex {
             r2: radius * radius,
             bucket: self.buckets[range.first_bucket(self.cols)].iter(),
             cursor: CellCursor::start(range),
+        }
+    }
+
+    /// Writes the indices of all points within Euclidean distance `radius`
+    /// of `center` (inclusive) into `out` (cleared first), as `u32`s in
+    /// grid-cell order — the same order [`GridIndex::within_radius`]
+    /// yields. The tight nested-loop fill beats the lazy iterator's
+    /// state-machine overhead on the coverage hot path (the disk-cache
+    /// fills of [`WmnTopology`](crate::topology::WmnTopology)).
+    pub fn within_radius_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if radius < 0.0 || self.points.is_empty() {
+            return;
+        }
+        let range = CellRange::covering(center, radius, self.cell_size, self.cols, self.rows);
+        let r2 = radius * radius;
+        for cy in range.min_cy..=range.max_cy {
+            let row = cy * self.cols;
+            for cx in range.min_cx..=range.max_cx {
+                for &i in &self.buckets[row + cx] {
+                    if self.points[i].distance_squared(center) <= r2 {
+                        out.push(i as u32);
+                    }
+                }
+            }
         }
     }
 
@@ -509,6 +534,27 @@ impl DynamicGrid {
             grid: self,
             bucket: self.buckets[range.first_bucket(self.cols)].iter(),
             cursor: CellCursor::start(range),
+        }
+    }
+
+    /// Visits every candidate index whose bucket intersects the disk at
+    /// `center`/`radius` (the same candidate set
+    /// [`DynamicGrid::candidates`] yields, in the same order), through a
+    /// tight nested loop instead of the lazy iterator — the per-move edge
+    /// repair of [`WmnTopology`](crate::topology::WmnTopology) calls this
+    /// once per moved router.
+    pub fn for_each_candidate(&self, center: Point, radius: f64, mut f: impl FnMut(usize)) {
+        if radius < 0.0 {
+            return;
+        }
+        let range = CellRange::covering(center, radius, self.cell_size, self.cols, self.rows);
+        for cy in range.min_cy..=range.max_cy {
+            let row = cy * self.cols;
+            for cx in range.min_cx..=range.max_cx {
+                for &i in &self.buckets[row + cx] {
+                    f(i);
+                }
+            }
         }
     }
 

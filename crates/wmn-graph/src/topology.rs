@@ -19,9 +19,15 @@
 //! 2. **Connectivity.** When the moved router's sorted neighbor set is
 //!    unchanged, the graph is identical and component/coverage work is
 //!    skipped entirely (the *no-op early-out*; only the moved disk is
-//!    re-counted). Otherwise components are rebuilt through a reusable
-//!    union–find ([`Components::rebuild_incremental`]) whose labeling is
-//!    canonically equal to the BFS labeling of a fresh build.
+//!    re-counted). Otherwise the old-vs-new neighbor diffs become an edge
+//!    insert/delete stream for the **dynamic connectivity engine**
+//!    ([`DynamicConnectivity`], the default [`ConnectivityMode::Dynamic`]):
+//!    insertions union component ids, deletions run a bounded
+//!    component-local bidirectional BFS, and a whole-graph
+//!    [`Components::rebuild_incremental`] rescan remains only as the
+//!    engine's cost-cap fallback (and as the pinnable
+//!    [`ConnectivityMode::DsuRescan`] reference). Labels stay canonically
+//!    equal to the BFS labeling of a fresh build in every mode.
 //! 3. **Coverage.** Per-client *cover counts* (how many counting routers
 //!    reach each client) are maintained so a move only increments and
 //!    decrements the moved router's old and new disks, flipping `covered`
@@ -55,8 +61,9 @@
 //! membership changes, coverage falls back to the one full
 //! [`recompute`](WmnTopology::rebuild_full)-style pass (still in place, no
 //! allocation). Under [`CoverageRule::AnyRouter`] membership is irrelevant
-//! and the delta path always applies. [`set_rebuild_mode`] disables the
-//! incremental engine wholesale — every move then runs
+//! and the delta path always applies. [`set_connectivity_mode`] selects the
+//! connectivity repair strategy ([`ConnectivityMode`]); [`set_rebuild_mode`]
+//! disables the incremental engine wholesale — every move then runs
 //! [`rebuild_full`](WmnTopology::rebuild_full) — which is the reference
 //! baseline the equivalence tests and the `ablation_move_eval` bench
 //! compare against.
@@ -65,10 +72,13 @@
 //! [`swap_routers`]: WmnTopology::swap_routers
 //! [`apply_moves`]: WmnTopology::apply_moves
 //! [`set_rebuild_mode`]: WmnTopology::set_rebuild_mode
+//! [`set_connectivity_mode`]: WmnTopology::set_connectivity_mode
+//! [`DynamicConnectivity`]: crate::connectivity::DynamicConnectivity
 //! [`DynamicGrid`]: crate::spatial::DynamicGrid
 
 use crate::adjacency::{LinkModel, MeshAdjacency};
 use crate::components::Components;
+use crate::connectivity::{ConnectivityStats, DynamicConnectivity, RepairOutcome};
 use crate::dsu::UnionFind;
 use crate::spatial::{DynamicGrid, GridIndex};
 use serde::{Deserialize, Serialize};
@@ -99,6 +109,42 @@ impl fmt::Display for CoverageRule {
         match self {
             CoverageRule::GiantComponentOnly => write!(f, "giant-component-only"),
             CoverageRule::AnyRouter => write!(f, "any-router"),
+        }
+    }
+}
+
+/// How a topology repairs connectivity (components + giant) after each
+/// move, swap, or batch application. All three strategies produce
+/// **bit-identical** state (pinned by the equivalence and proptest
+/// suites); they differ only in cost, and the two non-default ones exist
+/// as reference oracles and bench baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ConnectivityMode {
+    /// Component-local dynamic repair (the default): the edge diff of the
+    /// grid-local edge repair drives [`DynamicConnectivity`] — insertions
+    /// are pure DSU unions over component ids, deletions run a bounded
+    /// bidirectional component-local BFS, and the whole-graph rescan
+    /// remains only as the engine's cost-cap fallback.
+    #[default]
+    Dynamic,
+    /// Whole-graph union–find rescan per repair
+    /// ([`Components::rebuild_incremental`]) — the previous engine, kept
+    /// as the dynamic engine's reference oracle and as the baseline the
+    /// `ablation_connectivity` bench measures against.
+    DsuRescan,
+    /// Full rebuild of grid, adjacency, components, and coverage on every
+    /// move ([`WmnTopology::rebuild_full`]) — the original reference
+    /// baseline behind [`WmnTopology::set_rebuild_mode`].
+    FullRebuild,
+}
+
+impl fmt::Display for ConnectivityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectivityMode::Dynamic => write!(f, "dynamic"),
+            ConnectivityMode::DsuRescan => write!(f, "dsu-rescan"),
+            ConnectivityMode::FullRebuild => write!(f, "full-rebuild"),
         }
     }
 }
@@ -172,8 +218,20 @@ pub struct WmnTopology {
     cover_count: Vec<u32>,
     covered: Vec<bool>,
     covered_count: usize,
-    /// When set, every move runs `rebuild_full` (the reference baseline).
-    full_rebuild_mode: bool,
+    /// Per-router disk cache: the clients inside router `i`'s disk. Two
+    /// invariants make coverage repair mostly query-free:
+    ///
+    /// * if router `i` is currently *counted* (its disk contributes to
+    ///   `cover_count`), `disk_clients[i]` holds exactly the counted set —
+    ///   so removals never re-query the client grid;
+    /// * if `disk_cached[i]` is set, `disk_clients[i]` equals the clients
+    ///   within `radii[i]` of the *current* `positions[i]` — so re-adding
+    ///   an unmoved router's disk (a giant-membership flip) is free. The
+    ///   bit is cleared whenever the router's position changes.
+    disk_clients: Vec<Vec<u32>>,
+    disk_cached: Vec<bool>,
+    /// Connectivity repair strategy (see [`ConnectivityMode`]).
+    connectivity_mode: ConnectivityMode,
     scratch: MoveScratch,
 }
 
@@ -190,21 +248,35 @@ struct MoveScratch {
     mask: Vec<bool>,
     batch: Vec<BatchEntry>,
     is_moved: Vec<bool>,
+    /// The dynamic connectivity engine (pure scratch: component state
+    /// lives in `components`, so copies never need to synchronize it).
+    conn: DynamicConnectivity,
+    /// Edge insert/delete streams of the current repair, produced by the
+    /// old-vs-new neighbor diffs of the grid-local edge repair.
+    ins_events: Vec<(usize, usize)>,
+    del_events: Vec<(usize, usize)>,
 }
 
 /// One unique moved router of a batch application
-/// ([`WmnTopology::apply_moves`]): its pre-batch position plus whether its
-/// disk counted toward coverage before and after the repair.
+/// ([`WmnTopology::apply_moves`]): whether its disk counted toward
+/// coverage before and after the repair (its pre-batch counted client set
+/// survives in the disk cache, so no pre-batch position is needed).
 #[derive(Debug, Clone, Copy)]
 struct BatchEntry {
     router: usize,
-    old: Point,
     counted_before: bool,
     counted_after: bool,
 }
 
 impl Clone for WmnTopology {
     fn clone(&self) -> Self {
+        // Scratch state is not copied, but the connectivity cost-cap
+        // override is configuration, not scratch — it travels like the
+        // connectivity mode does.
+        let mut scratch = MoveScratch::default();
+        scratch
+            .conn
+            .set_cost_cap(self.scratch.conn.cost_cap_override());
         WmnTopology {
             area: self.area,
             config: self.config,
@@ -219,8 +291,10 @@ impl Clone for WmnTopology {
             cover_count: self.cover_count.clone(),
             covered: self.covered.clone(),
             covered_count: self.covered_count,
-            full_rebuild_mode: self.full_rebuild_mode,
-            scratch: MoveScratch::default(),
+            disk_clients: self.disk_clients.clone(),
+            disk_cached: self.disk_cached.clone(),
+            connectivity_mode: self.connectivity_mode,
+            scratch,
         }
     }
 
@@ -245,7 +319,12 @@ impl Clone for WmnTopology {
         self.cover_count.clone_from(&src.cover_count);
         self.covered.clone_from(&src.covered);
         self.covered_count = src.covered_count;
-        self.full_rebuild_mode = src.full_rebuild_mode;
+        crate::spatial::clone_buckets_from(&mut self.disk_clients, &src.disk_clients);
+        self.disk_cached.clone_from(&src.disk_cached);
+        self.connectivity_mode = src.connectivity_mode;
+        self.scratch
+            .conn
+            .set_cost_cap(src.scratch.conn.cost_cap_override());
     }
 }
 
@@ -265,6 +344,7 @@ impl WmnTopology {
         instance.validate_placement(placement)?;
         let area = instance.area();
         let positions: Vec<Point> = placement.as_slice().to_vec();
+        let positions_len = positions.len();
         let radii: Vec<f64> = instance
             .routers()
             .iter()
@@ -292,7 +372,9 @@ impl WmnTopology {
             cover_count: vec![0; clients.len()],
             covered: vec![false; clients.len()],
             covered_count: 0,
-            full_rebuild_mode: false,
+            disk_clients: vec![Vec::new(); positions_len],
+            disk_cached: vec![false; positions_len],
+            connectivity_mode: ConnectivityMode::default(),
             scratch: MoveScratch::default(),
         };
         topo.refresh_giant_mask();
@@ -317,6 +399,7 @@ impl WmnTopology {
             "placement length must match router count"
         );
         self.positions.copy_from_slice(placement.as_slice());
+        self.disk_cached.fill(false);
         self.router_index.rebuild(&self.positions);
         self.adjacency.rebuild_in_place(
             &self.positions,
@@ -424,15 +507,51 @@ impl WmnTopology {
     /// [`rebuild_full`](WmnTopology::rebuild_full) instead of the delta
     /// path. Results are bit-identical either way (verified by the
     /// equivalence suites); the `ablation_move_eval` bench measures the
-    /// gap.
+    /// gap. Shorthand for
+    /// [`set_connectivity_mode`](WmnTopology::set_connectivity_mode) with
+    /// [`ConnectivityMode::FullRebuild`] / [`ConnectivityMode::Dynamic`].
     pub fn set_rebuild_mode(&mut self, full: bool) {
-        self.full_rebuild_mode = full;
+        self.connectivity_mode = if full {
+            ConnectivityMode::FullRebuild
+        } else {
+            ConnectivityMode::Dynamic
+        };
     }
 
     /// Returns `true` when every move performs a full rebuild (see
     /// [`set_rebuild_mode`](WmnTopology::set_rebuild_mode)).
     pub fn rebuild_mode(&self) -> bool {
-        self.full_rebuild_mode
+        self.connectivity_mode == ConnectivityMode::FullRebuild
+    }
+
+    /// Selects the connectivity repair strategy (see [`ConnectivityMode`];
+    /// results are bit-identical in every mode). The mode travels with
+    /// state copies ([`Clone::clone_from`]), so a population pool seeded
+    /// from pinned parents stays pinned.
+    pub fn set_connectivity_mode(&mut self, mode: ConnectivityMode) {
+        self.connectivity_mode = mode;
+    }
+
+    /// The active connectivity repair strategy.
+    pub fn connectivity_mode(&self) -> ConnectivityMode {
+        self.connectivity_mode
+    }
+
+    /// Cumulative counters of this topology's dynamic connectivity engine
+    /// (zeroed on construction and on `clone`; scratch state, so
+    /// `clone_from` leaves them running).
+    pub fn connectivity_stats(&self) -> ConnectivityStats {
+        self.scratch.conn.stats()
+    }
+
+    /// Overrides the dynamic engine's per-deletion edge-visit budget
+    /// (`None` restores the default; `Some(0)` forces the whole-graph
+    /// rescan fallback on every deletion that requires a search — see
+    /// [`DynamicConnectivity::set_cost_cap`]). Like the connectivity
+    /// mode, the override travels with state copies (`clone` /
+    /// `clone_from`), so pinned population pools stay pinned.
+    pub fn set_connectivity_cost_cap(&mut self, cap: Option<usize>) {
+        self.scratch.conn.set_cost_cap(cap);
     }
 
     /// Whether router `i`'s disk currently counts toward client coverage,
@@ -452,39 +571,22 @@ impl WmnTopology {
             .extend((0..n).map(|i| self.components.in_giant(i)));
     }
 
-    /// Adds (`inc`) or removes (`!inc`) one counting router's disk at
-    /// `center`/`radius` from the per-client cover counts, flipping
-    /// `covered` bits and the covered total at 0↔1 transitions.
-    fn disk_delta(&mut self, center: Point, radius: f64, inc: bool) {
-        let WmnTopology {
-            client_index,
-            cover_count,
-            covered,
-            covered_count,
-            ..
-        } = self;
-        for c in client_index.within_radius(center, radius) {
-            if inc {
-                cover_count[c] += 1;
-                if cover_count[c] == 1 {
-                    covered[c] = true;
-                    *covered_count += 1;
-                }
-            } else {
-                debug_assert!(cover_count[c] > 0, "cover count underflow");
-                cover_count[c] -= 1;
-                if cover_count[c] == 0 {
-                    covered[c] = false;
-                    *covered_count -= 1;
-                }
-            }
-        }
+    /// Adds router `i`'s disk (at its **current** position) to the
+    /// per-client cover counts, flipping `covered` bits and the covered
+    /// total at 0→1 transitions. Uses the positionally-valid disk cache
+    /// when available and (re)fills it otherwise, so re-adding an unmoved
+    /// router's disk — a giant-membership flip — performs no grid query.
+    fn disk_add(&mut self, i: usize) {
+        self.disk_add_from(i, None);
     }
 
-    /// Full coverage recomputation, in place: rebuilds cover counts, the
-    /// covered mask, and the covered total (maintained incrementally as
-    /// bits flip — no trailing count scan) from the current `giant_mask`.
-    fn recompute_coverage(&mut self) {
+    /// [`disk_add`](WmnTopology::disk_add) with a donor: on a cache miss,
+    /// a donor topology holding router `i` at the **same position** (same
+    /// instance — the caller verifies the shared client index) donates its
+    /// cached disk instead of a grid query. This is the crossover-child
+    /// path: a moved gene's target position is verbatim the other parent's,
+    /// whose cache holds exactly the right client set.
+    fn disk_add_from(&mut self, i: usize, donor: Option<&WmnTopology>) {
         let WmnTopology {
             client_index,
             cover_count,
@@ -492,27 +594,70 @@ impl WmnTopology {
             covered_count,
             positions,
             radii,
-            giant_mask,
-            config,
+            disk_clients,
+            disk_cached,
             ..
         } = self;
-        cover_count.fill(0);
-        covered.fill(false);
-        *covered_count = 0;
-        for i in 0..positions.len() {
-            let counted = match config.coverage_rule {
-                CoverageRule::GiantComponentOnly => giant_mask[i],
-                CoverageRule::AnyRouter => true,
-            };
-            if !counted {
-                continue;
-            }
-            for c in client_index.within_radius(positions[i], radii[i]) {
-                cover_count[c] += 1;
-                if cover_count[c] == 1 {
-                    covered[c] = true;
-                    *covered_count += 1;
+        if !disk_cached[i] {
+            match donor.filter(|d| d.disk_cached[i] && d.positions[i] == positions[i]) {
+                Some(d) => disk_clients[i].clone_from(&d.disk_clients[i]),
+                None => {
+                    client_index.within_radius_into(positions[i], radii[i], &mut disk_clients[i])
                 }
+            }
+            disk_cached[i] = true;
+        }
+        for &c in &disk_clients[i] {
+            let c = c as usize;
+            cover_count[c] += 1;
+            if cover_count[c] == 1 {
+                covered[c] = true;
+                *covered_count += 1;
+            }
+        }
+    }
+
+    /// Removes router `i`'s **counted** disk from the per-client cover
+    /// counts through the disk cache — no grid query, no distance checks
+    /// (the counted-disk invariant guarantees the cache holds exactly the
+    /// counted set, even after the router has moved).
+    fn disk_remove(&mut self, i: usize) {
+        let WmnTopology {
+            cover_count,
+            covered,
+            covered_count,
+            disk_clients,
+            ..
+        } = self;
+        for &c in &disk_clients[i] {
+            let c = c as usize;
+            debug_assert!(cover_count[c] > 0, "cover count underflow");
+            cover_count[c] -= 1;
+            if cover_count[c] == 0 {
+                covered[c] = false;
+                *covered_count -= 1;
+            }
+        }
+    }
+
+    /// Full coverage recomputation, in place: rebuilds cover counts, the
+    /// covered mask, and the covered total (maintained incrementally as
+    /// bits flip — no trailing count scan) from the current `giant_mask`,
+    /// re-querying only routers whose disk cache is positionally stale.
+    fn recompute_coverage(&mut self) {
+        self.recompute_coverage_from(None);
+    }
+
+    /// [`recompute_coverage`](WmnTopology::recompute_coverage) with an
+    /// optional disk-cache donor (see
+    /// [`apply_moves_from`](WmnTopology::apply_moves_from)).
+    fn recompute_coverage_from(&mut self, donor: Option<&WmnTopology>) {
+        self.cover_count.fill(0);
+        self.covered.fill(false);
+        self.covered_count = 0;
+        for i in 0..self.positions.len() {
+            if self.is_counted(i) {
+                self.disk_add_from(i, donor);
             }
         }
     }
@@ -532,32 +677,121 @@ impl WmnTopology {
         let pi = self.positions[i];
         let ri = self.radii[i];
         let query_r = model.max_link_range(ri, self.max_radius);
-        for j in self.router_index.candidates(pi, query_r) {
+        let positions = &self.positions;
+        let radii = &self.radii;
+        self.router_index.for_each_candidate(pi, query_r, |j| {
             if j == i {
-                continue;
+                return;
             }
-            let d2 = pi.distance_squared(self.positions[j]);
-            if model.links(d2, ri, self.radii[j]) {
+            let d2 = pi.distance_squared(positions[j]);
+            if model.links(d2, ri, radii[j]) {
                 new.push(j);
             }
-        }
+        });
         new.sort_unstable();
         self.adjacency.attach_node_from(i, new);
     }
 
-    /// Rebuilds components through the reusable union–find and writes the
-    /// fresh giant mask into `scratch.mask`. Returns `true` when any router
+    /// Resets the per-repair edge-event streams; every mutation entry
+    /// point calls this before its first edge repair so stale events can
+    /// never leak across operations (or across mode switches).
+    fn begin_edge_recording(&mut self) {
+        self.scratch.ins_events.clear();
+        self.scratch.del_events.clear();
+    }
+
+    /// Records the edge insert/delete events implied by one router's
+    /// old-vs-new sorted neighbor lists (a linear merge-diff), feeding the
+    /// dynamic connectivity engine. A no-op outside
+    /// [`ConnectivityMode::Dynamic`].
+    fn record_edge_diff(&mut self, i: usize, old: &[usize], new: &[usize]) {
+        if self.connectivity_mode != ConnectivityMode::Dynamic {
+            return;
+        }
+        let MoveScratch {
+            ins_events,
+            del_events,
+            ..
+        } = &mut self.scratch;
+        let (mut a, mut b) = (0usize, 0usize);
+        loop {
+            match (old.get(a), new.get(b)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    a += 1;
+                    b += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    del_events.push((i, x));
+                    a += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    ins_events.push((i, y));
+                    b += 1;
+                }
+                (Some(&x), None) => {
+                    del_events.push((i, x));
+                    a += 1;
+                }
+                (None, Some(&y)) => {
+                    ins_events.push((i, y));
+                    b += 1;
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// Repairs `components` for the current adjacency: component-locally
+    /// through the dynamic engine (consuming the recorded edge events)
+    /// under [`ConnectivityMode::Dynamic`], or by the whole-graph
+    /// union–find rescan under [`ConnectivityMode::DsuRescan`]. Returns
+    /// `true` when the component partition is **provably unchanged** (the
+    /// dynamic engine's [`RepairOutcome::Unchanged`]) — the giant mask is
+    /// then current as-is and the membership-diff pass can be skipped.
+    fn repair_components(&mut self) -> bool {
+        match self.connectivity_mode {
+            ConnectivityMode::Dynamic => {
+                let MoveScratch {
+                    uf,
+                    label_of_root,
+                    conn,
+                    ins_events,
+                    del_events,
+                    ..
+                } = &mut self.scratch;
+                conn.apply_edge_diff(
+                    &self.adjacency,
+                    &mut self.components,
+                    ins_events,
+                    del_events,
+                    uf,
+                    label_of_root,
+                ) == RepairOutcome::Unchanged
+            }
+            ConnectivityMode::DsuRescan | ConnectivityMode::FullRebuild => {
+                let MoveScratch {
+                    uf, label_of_root, ..
+                } = &mut self.scratch;
+                self.components
+                    .rebuild_incremental(&self.adjacency, uf, label_of_root);
+                false
+            }
+        }
+    }
+
+    /// Repairs components (per the connectivity mode) and writes the fresh
+    /// giant mask into `scratch.mask`. Returns `true` when any router
     /// **other than** `moved_a`/`moved_b` changed giant membership — the
     /// coverage fallback trigger.
     fn rebuild_components_incremental(&mut self, moved_a: usize, moved_b: usize) -> bool {
-        let MoveScratch {
-            uf,
-            label_of_root,
-            mask,
-            ..
-        } = &mut self.scratch;
-        self.components
-            .rebuild_incremental(&self.adjacency, uf, label_of_root);
+        let unchanged = self.repair_components();
+        let mask = &mut self.scratch.mask;
+        if unchanged {
+            // Partition untouched: the mask is the current one, no
+            // membership diff to scan for.
+            mask.clone_from(&self.giant_mask);
+            return false;
+        }
         let n = self.positions.len();
         mask.clear();
         let mut others_changed = false;
@@ -589,26 +823,28 @@ impl WmnTopology {
         let old = self.positions[i];
         let new = self.area.clamp_point(new_position);
         self.positions[i] = new;
+        self.disk_cached[i] = false;
         self.router_index.relocate(i, old, new);
-        if self.full_rebuild_mode {
+        if self.connectivity_mode == ConnectivityMode::FullRebuild {
             self.rebuild_full();
             return old;
         }
 
+        self.begin_edge_recording();
         let mut old_n = std::mem::take(&mut self.scratch.old_a);
         let mut new_n = std::mem::take(&mut self.scratch.new_a);
         self.recompute_router_edges_into(i, &mut old_n, &mut new_n);
+        self.record_edge_diff(i, &old_n, &new_n);
         let links_changed = old_n != new_n;
         self.scratch.old_a = old_n;
         self.scratch.new_a = new_n;
 
-        let ri = self.radii[i];
         if !links_changed {
             // Identical graph ⇒ identical components and membership; only
             // the moved disk needs re-counting.
             if self.is_counted(i) {
-                self.disk_delta(old, ri, false);
-                self.disk_delta(new, ri, true);
+                self.disk_remove(i);
+                self.disk_add(i);
             }
             return old;
         }
@@ -618,8 +854,8 @@ impl WmnTopology {
         match self.config.coverage_rule {
             CoverageRule::AnyRouter => {
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
-                self.disk_delta(old, ri, false);
-                self.disk_delta(new, ri, true);
+                self.disk_remove(i);
+                self.disk_add(i);
             }
             CoverageRule::GiantComponentOnly if others_changed => {
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
@@ -629,10 +865,10 @@ impl WmnTopology {
                 let counted_after = self.scratch.mask[i];
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
                 if counted_before {
-                    self.disk_delta(old, ri, false);
+                    self.disk_remove(i);
                 }
                 if counted_after {
-                    self.disk_delta(new, ri, true);
+                    self.disk_add(i);
                 }
             }
         }
@@ -654,19 +890,24 @@ impl WmnTopology {
         let (ia, ib) = (a.index(), b.index());
         let (pa, pb) = (self.positions[ia], self.positions[ib]);
         self.positions.swap(ia, ib);
+        self.disk_cached[ia] = false;
+        self.disk_cached[ib] = false;
         self.router_index.relocate(ia, pa, pb);
         self.router_index.relocate(ib, pb, pa);
-        if self.full_rebuild_mode {
+        if self.connectivity_mode == ConnectivityMode::FullRebuild {
             self.rebuild_full();
             return;
         }
 
+        self.begin_edge_recording();
         let mut old_a = std::mem::take(&mut self.scratch.old_a);
         let mut new_a = std::mem::take(&mut self.scratch.new_a);
         let mut old_b = std::mem::take(&mut self.scratch.old_b);
         let mut new_b = std::mem::take(&mut self.scratch.new_b);
         self.recompute_router_edges_into(ia, &mut old_a, &mut new_a);
+        self.record_edge_diff(ia, &old_a, &new_a);
         self.recompute_router_edges_into(ib, &mut old_b, &mut new_b);
+        self.record_edge_diff(ib, &old_b, &new_b);
         // If `ia`'s repair was a no-op, `old_b` reflects the pre-swap graph,
         // so both comparisons together certify the graph is unchanged.
         let links_changed = old_a != new_a || old_b != new_b;
@@ -675,16 +916,17 @@ impl WmnTopology {
         self.scratch.old_b = old_b;
         self.scratch.new_b = new_b;
 
-        // Radii travel with the router id: `a` now sits at `pb`, `b` at `pa`.
-        let (ra, rb) = (self.radii[ia], self.radii[ib]);
+        // Radii travel with the router id: `a` now sits at `pb`, `b` at
+        // `pa`; each disk cache still holds its router's pre-swap counted
+        // set, so removals stay query-free.
         if !links_changed {
             if self.is_counted(ia) {
-                self.disk_delta(pa, ra, false);
-                self.disk_delta(pb, ra, true);
+                self.disk_remove(ia);
+                self.disk_add(ia);
             }
             if self.is_counted(ib) {
-                self.disk_delta(pb, rb, false);
-                self.disk_delta(pa, rb, true);
+                self.disk_remove(ib);
+                self.disk_add(ib);
             }
             return;
         }
@@ -695,10 +937,10 @@ impl WmnTopology {
         match self.config.coverage_rule {
             CoverageRule::AnyRouter => {
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
-                self.disk_delta(pa, ra, false);
-                self.disk_delta(pb, ra, true);
-                self.disk_delta(pb, rb, false);
-                self.disk_delta(pa, rb, true);
+                self.disk_remove(ia);
+                self.disk_add(ia);
+                self.disk_remove(ib);
+                self.disk_add(ib);
             }
             CoverageRule::GiantComponentOnly if others_changed => {
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
@@ -709,16 +951,16 @@ impl WmnTopology {
                 let counted_after_b = self.scratch.mask[ib];
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
                 if counted_before_a {
-                    self.disk_delta(pa, ra, false);
+                    self.disk_remove(ia);
                 }
                 if counted_after_a {
-                    self.disk_delta(pb, ra, true);
+                    self.disk_add(ia);
                 }
                 if counted_before_b {
-                    self.disk_delta(pb, rb, false);
+                    self.disk_remove(ib);
                 }
                 if counted_after_b {
-                    self.disk_delta(pa, rb, true);
+                    self.disk_add(ib);
                 }
             }
         }
@@ -767,6 +1009,28 @@ impl WmnTopology {
     ///
     /// Panics if any router id is out of range.
     pub fn apply_moves(&mut self, moves: &[(RouterId, Point)]) {
+        self.apply_moves_from(moves, None);
+    }
+
+    /// [`apply_moves`](WmnTopology::apply_moves) with a coverage **donor**:
+    /// when a moved router's target position matches the donor's current
+    /// position for the same router, the donor's cached disk is copied
+    /// instead of re-queried from the client grid. This is the
+    /// crossover-child evaluation path — the recombined genes' targets are
+    /// verbatim the other parent's positions, so their disks come for
+    /// free. A donor of a different instance (different client index or
+    /// router count) is ignored; results are identical with or without a
+    /// donor (pinned by tests), only the query count differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any router id is out of range.
+    pub fn apply_moves_from(&mut self, moves: &[(RouterId, Point)], donor: Option<&WmnTopology>) {
+        let donor = donor.filter(|d| {
+            Arc::ptr_eq(&d.client_index, &self.client_index)
+                && d.positions.len() == self.positions.len()
+                && d.radii == self.radii
+        });
         match moves {
             [] => return,
             [(id, to)] => {
@@ -788,18 +1052,18 @@ impl WmnTopology {
             let old = self.positions[i];
             let new = self.area.clamp_point(to);
             self.positions[i] = new;
+            self.disk_cached[i] = false;
             self.router_index.relocate(i, old, new);
             if !self.scratch.is_moved[i] {
                 self.scratch.is_moved[i] = true;
                 batch.push(BatchEntry {
                     router: i,
-                    old,
                     counted_before: false,
                     counted_after: false,
                 });
             }
         }
-        if self.full_rebuild_mode {
+        if self.connectivity_mode == ConnectivityMode::FullRebuild {
             self.scratch.batch = batch;
             self.rebuild_full();
             return;
@@ -809,12 +1073,16 @@ impl WmnTopology {
         // final positions. Any edge change is incident to a moved router
         // and shows up in at least one old-vs-new comparison (a repair by
         // an earlier-processed moved router that alters a later one's list
-        // is caught by the earlier router's own comparison).
+        // is caught by the earlier router's own comparison) — so the
+        // recorded insert/delete streams carry each changed edge exactly
+        // once.
+        self.begin_edge_recording();
         let mut old_n = std::mem::take(&mut self.scratch.old_a);
         let mut new_n = std::mem::take(&mut self.scratch.new_a);
         let mut links_changed = false;
         for e in &batch {
             self.recompute_router_edges_into(e.router, &mut old_n, &mut new_n);
+            self.record_edge_diff(e.router, &old_n, &new_n);
             links_changed |= old_n != new_n;
         }
         self.scratch.old_a = old_n;
@@ -823,11 +1091,10 @@ impl WmnTopology {
         if !links_changed {
             // Identical graph ⇒ identical components and membership; only
             // the moved disks need re-counting.
-            for &BatchEntry { router: i, old, .. } in &batch {
+            for &BatchEntry { router: i, .. } in &batch {
                 if self.is_counted(i) {
-                    let (new, r) = (self.positions[i], self.radii[i]);
-                    self.disk_delta(old, r, false);
-                    self.disk_delta(new, r, true);
+                    self.disk_remove(i);
+                    self.disk_add_from(i, donor);
                 }
             }
             self.scratch.batch = batch;
@@ -842,10 +1109,9 @@ impl WmnTopology {
             CoverageRule::AnyRouter => {
                 // Membership is irrelevant: only the moved disks changed.
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
-                for &BatchEntry { router: i, old, .. } in &batch {
-                    let (new, r) = (self.positions[i], self.radii[i]);
-                    self.disk_delta(old, r, false);
-                    self.disk_delta(new, r, true);
+                for &BatchEntry { router: i, .. } in &batch {
+                    self.disk_remove(i);
+                    self.disk_add_from(i, donor);
                 }
             }
             CoverageRule::GiantComponentOnly => {
@@ -867,10 +1133,12 @@ impl WmnTopology {
                     // Exact delta: removals first, then additions (grouped
                     // passes; order is irrelevant for counts).
                     // `scratch.mask` holds the *previous* membership,
-                    // `giant_mask` the new one.
+                    // `giant_mask` the new one. Removals and flip-offs run
+                    // off the disk caches; flip-ons of never-moved routers
+                    // usually hit a positionally-valid cache too.
                     for &e in &batch {
                         if e.counted_before {
-                            self.disk_delta(e.old, self.radii[e.router], false);
+                            self.disk_remove(e.router);
                         }
                     }
                     if flipped_others > 0 {
@@ -878,12 +1146,12 @@ impl WmnTopology {
                         let is_moved = std::mem::take(&mut self.scratch.is_moved);
                         for j in 0..self.positions.len() {
                             if !is_moved[j] && old_mask[j] && !self.giant_mask[j] {
-                                self.disk_delta(self.positions[j], self.radii[j], false);
+                                self.disk_remove(j);
                             }
                         }
                         for j in 0..self.positions.len() {
                             if !is_moved[j] && !old_mask[j] && self.giant_mask[j] {
-                                self.disk_delta(self.positions[j], self.radii[j], true);
+                                self.disk_add(j);
                             }
                         }
                         self.scratch.mask = old_mask;
@@ -891,12 +1159,11 @@ impl WmnTopology {
                     }
                     for &e in &batch {
                         if e.counted_after {
-                            let (new, r) = (self.positions[e.router], self.radii[e.router]);
-                            self.disk_delta(new, r, true);
+                            self.disk_add_from(e.router, donor);
                         }
                     }
                 } else {
-                    self.recompute_coverage();
+                    self.recompute_coverage_from(donor);
                 }
             }
         }
@@ -910,16 +1177,13 @@ impl WmnTopology {
     /// Expects `scratch.is_moved` to hold the batch-membership mask
     /// [`apply_moves`](WmnTopology::apply_moves) filled while deduplicating.
     fn rebuild_components_incremental_batch(&mut self) -> usize {
+        let unchanged = self.repair_components();
         let n = self.positions.len();
-        let MoveScratch {
-            uf,
-            label_of_root,
-            mask,
-            is_moved,
-            ..
-        } = &mut self.scratch;
-        self.components
-            .rebuild_incremental(&self.adjacency, uf, label_of_root);
+        let MoveScratch { mask, is_moved, .. } = &mut self.scratch;
+        if unchanged {
+            mask.clone_from(&self.giant_mask);
+            return 0;
+        }
         mask.clear();
         let mut flipped_others = 0;
         for (j, &was) in self.giant_mask.iter().enumerate().take(n) {
@@ -957,7 +1221,29 @@ impl WmnTopology {
     /// Panics when the incremental state has drifted from the ground truth.
     pub fn assert_consistent(&self) {
         self.router_index.assert_in_sync(&self.positions);
+        // Disk-cache invariants: a positionally-valid cache — and any
+        // counted router's cache — must hold exactly the clients of the
+        // router's current disk.
+        for i in 0..self.positions.len() {
+            if !self.disk_cached[i] && !self.is_counted(i) {
+                continue;
+            }
+            let mut expect: Vec<u32> = self
+                .client_index
+                .within_radius(self.positions[i], self.radii[i])
+                .map(|c| c as u32)
+                .collect();
+            expect.sort_unstable();
+            let mut got = self.disk_clients[i].clone();
+            got.sort_unstable();
+            assert_eq!(
+                got, expect,
+                "disk cache for router {i} drifted from its current disk"
+            );
+        }
         let mut fresh = self.clone();
+        // Ground truth must not trust the caches it just copied.
+        fresh.disk_cached.fill(false);
         fresh.rebuild_full();
         assert_eq!(
             self.adjacency, fresh.adjacency,
@@ -1332,6 +1618,44 @@ mod tests {
         b.assert_consistent();
         assert_ne!(b.placement(), a.placement());
         a.assert_consistent();
+    }
+
+    #[test]
+    fn apply_moves_from_donor_matches_plain_apply() {
+        // The crossover-child shape: move a block of routers onto another
+        // live topology's exact positions, once with that topology as the
+        // disk-cache donor and once without. State must be identical.
+        let (instance, base) = paper_topology(67);
+        let mut rng = rng_from_seed(23);
+        let other_placement = instance.random_placement(&mut rng);
+        let donor =
+            WmnTopology::build(&instance, &other_placement, TopologyConfig::paper_default())
+                .unwrap();
+        let moves: Vec<(RouterId, Point)> = (0..24)
+            .map(|i| (RouterId(i), donor.position(RouterId(i))))
+            .collect();
+        let mut with_donor = base.clone();
+        with_donor.apply_moves_from(&moves, Some(&donor));
+        with_donor.assert_consistent();
+        let mut without = base.clone();
+        without.apply_moves(&moves);
+        assert_eq!(with_donor.placement(), without.placement());
+        assert_eq!(with_donor.giant_size(), without.giant_size());
+        assert_eq!(with_donor.covered_count(), without.covered_count());
+        assert_eq!(with_donor.covered_mask(), without.covered_mask());
+        // A donor from a different instance is ignored, not trusted.
+        let foreign_instance = InstanceSpec::paper_normal().unwrap().generate(999).unwrap();
+        let foreign_placement = foreign_instance.random_placement(&mut rng);
+        let foreign = WmnTopology::build(
+            &foreign_instance,
+            &foreign_placement,
+            TopologyConfig::paper_default(),
+        )
+        .unwrap();
+        let mut guarded = base.clone();
+        guarded.apply_moves_from(&moves, Some(&foreign));
+        guarded.assert_consistent();
+        assert_eq!(guarded.covered_count(), without.covered_count());
     }
 
     #[test]

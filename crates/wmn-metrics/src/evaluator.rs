@@ -251,10 +251,13 @@ impl<'a> Evaluator<'a> {
     /// instead of rebuilding: the per-router placement diff is computed
     /// into `moves` (a caller-owned scratch buffer, so the hot loop stays
     /// allocation-free) and applied through the incremental batch engine
-    /// (`WmnTopology::apply_moves`), then the repaired topology is
+    /// (`WmnTopology::apply_moves` — whose edge churn feeds the dynamic
+    /// connectivity engine under the default
+    /// `ConnectivityMode::Dynamic`), then the repaired topology is
     /// evaluated. Results are identical to [`Evaluator::evaluate`] on
-    /// `target` (pinned by the equivalence suites); only the repair cost
-    /// differs — proportional to the diff, not the instance.
+    /// `target` (pinned by the equivalence suites) in every connectivity
+    /// mode; only the repair cost differs — proportional to the diff, not
+    /// the instance.
     ///
     /// This is the evaluation entry point for delta-backed individuals:
     /// the topology-backed GA copies a parent's topology state into a
@@ -275,9 +278,34 @@ impl<'a> Evaluator<'a> {
         target: &Placement,
         moves: &mut Vec<(wmn_model::RouterId, wmn_model::geometry::Point)>,
     ) -> Result<Evaluation, ModelError> {
+        self.evaluate_moves_to_from(topo, target, moves, None)
+    }
+
+    /// [`evaluate_moves_to`](Evaluator::evaluate_moves_to) with an optional
+    /// coverage **donor**: another live topology of the same instance whose
+    /// disk caches are copied for moved routers landing on its exact
+    /// positions (`WmnTopology::apply_moves_from`). The topology-backed GA
+    /// passes the non-lineage parent here, so a crossover child's
+    /// recombined disks are grafted instead of re-queried. Results are
+    /// identical with or without a donor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation. The topology is untouched on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` does not have this instance's router count.
+    pub fn evaluate_moves_to_from(
+        &self,
+        topo: &mut WmnTopology,
+        target: &Placement,
+        moves: &mut Vec<(wmn_model::RouterId, wmn_model::geometry::Point)>,
+        donor: Option<&WmnTopology>,
+    ) -> Result<Evaluation, ModelError> {
         self.instance.validate_placement(target)?;
         topo.diff_placement_into(target, moves);
-        topo.apply_moves(moves);
+        topo.apply_moves_from(moves, donor);
         Ok(self.evaluate_topology(topo))
     }
 
@@ -423,6 +451,36 @@ mod tests {
             .evaluate_moves_to(&mut topo, &Placement::new(), &mut moves)
             .is_err());
         assert_eq!(topo.placement(), held);
+    }
+
+    #[test]
+    fn evaluate_moves_to_is_identical_across_connectivity_modes() {
+        use wmn_graph::topology::ConnectivityMode;
+        let instance = InstanceSpec::paper_normal().unwrap().generate(17).unwrap();
+        let ev = Evaluator::paper_default(&instance);
+        let mut rng = rng_from_seed(31);
+        let parent = instance.random_placement(&mut rng);
+        let mut dynamic = ev.topology(&parent).unwrap();
+        assert_eq!(dynamic.connectivity_mode(), ConnectivityMode::Dynamic);
+        let mut rescan = ev.topology(&parent).unwrap();
+        rescan.set_connectivity_mode(ConnectivityMode::DsuRescan);
+        let mut moves = Vec::new();
+        for round in 0..4 {
+            let target = instance.random_placement(&mut rng);
+            let a = ev
+                .evaluate_moves_to(&mut dynamic, &target, &mut moves)
+                .unwrap();
+            let b = ev
+                .evaluate_moves_to(&mut rescan, &target, &mut moves)
+                .unwrap();
+            assert_eq!(a, b, "round {round}");
+            assert_eq!(a, ev.evaluate(&target).unwrap(), "round {round} vs fresh");
+        }
+        let stats = dynamic.connectivity_stats();
+        assert!(
+            stats.repairs > 0 && stats.insertions + stats.deletions > 0,
+            "the dynamic engine must have processed the diffs"
+        );
     }
 
     #[test]

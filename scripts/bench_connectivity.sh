@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Records the connectivity-repair criterion medians into
+# BENCH_connectivity.json: dynamic component-local repair
+# (ConnectivityMode::Dynamic — DSU unions for inserted edges, bounded
+# bidirectional BFS for deleted ones) vs the whole-graph DSU rescan
+# (ConnectivityMode::DsuRescan), over two edge-churn shapes at paper
+# scale, --scale 4, and --scale 16 (64 / 256 / 1024 routers) — see
+# ablation_connectivity in crates/bench/benches/ablations.rs:
+#
+#   churn_*   neighborhood-search shape: 8 move+undo pairs + 2 swap pairs
+#             per iteration (every repair a small edge diff)
+#   batch_*   GA-child shape: one apply_moves batch of max(8, n/8)
+#             relocations plus its inverse per iteration
+#
+# The batch_dynamic benches also emit meta_batch_deletions/<scale> lines
+# (measured deleted edges per iteration), from which this script derives
+# the median per-deletion repair cost and the scale16/paper scaling ratio
+# — the sub-linearity evidence for the deletion path (a whole-graph rescan
+# scales ~linearly in n; the target here is < 4x at 16x the routers).
+#
+# Usage: scripts/bench_connectivity.sh [--quick]
+#   --quick   one sample per benchmark (CI smoke; medians are then noisy)
+#
+# Requires jq; shared plumbing lives in scripts/bench_lib.sh.
+source "$(dirname "$0")/bench_lib.sh"
+
+out=BENCH_connectivity.json
+run_bench_jsonl bench-connectivity.jsonl "$@" connectivity
+
+write_artifact "$out" '
+  def cell(scale): {
+    churn: (median_of("ablation_connectivity/churn_rescan/" + scale)
+            / median_of("ablation_connectivity/churn_dynamic/" + scale)),
+    batch: (median_of("ablation_connectivity/batch_rescan/" + scale)
+            / median_of("ablation_connectivity/batch_dynamic/" + scale))
+  };
+  def per_deletion(scale):
+    (median_of("ablation_connectivity/batch_dynamic/" + scale)
+     / median_of("ablation_connectivity/meta_batch_deletions/" + scale));
+  {
+    schema: "wmn-bench-connectivity/v1",
+    description: "Edge-churn connectivity repair: dynamic component-local engine (insert = DSU union, delete = bounded bidirectional BFS) vs whole-graph DSU rescan, for a neighborhood-search-shaped churn loop and a GA-child-shaped batch loop, at paper scale / --scale 4 / --scale 16; per_deletion_ns divides the batch median by the measured deletions per iteration",
+    bench: "cargo bench --bench ablations -- connectivity",
+    benches: .,
+    speedup_median: {
+      paper: cell("paper"),
+      scale4: cell("scale4"),
+      scale16: cell("scale16")
+    },
+    per_deletion_ns: {
+      paper: per_deletion("paper"),
+      scale4: per_deletion("scale4"),
+      scale16: per_deletion("scale16")
+    },
+    deletion_scaling: {
+      scale16_over_paper: (per_deletion("scale16") / per_deletion("paper")),
+      routers_ratio: 16,
+      sublinear_target: 4
+    }
+  }
+'
+
+# Schema assertion: all 12 benchmark cells plus the 3 meta lines present,
+# every ratio a positive number.
+assert_artifact_schema "$out" '
+  .schema == "wmn-bench-connectivity/v1"
+  and (.benches | length) == 15
+  and ([.speedup_median.paper, .speedup_median.scale4, .speedup_median.scale16][]
+       | [.churn, .batch][] | (type == "number" and . > 0))
+  and ([.per_deletion_ns.paper, .per_deletion_ns.scale4, .per_deletion_ns.scale16][]
+       | (type == "number" and . > 0))
+  and (.deletion_scaling.scale16_over_paper | (type == "number" and . > 0))
+'
+
+print_artifact_summary "$out" '{speedup_median, per_deletion_ns, deletion_scaling}'

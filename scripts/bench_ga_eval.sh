@@ -6,7 +6,8 @@
 #
 # Three pipelines per (mix, scale) cell — see ablation_ga_eval in
 # crates/bench/benches/ablations.rs:
-#   incremental  parent-topology state copy + batch diff repair (default)
+#   incremental  parent-topology state copy + batch diff repair (default:
+#                dynamic connectivity + donor-grafted disk caches)
 #   rebuild      per-child in-place full rebuild (GaEvalMode::Rebuild)
 #   scratch      per-child fresh topology build (the pre-workspace pipeline)
 # and two child mixes: `generation` (paper operator mix, crossover 0.8) and
@@ -16,22 +17,13 @@
 # Usage: scripts/bench_ga_eval.sh [--quick]
 #   --quick   one sample per benchmark (CI smoke; medians are then noisy)
 #
-# Requires jq. The criterion shim (vendor/criterion) appends one JSON line
-# per benchmark to $WMN_BENCH_JSON; this script aggregates those lines,
-# computes per-cell speedups, and asserts the artifact's schema.
-set -euo pipefail
-cd "$(dirname "$0")/.."
+# Requires jq; shared plumbing lives in scripts/bench_lib.sh.
+source "$(dirname "$0")/bench_lib.sh"
 
-raw="$PWD/target/bench-ga-eval.jsonl"
 out=BENCH_ga_eval.json
-rm -f "$raw"
+run_bench_jsonl bench-ga-eval.jsonl "$@" ga_eval
 
-# The bench binary's working directory is the package dir, so the sink path
-# must be absolute. Extra args (e.g. --quick) pass through to the shim.
-WMN_BENCH_JSON="$raw" cargo bench --bench ablations -- "$@" ga_eval
-
-jq -s '
-  def median_of(name): (map(select(.id == name)) | first).median_ns;
+write_artifact "$out" '
   def cell(scale): {
     generation_vs_rebuild:
       (median_of("ablation_ga_eval/rebuild_generation/" + scale)
@@ -48,26 +40,22 @@ jq -s '
   };
   {
     schema: "wmn-bench-ga-eval/v1",
-    description: "One GA generation of child evaluation (64 children, 40-generation-evolved HotSpot population): topology-backed incremental delta path vs per-child in-place full rebuild (GaEvalMode::Rebuild) vs per-child fresh-topology scratch build, for the paper operator mix (generation) and a mutation-only mix (mutation), per scale",
+    description: "One GA generation of child evaluation (64 children, 40-generation-evolved HotSpot population): topology-backed incremental delta path (dynamic connectivity + donor disk caches) vs per-child in-place full rebuild (GaEvalMode::Rebuild) vs per-child fresh-topology scratch build, for the paper operator mix (generation) and a mutation-only mix (mutation), per scale",
     bench: "cargo bench --bench ablations -- ga_eval",
     benches: .,
     speedup_median: { paper: cell("paper"), scale4: cell("scale4") }
   }
-' "$raw" >"$out"
+'
 
 # Schema assertion: required keys present, every speedup a positive number,
 # and one benchmark line per (pipeline, mix, scale) cell.
-jq -e '
+assert_artifact_schema "$out" '
   .schema == "wmn-bench-ga-eval/v1"
   and (.benches | length) == 12
   and ([.speedup_median.paper, .speedup_median.scale4][]
        | [.generation_vs_rebuild, .generation_vs_scratch,
           .mutation_vs_rebuild, .mutation_vs_scratch][]
        | (type == "number" and . > 0))
-' "$out" >/dev/null || {
-  echo "BENCH_ga_eval.json failed schema check" >&2
-  exit 1
-}
+'
 
-echo "wrote $out:"
-jq .speedup_median "$out"
+print_artifact_summary "$out" .speedup_median

@@ -6,22 +6,13 @@
 # Usage: scripts/bench_move_eval.sh [--quick]
 #   --quick   one sample per benchmark (CI smoke; medians are then noisy)
 #
-# Requires jq. The criterion shim (vendor/criterion) appends one JSON line
-# per benchmark to $WMN_BENCH_JSON; this script aggregates those lines and
-# computes the rebuild/incremental median speedup per scale.
-set -euo pipefail
-cd "$(dirname "$0")/.."
+# Requires jq; shared plumbing lives in scripts/bench_lib.sh.
+source "$(dirname "$0")/bench_lib.sh"
 
-raw="$PWD/target/bench-move-eval.jsonl"
 out=BENCH_move_eval.json
-rm -f "$raw"
+run_bench_jsonl bench-move-eval.jsonl "$@" move_eval
 
-# The bench binary's working directory is the package dir, so the sink path
-# must be absolute. Extra args (e.g. --quick) pass through to the shim.
-WMN_BENCH_JSON="$raw" cargo bench --bench ablations -- "$@" move_eval
-
-jq -s '
-  def median_of(name): (map(select(.id == name)) | first).median_ns;
+write_artifact "$out" '
   {
     schema: "wmn-bench-move-eval/v1",
     description: "1000-move neighborhood-search inner loop (propose→apply→evaluate→undo): incremental delta-evaluation engine vs full-rebuild reference, per scale",
@@ -34,7 +25,13 @@ jq -s '
                / median_of("ablation_move_eval/incremental/scale4"))
     }
   }
-' "$raw" >"$out"
+'
 
-echo "wrote $out:"
-jq .speedup_median "$out"
+assert_artifact_schema "$out" '
+  .schema == "wmn-bench-move-eval/v1"
+  and (.benches | length) == 4
+  and ([.speedup_median.paper, .speedup_median.scale4][]
+       | (type == "number" and . > 0))
+'
+
+print_artifact_summary "$out" .speedup_median
