@@ -1,19 +1,27 @@
 //! Regenerates the paper's Figure 1 (GA evolution, Normal clients).
 
 use std::process::ExitCode;
+use std::time::Instant;
 use wmn_experiments::ascii_plot::plot;
 use wmn_experiments::cli::{self, CliOptions};
 use wmn_experiments::error::ExperimentError;
-use wmn_experiments::figures::run_ga_figure;
+use wmn_experiments::figures::{run_ga_figure, run_ga_figure_recorded};
 use wmn_experiments::report::write_ga_figure;
 use wmn_experiments::scenario::Scenario;
+use wmn_experiments::telemetry;
 
 fn main() -> ExitCode {
     cli::run(run)
 }
 
 fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
-    let fig = run_ga_figure(Scenario::Normal, &opts.config)?;
+    let mut recorder = telemetry::recorder_if_requested(opts);
+    let started = Instant::now();
+    let fig = match recorder.as_mut() {
+        Some(rec) => run_ga_figure_recorded(Scenario::Normal, &opts.config, rec)?,
+        None => run_ga_figure(Scenario::Normal, &opts.config)?,
+    };
+    telemetry::finish_span(&mut recorder, "fig1.run", started);
     println!(
         "{}",
         plot(
@@ -25,5 +33,5 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     );
     write_ga_figure(&opts.out_dir, &fig)?;
     println!("wrote {}/fig1.{{csv,jsonl,txt}}", opts.out_dir.display());
-    Ok(())
+    telemetry::maybe_write(opts, "fig1", &recorder)
 }

@@ -2,18 +2,26 @@
 //! movement, Normal clients).
 
 use std::process::ExitCode;
+use std::time::Instant;
 use wmn_experiments::ascii_plot::plot;
 use wmn_experiments::cli::{self, CliOptions};
 use wmn_experiments::error::ExperimentError;
-use wmn_experiments::figures::run_ns_figure;
+use wmn_experiments::figures::{run_ns_figure, run_ns_figure_recorded};
 use wmn_experiments::report::write_ns_figure;
+use wmn_experiments::telemetry;
 
 fn main() -> ExitCode {
     cli::run(run)
 }
 
 fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
-    let fig = run_ns_figure(&opts.config)?;
+    let mut recorder = telemetry::recorder_if_requested(opts);
+    let started = Instant::now();
+    let fig = match recorder.as_mut() {
+        Some(rec) => run_ns_figure_recorded(&opts.config, rec)?,
+        None => run_ns_figure(&opts.config)?,
+    };
+    telemetry::finish_span(&mut recorder, "fig4.run", started);
     println!(
         "{}",
         plot(
@@ -30,5 +38,5 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     );
     write_ns_figure(&opts.out_dir, &fig)?;
     println!("wrote {}/fig4.{{csv,jsonl,txt}}", opts.out_dir.display());
-    Ok(())
+    telemetry::maybe_write(opts, "fig4", &recorder)
 }

@@ -19,15 +19,23 @@
 //! count** — `--threads 8` only finishes sooner. Instance sizes beyond the
 //! paper's 64/192/128×128 family are reachable via `--scale`
 //! (`--scale-routers` / `--scale-clients` / `--scale-area`).
+//!
+//! With `--telemetry <dir>` the whole run's work-counter profile (every
+//! table, GA figure, and the search figure summed) lands in one
+//! `telemetry.json` + `spans.jsonl` pair — also byte-identical for every
+//! thread count, since the per-job recorders merge in job-index order.
 
 use std::process::ExitCode;
 use std::time::Instant;
 use wmn_experiments::cli::{self, CliOptions};
 use wmn_experiments::error::ExperimentError;
-use wmn_experiments::figures::{run_ga_figure, run_ns_figure};
+use wmn_experiments::figures::{
+    run_ga_figure, run_ga_figure_recorded, run_ns_figure, run_ns_figure_recorded,
+};
 use wmn_experiments::report::{write_ga_figure, write_ns_figure, write_summary, write_table};
 use wmn_experiments::scenario::Scenario;
-use wmn_experiments::tables::{run_table, TableResult};
+use wmn_experiments::tables::{run_table, run_table_recorded, TableResult};
+use wmn_experiments::telemetry;
 
 fn main() -> ExitCode {
     cli::run(run)
@@ -35,6 +43,7 @@ fn main() -> ExitCode {
 
 fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     let t0 = Instant::now();
+    let mut recorder = telemetry::recorder_if_requested(opts);
     println!(
         "experiment runtime: {} worker thread(s)",
         opts.config.runtime().threads()
@@ -44,7 +53,11 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     for scenario in Scenario::paper_tables() {
         let n = scenario.table_number().expect("paper scenario");
         let started = Instant::now();
-        let table = run_table(scenario, &opts.config)?;
+        let table = match recorder.as_mut() {
+            Some(rec) => run_table_recorded(scenario, &opts.config, rec)?,
+            None => run_table(scenario, &opts.config)?,
+        };
+        telemetry::finish_span(&mut recorder, "run_all.table", started);
         write_table(&opts.out_dir, &table)?;
         println!(
             "table{n} ({scenario}): done in {:.1?}; best GA method = {}",
@@ -54,7 +67,11 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
         tables.push(table);
 
         let started = Instant::now();
-        let fig = run_ga_figure(scenario, &opts.config)?;
+        let fig = match recorder.as_mut() {
+            Some(rec) => run_ga_figure_recorded(scenario, &opts.config, rec)?,
+            None => run_ga_figure(scenario, &opts.config)?,
+        };
+        telemetry::finish_span(&mut recorder, "run_all.ga_figure", started);
         write_ga_figure(&opts.out_dir, &fig)?;
         println!(
             "fig{n} ({scenario}): done in {:.1?}; best final curve = {}",
@@ -64,7 +81,11 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     }
 
     let started = Instant::now();
-    let ns = run_ns_figure(&opts.config)?;
+    let ns = match recorder.as_mut() {
+        Some(rec) => run_ns_figure_recorded(&opts.config, rec)?,
+        None => run_ns_figure(&opts.config)?,
+    };
+    telemetry::finish_span(&mut recorder, "run_all.ns_figure", started);
     write_ns_figure(&opts.out_dir, &ns)?;
     println!(
         "fig4: done in {:.1?}; swap = {}, random = {}",
@@ -79,5 +100,5 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
         opts.out_dir.display(),
         t0.elapsed()
     );
-    Ok(())
+    telemetry::maybe_write(opts, "run_all", &recorder)
 }

@@ -1,21 +1,29 @@
 //! Regenerates the paper's Table 1 (Normal client distribution).
 
 use std::process::ExitCode;
+use std::time::Instant;
 use wmn_experiments::cli::{self, CliOptions};
 use wmn_experiments::error::ExperimentError;
 use wmn_experiments::report::write_table;
 use wmn_experiments::scenario::Scenario;
-use wmn_experiments::tables::run_table;
+use wmn_experiments::tables::{run_table, run_table_recorded};
+use wmn_experiments::telemetry;
 
 fn main() -> ExitCode {
     cli::run(run)
 }
 
 fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
-    let table = run_table(Scenario::Normal, &opts.config)?;
+    let mut recorder = telemetry::recorder_if_requested(opts);
+    let started = Instant::now();
+    let table = match recorder.as_mut() {
+        Some(rec) => run_table_recorded(Scenario::Normal, &opts.config, rec)?,
+        None => run_table(Scenario::Normal, &opts.config)?,
+    };
+    telemetry::finish_span(&mut recorder, "table1.run", started);
     println!("# Table 1 — Normal distribution (paper: Xhafa/Sánchez/Barolli 2009)\n");
     print!("{}", table.to_markdown());
     write_table(&opts.out_dir, &table)?;
     println!("\nwrote {}/table1.{{md,csv}}", opts.out_dir.display());
-    Ok(())
+    telemetry::maybe_write(opts, "table1", &recorder)
 }

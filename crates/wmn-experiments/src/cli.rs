@@ -16,12 +16,20 @@
 //!   individual multipliers (`WMN_SCALE_ROUTERS` / `WMN_SCALE_CLIENTS` /
 //!   `WMN_SCALE_AREA`).
 //! * `--ns-budget <n>` — neighbors sampled per search phase.
+//! * `--connectivity <mode>` — connectivity repair strategy
+//!   (`WMN_CONNECTIVITY`): `dynamic` (default), `rescan` (whole-graph DSU
+//!   rescan oracle), or `full` (full-rebuild reference pipeline). Results
+//!   are bit-identical in every mode; only the work counters differ.
+//! * `--telemetry <dir>` — write structured run telemetry
+//!   (`telemetry.json` + `spans.jsonl`) to `<dir>`; see
+//!   [`crate::telemetry`].
 //! * `--out <dir>` — output directory (default `results`).
 
 use crate::error::ExperimentError;
 use crate::scenario::{ExperimentConfig, ScenarioScale};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use wmn_graph::topology::ConnectivityMode;
 
 /// Parsed common CLI options.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,11 +38,27 @@ pub struct CliOptions {
     pub config: ExperimentConfig,
     /// Output directory.
     pub out_dir: PathBuf,
+    /// Telemetry output directory (`None` = telemetry disabled, the
+    /// zero-overhead default).
+    pub telemetry: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: [--quick] [--seed <n>] [--instance-seed <n>] [--threads <n>] \
 [--ga-threads <n>] [--scale <n>] [--scale-routers <n>] [--scale-clients <n>] \
-[--scale-area <x>] [--ns-budget <n>] [--out <dir>]";
+[--scale-area <x>] [--ns-budget <n>] [--connectivity dynamic|rescan|full] \
+[--telemetry <dir>] [--out <dir>]";
+
+/// Parses a connectivity-mode name (shared by the flag and env paths).
+fn connectivity_mode(value: &str) -> Result<ConnectivityMode, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "dynamic" => Ok(ConnectivityMode::Dynamic),
+        "rescan" | "dsu-rescan" | "dsu" => Ok(ConnectivityMode::DsuRescan),
+        "full" | "full-rebuild" | "rebuild" => Ok(ConnectivityMode::FullRebuild),
+        other => Err(format!(
+            "unknown connectivity mode {other:?} (dynamic|rescan|full)"
+        )),
+    }
+}
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
     let v = value.ok_or(format!("{flag} needs a value"))?;
@@ -54,6 +78,7 @@ pub fn parse_from<I: IntoIterator<Item = String>>(
 ) -> Result<CliOptions, String> {
     let mut config = base;
     let mut out_dir = PathBuf::from("results");
+    let mut telemetry = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -72,6 +97,13 @@ pub fn parse_from<I: IntoIterator<Item = String>>(
             "--scale-clients" => config.scale.clients = parse_num("--scale-clients", it.next())?,
             "--scale-area" => config.scale.area = parse_num("--scale-area", it.next())?,
             "--ns-budget" => config.ns_budget = parse_num("--ns-budget", it.next())?,
+            "--connectivity" => {
+                let v = it.next().ok_or("--connectivity needs a value")?;
+                config.connectivity = connectivity_mode(&v)?;
+            }
+            "--telemetry" => {
+                telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a value")?));
+            }
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
             }
@@ -79,7 +111,11 @@ pub fn parse_from<I: IntoIterator<Item = String>>(
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
-    Ok(CliOptions { config, out_dir })
+    Ok(CliOptions {
+        config,
+        out_dir,
+        telemetry,
+    })
 }
 
 /// Parses options from an argument iterator over the paper defaults.
@@ -129,6 +165,10 @@ pub fn config_from_vars(
     if let Some(x) = num::<f64>(&lookup, "WMN_SCALE_AREA")? {
         config.scale.area = x;
     }
+    if let Some(v) = lookup("WMN_CONNECTIVITY") {
+        config.connectivity =
+            connectivity_mode(&v).map_err(|e| format!("bad WMN_CONNECTIVITY value: {e}"))?;
+    }
     Ok(config)
 }
 
@@ -173,6 +213,33 @@ mod tests {
         let opts = parse_vec(&[]).unwrap();
         assert_eq!(opts.config, ExperimentConfig::paper());
         assert_eq!(opts.out_dir, PathBuf::from("results"));
+        assert_eq!(opts.telemetry, None);
+    }
+
+    #[test]
+    fn connectivity_and_telemetry_flags() {
+        let opts = parse_vec(&["--connectivity", "rescan", "--telemetry", "/tmp/t"]).unwrap();
+        assert_eq!(opts.config.connectivity, ConnectivityMode::DsuRescan);
+        assert_eq!(opts.telemetry, Some(PathBuf::from("/tmp/t")));
+        let opts = parse_vec(&["--connectivity", "full"]).unwrap();
+        assert_eq!(opts.config.connectivity, ConnectivityMode::FullRebuild);
+        // Canonical display names parse back too.
+        let opts = parse_vec(&["--connectivity", "full-rebuild"]).unwrap();
+        assert_eq!(opts.config.connectivity, ConnectivityMode::FullRebuild);
+        assert!(parse_vec(&["--connectivity", "bogus"]).is_err());
+        assert!(parse_vec(&["--connectivity"]).is_err());
+        assert!(parse_vec(&["--telemetry"]).is_err());
+    }
+
+    #[test]
+    fn connectivity_env_var_applies_and_flag_wins() {
+        let lookup = |name: &str| (name == "WMN_CONNECTIVITY").then(|| "full".to_owned());
+        let base = config_from_vars(lookup).unwrap();
+        assert_eq!(base.connectivity, ConnectivityMode::FullRebuild);
+        let opts = parse_from(base, ["--connectivity".to_owned(), "dynamic".to_owned()]).unwrap();
+        assert_eq!(opts.config.connectivity, ConnectivityMode::Dynamic);
+        let lookup = |name: &str| (name == "WMN_CONNECTIVITY").then(|| "bogus".to_owned());
+        assert!(config_from_vars(lookup).is_err());
     }
 
     #[test]

@@ -7,12 +7,15 @@
 //! scenario.
 
 use crate::scenario::{ExperimentConfig, Scenario};
-use crate::tables::ga_cell;
+use crate::tables::{experiment_ga_config, ga_cell};
 use wmn_ga::engine::{GaConfig, GaEngine};
 use wmn_ga::init::PopulationInit;
 use wmn_metrics::evaluator::Evaluator;
 use wmn_metrics::stats::Trace;
+use wmn_model::instance::ProblemInstance;
+use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::{NoopRecorder, Recorder, TelemetryRecorder};
 use wmn_placement::registry::AdHocMethod;
 use wmn_runtime::grid::{domain, Cell};
 use wmn_search::movement::{Movement, RandomMovement, SwapConfig, SwapMovement};
@@ -67,26 +70,71 @@ pub fn run_ga_figure(
 ) -> Result<GaFigure, ModelError> {
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
-    let ga_config = GaConfig::builder()
-        .population_size(config.population)
-        .generations(config.generations)
-        .threads(config.threads)
-        .build()
-        .expect("experiment GA config is valid");
+    let ga_config = experiment_ga_config(config);
 
     let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
     let series = config.runtime().try_execute(jobs, |_, (mi, method)| {
-        // Same grid cell as the tables, so Figure N and Table N report the
-        // same runs (as in the paper).
-        let mut rng = ga_cell(scenario, mi, method).rng(config.run_seed);
-        let engine = GaEngine::new(&evaluator, ga_config.clone());
-        let outcome = engine.run(&PopulationInit::AdHoc(method), &mut rng)?;
-        Ok(outcome
-            .trace
-            .giant_series(method.name())
-            .downsampled(config.sample_every.max(1)))
+        ga_figure_job(
+            scenario,
+            config,
+            &evaluator,
+            &ga_config,
+            mi,
+            method,
+            &mut NoopRecorder,
+        )
     })?;
     Ok(GaFigure { scenario, series })
+}
+
+/// Like [`run_ga_figure`], additionally collecting the run's work-counter
+/// telemetry into `recorder`. Per-job recorders merge in job-index order
+/// (see `wmn-runtime`), so the aggregated counters are byte-identical for
+/// every worker count; the figure itself equals [`run_ga_figure`]'s
+/// exactly.
+///
+/// # Errors
+///
+/// Propagates instance generation and evaluation failures, exactly as
+/// [`run_ga_figure`].
+pub fn run_ga_figure_recorded(
+    scenario: Scenario,
+    config: &ExperimentConfig,
+    recorder: &mut TelemetryRecorder,
+) -> Result<GaFigure, ModelError> {
+    let instance = config.instance(scenario)?;
+    let evaluator = Evaluator::paper_default(&instance);
+    let ga_config = experiment_ga_config(config);
+
+    let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
+    let series =
+        config
+            .runtime()
+            .try_execute_recorded(jobs, recorder, |_, (mi, method), rec| {
+                ga_figure_job(scenario, config, &evaluator, &ga_config, mi, method, rec)
+            })?;
+    Ok(GaFigure { scenario, series })
+}
+
+/// One figure curve: the GA run for one ad hoc method, on the same grid
+/// cell as the tables, so Figure N and Table N report the same runs (as in
+/// the paper).
+fn ga_figure_job(
+    scenario: Scenario,
+    config: &ExperimentConfig,
+    evaluator: &Evaluator<'_>,
+    ga_config: &GaConfig,
+    method_index: usize,
+    method: AdHocMethod,
+    recorder: &mut dyn Recorder,
+) -> Result<Trace, ModelError> {
+    let mut rng = ga_cell(scenario, method_index, method).rng(config.run_seed);
+    let engine = GaEngine::new(evaluator, ga_config.clone());
+    let outcome = engine.run_recorded(&PopulationInit::AdHoc(method), &mut rng, recorder)?;
+    Ok(outcome
+        .trace
+        .giant_series(method.name())
+        .downsampled(config.sample_every.max(1)))
 }
 
 /// A reproduced Figure 4: neighborhood search evolution, swap vs random.
@@ -116,18 +164,7 @@ pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ModelError> 
     let scenario = Scenario::Normal;
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
-
-    // Both searches start from the same random placement ("client mesh
-    // routers distributed according to a normal distribution" — the initial
-    // router placement is random).
-    let init_cell = Cell::new("ns-initial", &[domain::INITIAL, scenario.grid_id(), 0]);
-    let mut init_rng = init_cell.rng(config.run_seed);
-    let initial = instance.random_placement(&mut init_rng);
-
-    let search_config = SearchConfig {
-        budget: ExplorationBudget::sampled(config.ns_budget),
-        stopping: StoppingCondition::fixed_phases(config.ns_phases),
-    };
+    let initial = ns_initial_placement(config, scenario, &instance);
 
     // Swap and random are the two cells of the Figure 4 grid; they run in
     // parallel on the experiment runtime.
@@ -135,18 +172,16 @@ pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ModelError> 
     let mut traces = config
         .runtime()
         .try_execute(jobs, |_, (movement_id, label)| {
-            let movement: Box<dyn Movement> = match movement_id {
-                0 => Box::new(SwapMovement::new(&instance, SwapConfig::default())),
-                _ => Box::new(RandomMovement::new(&instance)),
-            };
-            let cell = Cell::new(
-                format!("ns-{label}"),
-                &[domain::NEIGHBORHOOD, scenario.grid_id(), movement_id],
-            );
-            let mut rng = cell.rng(config.run_seed);
-            let search = NeighborhoodSearch::new(&evaluator, movement, search_config);
-            let outcome = search.run(&initial, &mut rng)?;
-            Ok(outcome.trace.giant_series(label))
+            ns_job(
+                scenario,
+                config,
+                &instance,
+                &evaluator,
+                &initial,
+                movement_id,
+                label,
+                &mut NoopRecorder,
+            )
         })?
         .into_iter();
     let (swap, random) = (
@@ -154,6 +189,92 @@ pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ModelError> 
         traces.next().expect("random trace"),
     );
     Ok(NsFigure { swap, random })
+}
+
+/// Like [`run_ns_figure`], additionally collecting the searches'
+/// work-counter telemetry (`search.ns.*` plus the engine deltas) into
+/// `recorder`; the figure itself equals [`run_ns_figure`]'s exactly.
+///
+/// # Errors
+///
+/// Propagates instance generation and evaluation failures, exactly as
+/// [`run_ns_figure`].
+pub fn run_ns_figure_recorded(
+    config: &ExperimentConfig,
+    recorder: &mut TelemetryRecorder,
+) -> Result<NsFigure, ModelError> {
+    let scenario = Scenario::Normal;
+    let instance = config.instance(scenario)?;
+    let evaluator = Evaluator::paper_default(&instance);
+    let initial = ns_initial_placement(config, scenario, &instance);
+
+    let jobs: Vec<(u64, &str)> = vec![(0, "Swap"), (1, "Random")];
+    let mut traces = config
+        .runtime()
+        .try_execute_recorded(jobs, recorder, |_, (movement_id, label), rec| {
+            ns_job(
+                scenario,
+                config,
+                &instance,
+                &evaluator,
+                &initial,
+                movement_id,
+                label,
+                rec,
+            )
+        })?
+        .into_iter();
+    let (swap, random) = (
+        traces.next().expect("swap trace"),
+        traces.next().expect("random trace"),
+    );
+    Ok(NsFigure { swap, random })
+}
+
+/// The shared random starting point of both Figure 4 searches ("client
+/// mesh routers distributed according to a normal distribution" — the
+/// initial router placement is random).
+fn ns_initial_placement(
+    config: &ExperimentConfig,
+    scenario: Scenario,
+    instance: &ProblemInstance,
+) -> Placement {
+    let init_cell = Cell::new("ns-initial", &[domain::INITIAL, scenario.grid_id(), 0]);
+    let mut init_rng = init_cell.rng(config.run_seed);
+    instance.random_placement(&mut init_rng)
+}
+
+/// One Figure 4 curve: a neighborhood search with the given movement over
+/// a topology pinned to the configured connectivity strategy.
+#[allow(clippy::too_many_arguments)]
+fn ns_job(
+    scenario: Scenario,
+    config: &ExperimentConfig,
+    instance: &ProblemInstance,
+    evaluator: &Evaluator<'_>,
+    initial: &Placement,
+    movement_id: u64,
+    label: &str,
+    recorder: &mut dyn Recorder,
+) -> Result<Trace, ModelError> {
+    let search_config = SearchConfig {
+        budget: ExplorationBudget::sampled(config.ns_budget),
+        stopping: StoppingCondition::fixed_phases(config.ns_phases),
+    };
+    let movement: Box<dyn Movement> = match movement_id {
+        0 => Box::new(SwapMovement::new(instance, SwapConfig::default())),
+        _ => Box::new(RandomMovement::new(instance)),
+    };
+    let cell = Cell::new(
+        format!("ns-{label}"),
+        &[domain::NEIGHBORHOOD, scenario.grid_id(), movement_id],
+    );
+    let mut rng = cell.rng(config.run_seed);
+    let search = NeighborhoodSearch::new(evaluator, movement, search_config);
+    let mut topo = evaluator.topology(initial)?;
+    topo.set_connectivity_mode(config.connectivity);
+    let outcome = search.run_with_topology_recorded(&mut topo, &mut rng, recorder);
+    Ok(outcome.trace.giant_series(label))
 }
 
 #[cfg(test)]
@@ -224,5 +345,26 @@ mod tests {
         let a = run_ns_figure(&ExperimentConfig::quick()).unwrap();
         let b = run_ns_figure(&ExperimentConfig::quick()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_figures_match_plain_and_collect_counters() {
+        let config = ExperimentConfig::quick();
+        let mut recorder = TelemetryRecorder::new();
+        let ga = run_ga_figure_recorded(Scenario::Normal, &config, &mut recorder).unwrap();
+        assert_eq!(ga, run_ga_figure(Scenario::Normal, &config).unwrap());
+        assert_eq!(
+            recorder.counters().get("ga.generations"),
+            Some(&((7 * config.generations) as u64))
+        );
+
+        let mut ns_recorder = TelemetryRecorder::new();
+        let ns = run_ns_figure_recorded(&config, &mut ns_recorder).unwrap();
+        assert_eq!(ns, run_ns_figure(&config).unwrap());
+        // Two searches of `ns_phases` each.
+        assert_eq!(
+            ns_recorder.counters().get("search.ns.phases"),
+            Some(&((2 * config.ns_phases) as u64))
+        );
     }
 }

@@ -12,7 +12,9 @@
 //!
 //! Every binary accepts `--quick` (reduced scale), `--seed <n>` (run seed),
 //! `--threads <n>` (parallel experiment workers; results are identical for
-//! every value) and `--out <dir>` (default `results/`). `run_all`
+//! every value), `--telemetry <dir>` (structured work-counter telemetry,
+//! see [`telemetry`]), `--connectivity <mode>` (repair-strategy oracle
+//! selection) and `--out <dir>` (default `results/`). `run_all`
 //! regenerates everything. See [`cli`] for the full flag and `WMN_*`
 //! environment-variable reference, and [`scenario::ScenarioScale`] for
 //! running beyond-paper instance sizes.
@@ -39,6 +41,7 @@ pub mod figures;
 pub mod report;
 pub mod scenario;
 pub mod tables;
+pub mod telemetry;
 
 pub use error::ExperimentError;
 pub use scenario::{ExperimentConfig, Scenario, ScenarioScale};

@@ -2,6 +2,8 @@
 
 use std::fmt;
 use std::str::FromStr;
+use wmn_ga::engine::GaEvalMode;
+use wmn_graph::topology::ConnectivityMode;
 use wmn_model::distribution::ClientDistribution;
 use wmn_model::geometry::Area;
 use wmn_model::instance::{InstanceSpec, ProblemInstance};
@@ -217,6 +219,12 @@ pub struct ExperimentConfig {
     pub ns_budget: usize,
     /// Figure sampling stride in generations (the paper samples every ~5).
     pub sample_every: usize,
+    /// Connectivity repair strategy for every topology-backed run
+    /// ([`ConnectivityMode::Dynamic`] is the production engine; the rescan
+    /// and full-rebuild oracles exist so the counter-regression gate can
+    /// compare work profiles). Results are bit-identical in every mode —
+    /// only the work counters differ.
+    pub connectivity: ConnectivityMode,
 }
 
 impl ExperimentConfig {
@@ -238,6 +246,7 @@ impl ExperimentConfig {
             sample_every: 5,
             runner_threads: 0,
             scale: ScenarioScale::identity(),
+            connectivity: ConnectivityMode::Dynamic,
         }
     }
 
@@ -290,6 +299,19 @@ impl ExperimentConfig {
     /// [`runner_threads`](ExperimentConfig::runner_threads).
     pub fn runtime(&self) -> Runtime {
         Runtime::new(self.runner_threads)
+    }
+
+    /// The GA evaluation pipeline implied by
+    /// [`connectivity`](ExperimentConfig::connectivity): the incremental
+    /// topology-backed backend with the chosen repair strategy, or the
+    /// full-rebuild reference pipeline for
+    /// [`ConnectivityMode::FullRebuild`].
+    pub fn ga_eval_mode(&self) -> GaEvalMode {
+        match self.connectivity {
+            ConnectivityMode::DsuRescan => GaEvalMode::IncrementalDsuRescan,
+            ConnectivityMode::FullRebuild => GaEvalMode::Rebuild,
+            _ => GaEvalMode::Incremental,
+        }
     }
 }
 
@@ -459,6 +481,23 @@ mod tests {
         assert_eq!(Scenario::Exponential.grid_id(), 1);
         assert_eq!(Scenario::Weibull.grid_id(), 2);
         assert_eq!(Scenario::Uniform.grid_id(), 3);
+    }
+
+    #[test]
+    fn connectivity_maps_to_the_ga_eval_pipeline() {
+        let mut config = ExperimentConfig::quick();
+        assert_eq!(config.connectivity, ConnectivityMode::Dynamic);
+        assert_eq!(config.ga_eval_mode(), GaEvalMode::Incremental);
+        config.connectivity = ConnectivityMode::DsuRescan;
+        assert_eq!(config.ga_eval_mode(), GaEvalMode::IncrementalDsuRescan);
+        config.connectivity = ConnectivityMode::FullRebuild;
+        assert_eq!(config.ga_eval_mode(), GaEvalMode::Rebuild);
+        // `quickened` preserves the oracle choice like every other
+        // orthogonal knob.
+        assert_eq!(
+            config.quickened().connectivity,
+            ConnectivityMode::FullRebuild
+        );
     }
 
     #[test]

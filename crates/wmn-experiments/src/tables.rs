@@ -13,6 +13,7 @@ use wmn_ga::init::PopulationInit;
 use wmn_metrics::evaluator::Evaluator;
 use wmn_model::ModelError;
 use wmn_model::ProblemInstance;
+use wmn_obs::{NoopRecorder, Recorder, TelemetryRecorder};
 use wmn_placement::registry::AdHocMethod;
 use wmn_runtime::grid::{domain, Cell};
 
@@ -111,8 +112,24 @@ pub(crate) fn ga_cell(scenario: Scenario, method_index: usize, method: AdHocMeth
     )
 }
 
+/// The shared GA configuration of the table and figure runners: the
+/// experiment knobs plus the connectivity oracle choice mapped onto the
+/// evaluation pipeline.
+pub(crate) fn experiment_ga_config(config: &ExperimentConfig) -> GaConfig {
+    GaConfig::builder()
+        .population_size(config.population)
+        .generations(config.generations)
+        .threads(config.threads)
+        .eval_mode(config.ga_eval_mode())
+        .build()
+        .expect("experiment GA config is valid")
+}
+
 /// One method's table row: the standalone placement (paper scenario 1) and
-/// a GA initialized from the method (paper scenario 2).
+/// a GA initialized from the method (paper scenario 2). The GA run feeds
+/// `recorder`; the caller picks [`NoopRecorder`] (free) or a per-job
+/// telemetry recorder.
+#[allow(clippy::too_many_arguments)]
 fn table_row(
     scenario: Scenario,
     config: &ExperimentConfig,
@@ -121,6 +138,7 @@ fn table_row(
     ga_config: &GaConfig,
     method_index: usize,
     method: AdHocMethod,
+    recorder: &mut dyn Recorder,
 ) -> Result<TableRow, ModelError> {
     let standalone_cell = Cell::new(
         format!("standalone-{}-{}", scenario.name(), method.name()),
@@ -132,7 +150,7 @@ fn table_row(
 
     let mut ga_rng = ga_cell(scenario, method_index, method).rng(config.run_seed);
     let engine = GaEngine::new(evaluator, ga_config.clone());
-    let outcome = engine.run(&PopulationInit::AdHoc(method), &mut ga_rng)?;
+    let outcome = engine.run_recorded(&PopulationInit::AdHoc(method), &mut ga_rng, recorder)?;
 
     Ok(TableRow {
         method,
@@ -155,19 +173,56 @@ fn table_row(
 pub fn run_table(scenario: Scenario, config: &ExperimentConfig) -> Result<TableResult, ModelError> {
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
-    let ga_config = GaConfig::builder()
-        .population_size(config.population)
-        .generations(config.generations)
-        .threads(config.threads)
-        .build()
-        .expect("experiment GA config is valid");
+    let ga_config = experiment_ga_config(config);
 
     let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
     let rows = config.runtime().try_execute(jobs, |_, (mi, method)| {
         table_row(
-            scenario, config, &instance, &evaluator, &ga_config, mi, method,
+            scenario,
+            config,
+            &instance,
+            &evaluator,
+            &ga_config,
+            mi,
+            method,
+            &mut NoopRecorder,
         )
     })?;
+    Ok(TableResult {
+        scenario,
+        router_count: instance.router_count(),
+        client_count: instance.client_count(),
+        rows,
+    })
+}
+
+/// Like [`run_table`], additionally collecting the run's work-counter
+/// telemetry into `recorder`. Each method row records into a private
+/// per-job recorder; `wmn-runtime` merges them in job-index order, so the
+/// aggregated counters — like the table itself — are byte-identical for
+/// every worker count. The table values equal [`run_table`]'s exactly.
+///
+/// # Errors
+///
+/// Propagates instance generation and evaluation failures, exactly as
+/// [`run_table`].
+pub fn run_table_recorded(
+    scenario: Scenario,
+    config: &ExperimentConfig,
+    recorder: &mut TelemetryRecorder,
+) -> Result<TableResult, ModelError> {
+    let instance = config.instance(scenario)?;
+    let evaluator = Evaluator::paper_default(&instance);
+    let ga_config = experiment_ga_config(config);
+
+    let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
+    let rows = config
+        .runtime()
+        .try_execute_recorded(jobs, recorder, |_, (mi, method), rec| {
+            table_row(
+                scenario, config, &instance, &evaluator, &ga_config, mi, method, rec,
+            )
+        })?;
     Ok(TableResult {
         scenario,
         router_count: instance.router_count(),
@@ -235,6 +290,20 @@ mod tests {
         let a = quick_table(Scenario::Normal);
         let b = quick_table(Scenario::Normal);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_table_matches_plain_and_collects_counters() {
+        let config = ExperimentConfig::quick();
+        let mut recorder = TelemetryRecorder::new();
+        let recorded = run_table_recorded(Scenario::Normal, &config, &mut recorder).unwrap();
+        assert_eq!(recorded, run_table(Scenario::Normal, &config).unwrap());
+        // Seven GA runs of `generations` each.
+        assert_eq!(
+            recorder.counters().get("ga.generations"),
+            Some(&((7 * config.generations) as u64))
+        );
+        assert!(recorder.counters().contains_key("topology.batch_repairs"));
     }
 
     #[test]

@@ -45,6 +45,7 @@ use wmn_graph::topology::ConnectivityMode;
 use wmn_metrics::evaluator::{EvalWorkspace, Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::{EngineStats, NoopRecorder, Recorder};
 use wmn_search::movement::MoveAction;
 
 /// How the engine evaluates the individuals of each generation.
@@ -286,14 +287,14 @@ impl<'e, 'i> GaEngine<'e, 'i> {
         let best = population
             .best_evaluation()
             .expect("population evaluated before recording");
-        trace.push(GenerationRecord {
+        trace.push(GenerationRecord::new(
             generation,
-            best_fitness: best.fitness,
-            best_giant: best.giant_size(),
-            best_coverage: best.covered_clients(),
-            mean_fitness: population.mean_fitness(),
-            diversity: population.positional_diversity(),
-        });
+            best.fitness,
+            best.giant_size(),
+            best.covered_clients(),
+            population.mean_fitness(),
+            population.positional_diversity(),
+        ));
     }
 
     /// Produces the next generation from an evaluated population: elites,
@@ -387,10 +388,37 @@ impl<'e, 'i> GaEngine<'e, 'i> {
         init: &PopulationInit,
         rng: &mut dyn RngCore,
     ) -> Result<GaOutcome, ModelError> {
+        self.run_recorded(init, rng, &mut NoopRecorder)
+    }
+
+    /// Like [`run`](Self::run), additionally emitting run telemetry to
+    /// `recorder`: `ga.*` counters, per-generation engine work deltas (as
+    /// value histograms), and the total engine work-counter profile summed
+    /// over the evaluation slots in slot order.
+    ///
+    /// Results are bit-identical to [`run`](Self::run); with a disabled
+    /// recorder the extra cost is one branch per generation. Under the
+    /// incremental eval modes the emitted counters are also independent of
+    /// the thread count, because child `i` is always evaluated in slot `i`
+    /// (the `Rebuild` oracle's per-worker workspaces make its disk-cache
+    /// counters depend on worker assignment — record it with one thread
+    /// when exact reproducibility matters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement validation failures from evaluation, exactly
+    /// as [`run`](Self::run).
+    pub fn run_recorded(
+        &self,
+        init: &PopulationInit,
+        rng: &mut dyn RngCore,
+        recorder: &mut dyn Recorder,
+    ) -> Result<GaOutcome, ModelError> {
         let mut population =
             init.build(self.evaluator.instance(), self.config.population_size, rng);
         let mut backend = EvalBackend::new(self.config.eval_mode);
         backend.evaluate_initial(self.evaluator, &mut population, self.config.threads)?;
+        let mut engine_prev = recorder.enabled().then(|| backend.engine_totals());
 
         let mut trace = GaTrace::new();
         self.record(0, &population, &mut trace);
@@ -412,12 +440,34 @@ impl<'e, 'i> GaEngine<'e, 'i> {
                 self.config.threads,
             )?;
             self.record(generation, &population, &mut trace);
+            if let Some(prev) = engine_prev.as_mut() {
+                let now = backend.engine_totals();
+                let delta = now.delta_since(prev);
+                recorder.value(
+                    "ga.generation.diff_routers",
+                    delta.topology.batch_moved_routers,
+                );
+                recorder.value(
+                    "ga.generation.connectivity_repairs",
+                    delta.connectivity.repairs,
+                );
+                *prev = now;
+            }
 
             let gen_best = population.best_evaluation().expect("evaluated");
             if gen_best.fitness > best_evaluation.fitness {
                 best_evaluation = gen_best;
                 best_placement = population.best().expect("nonempty").placement().clone();
             }
+        }
+
+        if recorder.enabled() {
+            recorder.counter("ga.generations", self.config.generations as u64);
+            recorder.counter(
+                "ga.children_evaluated",
+                (self.config.generations * self.config.population_size) as u64,
+            );
+            backend.engine_totals().record_counters(recorder);
         }
 
         Ok(GaOutcome {
@@ -499,6 +549,29 @@ impl EvalBackend {
         }
     }
 
+    /// Sums the live topologies' always-on work counters, visiting the
+    /// workspaces in index order so the total is deterministic: under the
+    /// incremental backend child `i` is always evaluated in slot `i`
+    /// regardless of the thread count.
+    fn engine_totals(&self) -> EngineStats {
+        fn sum_into(total: &mut EngineStats, workspaces: &[EvalWorkspace]) {
+            for ws in workspaces {
+                if let Some(stats) = ws.engine_stats() {
+                    total.merge(&stats);
+                }
+            }
+        }
+        let mut total = EngineStats::default();
+        match self {
+            EvalBackend::Incremental { slots, spare, .. } => {
+                sum_into(&mut total, slots);
+                sum_into(&mut total, spare);
+            }
+            EvalBackend::Rebuild { workspaces } => sum_into(&mut total, workspaces),
+        }
+        total
+    }
+
     fn evaluate_generation(
         &mut self,
         evaluator: &Evaluator<'_>,
@@ -568,11 +641,11 @@ mod tests {
         let mut prev = f64::NEG_INFINITY;
         for r in outcome.trace.records() {
             assert!(
-                r.best_fitness >= prev - 1e-12,
+                r.best_fitness() >= prev - 1e-12,
                 "elitist best dropped at generation {}",
-                r.generation
+                r.generation()
             );
-            prev = r.best_fitness;
+            prev = r.best_fitness();
         }
         assert!(
             (outcome.best_evaluation.fitness - prev).abs() < 1e-12,
@@ -590,7 +663,7 @@ mod tests {
         let outcome = engine
             .run(&PopulationInit::UniformRandom, &mut rng)
             .unwrap();
-        let initial_best = outcome.trace.records()[0].best_fitness;
+        let initial_best = outcome.trace.records()[0].best_fitness();
         assert!(
             outcome.best_evaluation.fitness > initial_best,
             "30 generations must improve on random init: {} -> {}",
@@ -659,8 +732,8 @@ mod tests {
         let outcome = engine
             .run(&PopulationInit::UniformRandom, &mut rng)
             .unwrap();
-        let first = outcome.trace.records()[0].best_fitness;
-        let last = outcome.trace.last().unwrap().best_fitness;
+        let first = outcome.trace.records()[0].best_fitness();
+        let last = outcome.trace.last().unwrap().best_fitness();
         assert!(
             (first - last).abs() < 1e-12,
             "nothing can improve or degrade"

@@ -73,6 +73,7 @@ pub use mutation::MutationOp;
 pub use population::{Lineage, Population};
 pub use selection::SelectionOp;
 pub use trace::{GaTrace, GenerationRecord};
+pub use wmn_metrics::stats::ProgressPoint;
 
 /// Convenient glob import of the GA toolkit.
 pub mod prelude {
@@ -84,4 +85,5 @@ pub mod prelude {
     pub use crate::population::{Lineage, Population};
     pub use crate::selection::SelectionOp;
     pub use crate::trace::{GaTrace, GenerationRecord};
+    pub use wmn_metrics::stats::ProgressPoint;
 }

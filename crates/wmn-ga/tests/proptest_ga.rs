@@ -108,8 +108,8 @@ proptest! {
         // Elitist best-so-far is monotone.
         let mut prev = f64::NEG_INFINITY;
         for r in outcome.trace.records() {
-            prop_assert!(r.best_fitness >= prev - 1e-9);
-            prev = r.best_fitness;
+            prop_assert!(r.best_fitness() >= prev - 1e-9);
+            prev = r.best_fitness();
         }
         // The reported best matches a fresh evaluation.
         let re = evaluator.evaluate(&outcome.best_placement).unwrap();

@@ -73,27 +73,12 @@ use crate::adjacency::MeshAdjacency;
 use crate::components::Components;
 use crate::dsu::UnionFind;
 
-/// Cumulative counters of a [`DynamicConnectivity`] engine, for benches
-/// and tests that need to prove which path ran.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[non_exhaustive]
-pub struct ConnectivityStats {
-    /// Diff applications attempted (calls to `apply_edge_diff`).
-    pub repairs: u64,
-    /// Edge insertions processed (each a DSU union over component ids).
-    pub insertions: u64,
-    /// Edge deletions processed (each a bounded bidirectional search).
-    pub deletions: u64,
-    /// Label-class merges that actually joined two components.
-    pub merges: u64,
-    /// Deletions that split a component.
-    pub splits: u64,
-    /// Total edge visits performed by the bidirectional searches.
-    pub bfs_edge_visits: u64,
-    /// Repairs that exceeded the cost cap and fell back to the
-    /// whole-graph DSU rescan.
-    pub fallbacks: u64,
-}
+/// Cumulative counters of a [`DynamicConnectivity`] engine, for benches,
+/// tests, and telemetry that need to prove which path ran. The struct
+/// lives in `wmn-obs` (the observability substrate) so every layer can
+/// aggregate it; see [`wmn_obs::ConnectivityStats`] for the field docs
+/// and the `reset`/`merge`/`delta_since` window operations.
+pub use wmn_obs::ConnectivityStats;
 
 /// How one [`DynamicConnectivity::apply_edge_diff`] call repaired the
 /// component structure.
@@ -206,9 +191,16 @@ impl DynamicConnectivity {
             .unwrap_or_else(|| 128 + 8 * ((n as f64).sqrt().ceil() as usize))
     }
 
-    /// Cumulative engine counters since construction.
+    /// Cumulative engine counters since construction (or the last
+    /// [`reset_stats`](DynamicConnectivity::reset_stats)).
     pub fn stats(&self) -> ConnectivityStats {
         self.stats
+    }
+
+    /// Zeroes the engine counters, starting a fresh measurement window
+    /// (repair state and buffers are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
     }
 
     /// Repairs `components` (which must describe the graph *before* the

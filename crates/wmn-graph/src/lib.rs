@@ -56,3 +56,4 @@ pub use density::{CellWindow, DensityMap};
 pub use dsu::UnionFind;
 pub use spatial::{DynamicGrid, GridIndex};
 pub use topology::{ConnectivityMode, CoverageRule, TopologyConfig, WmnTopology};
+pub use wmn_obs::{EngineStats, TopologyStats};

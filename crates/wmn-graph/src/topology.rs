@@ -88,6 +88,7 @@ use wmn_model::geometry::{Area, Point};
 use wmn_model::instance::ProblemInstance;
 use wmn_model::node::RouterId;
 use wmn_model::placement::Placement;
+use wmn_obs::{EngineStats, TopologyStats};
 
 /// Which routers count for client coverage.
 ///
@@ -255,6 +256,10 @@ struct MoveScratch {
     /// old-vs-new neighbor diffs of the grid-local edge repair.
     ins_events: Vec<(usize, usize)>,
     del_events: Vec<(usize, usize)>,
+    /// Always-on work counters of the delta-evaluation engine. Scratch,
+    /// like the connectivity engine's: zeroed by `clone`, kept running by
+    /// `clone_from` (so per-slot totals accumulate across a GA run).
+    counters: TopologyStats,
 }
 
 /// One unique moved router of a batch application
@@ -305,6 +310,7 @@ impl Clone for WmnTopology {
     /// repairs the placement delta through [`WmnTopology::apply_moves`] —
     /// no per-child topology allocation once the pool is warm.
     fn clone_from(&mut self, src: &Self) {
+        self.scratch.counters.clone_from_reuses += 1;
         self.area = src.area;
         self.config = src.config;
         self.positions.clone_from(&src.positions);
@@ -398,6 +404,7 @@ impl WmnTopology {
             self.positions.len(),
             "placement length must match router count"
         );
+        self.scratch.counters.full_rebuilds += 1;
         self.positions.copy_from_slice(placement.as_slice());
         self.disk_cached.fill(false);
         self.router_index.rebuild(&self.positions);
@@ -544,6 +551,25 @@ impl WmnTopology {
         self.scratch.conn.stats()
     }
 
+    /// The unified work profile of this topology's evaluation engine:
+    /// topology-level counters (moves, coverage strategy, disk caches)
+    /// plus the connectivity engine's. Like
+    /// [`connectivity_stats`](WmnTopology::connectivity_stats), the
+    /// counters are scratch state — zeroed on construction and `clone`,
+    /// kept running by `clone_from` — and deterministic for a fixed seed
+    /// at any thread count.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats::new(self.scratch.counters, self.scratch.conn.stats())
+    }
+
+    /// Zeroes every engine counter (topology and connectivity), starting
+    /// a fresh measurement window — per-generation or per-phase deltas
+    /// without lifetime bookkeeping.
+    pub fn reset_engine_stats(&mut self) {
+        self.scratch.counters.reset();
+        self.scratch.conn.reset_stats();
+    }
+
     /// Overrides the dynamic engine's per-deletion edge-visit budget
     /// (`None` restores the default; `Some(0)` forces the whole-graph
     /// rescan fallback on every deletion that requires a search — see
@@ -596,16 +622,23 @@ impl WmnTopology {
             radii,
             disk_clients,
             disk_cached,
+            scratch,
             ..
         } = self;
         if !disk_cached[i] {
             match donor.filter(|d| d.disk_cached[i] && d.positions[i] == positions[i]) {
-                Some(d) => disk_clients[i].clone_from(&d.disk_clients[i]),
+                Some(d) => {
+                    scratch.counters.disk_cache_grafts += 1;
+                    disk_clients[i].clone_from(&d.disk_clients[i]);
+                }
                 None => {
-                    client_index.within_radius_into(positions[i], radii[i], &mut disk_clients[i])
+                    scratch.counters.disk_grid_queries += 1;
+                    client_index.within_radius_into(positions[i], radii[i], &mut disk_clients[i]);
                 }
             }
             disk_cached[i] = true;
+        } else {
+            scratch.counters.disk_cache_hits += 1;
         }
         for &c in &disk_clients[i] {
             let c = c as usize;
@@ -652,6 +685,7 @@ impl WmnTopology {
     /// optional disk-cache donor (see
     /// [`apply_moves_from`](WmnTopology::apply_moves_from)).
     fn recompute_coverage_from(&mut self, donor: Option<&WmnTopology>) {
+        self.scratch.counters.coverage_full_recomputes += 1;
         self.cover_count.fill(0);
         self.covered.fill(false);
         self.covered_count = 0;
@@ -819,6 +853,7 @@ impl WmnTopology {
     /// Panics if `id` is out of range. The position is clamped into the
     /// deployment area.
     pub fn move_router(&mut self, id: RouterId, new_position: Point) -> Point {
+        self.scratch.counters.single_moves += 1;
         let i = id.index();
         let old = self.positions[i];
         let new = self.area.clamp_point(new_position);
@@ -842,6 +877,7 @@ impl WmnTopology {
         if !links_changed {
             // Identical graph ⇒ identical components and membership; only
             // the moved disk needs re-counting.
+            self.scratch.counters.link_noop_repairs += 1;
             if self.is_counted(i) {
                 self.disk_remove(i);
                 self.disk_add(i);
@@ -853,6 +889,7 @@ impl WmnTopology {
         let others_changed = self.rebuild_components_incremental(i, i);
         match self.config.coverage_rule {
             CoverageRule::AnyRouter => {
+                self.scratch.counters.coverage_delta_repairs += 1;
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
                 self.disk_remove(i);
                 self.disk_add(i);
@@ -862,6 +899,7 @@ impl WmnTopology {
                 self.recompute_coverage();
             }
             CoverageRule::GiantComponentOnly => {
+                self.scratch.counters.coverage_delta_repairs += 1;
                 let counted_after = self.scratch.mask[i];
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
                 if counted_before {
@@ -887,6 +925,7 @@ impl WmnTopology {
         if a == b {
             return;
         }
+        self.scratch.counters.swaps += 1;
         let (ia, ib) = (a.index(), b.index());
         let (pa, pb) = (self.positions[ia], self.positions[ib]);
         self.positions.swap(ia, ib);
@@ -920,6 +959,7 @@ impl WmnTopology {
         // `pa`; each disk cache still holds its router's pre-swap counted
         // set, so removals stay query-free.
         if !links_changed {
+            self.scratch.counters.link_noop_repairs += 1;
             if self.is_counted(ia) {
                 self.disk_remove(ia);
                 self.disk_add(ia);
@@ -936,6 +976,7 @@ impl WmnTopology {
         let others_changed = self.rebuild_components_incremental(ia, ib);
         match self.config.coverage_rule {
             CoverageRule::AnyRouter => {
+                self.scratch.counters.coverage_delta_repairs += 1;
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
                 self.disk_remove(ia);
                 self.disk_add(ia);
@@ -947,6 +988,7 @@ impl WmnTopology {
                 self.recompute_coverage();
             }
             CoverageRule::GiantComponentOnly => {
+                self.scratch.counters.coverage_delta_repairs += 1;
                 let counted_after_a = self.scratch.mask[ia];
                 let counted_after_b = self.scratch.mask[ib];
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
@@ -1063,6 +1105,8 @@ impl WmnTopology {
                 });
             }
         }
+        self.scratch.counters.batch_repairs += 1;
+        self.scratch.counters.batch_moved_routers += batch.len() as u64;
         if self.connectivity_mode == ConnectivityMode::FullRebuild {
             self.scratch.batch = batch;
             self.rebuild_full();
@@ -1091,6 +1135,7 @@ impl WmnTopology {
         if !links_changed {
             // Identical graph ⇒ identical components and membership; only
             // the moved disks need re-counting.
+            self.scratch.counters.link_noop_repairs += 1;
             for &BatchEntry { router: i, .. } in &batch {
                 if self.is_counted(i) {
                     self.disk_remove(i);
@@ -1108,6 +1153,7 @@ impl WmnTopology {
         match self.config.coverage_rule {
             CoverageRule::AnyRouter => {
                 // Membership is irrelevant: only the moved disks changed.
+                self.scratch.counters.coverage_delta_repairs += 1;
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
                 for &BatchEntry { router: i, .. } in &batch {
                     self.disk_remove(i);
@@ -1130,6 +1176,7 @@ impl WmnTopology {
                 let full_ops = self.components.giant_size();
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
                 if flipped_others + moved_ops <= full_ops {
+                    self.scratch.counters.coverage_delta_repairs += 1;
                     // Exact delta: removals first, then additions (grouped
                     // passes; order is irrelevant for counts).
                     // `scratch.mask` holds the *previous* membership,
@@ -1200,6 +1247,7 @@ impl WmnTopology {
     /// scratch. The reference path: tests, the rebuild-mode baseline, and
     /// the `ablation_move_eval` bench run it to pin the incremental engine.
     pub fn rebuild_full(&mut self) {
+        self.scratch.counters.full_rebuilds += 1;
         self.router_index.rebuild(&self.positions);
         self.adjacency = MeshAdjacency::build(
             &self.area,
@@ -1681,5 +1729,58 @@ mod tests {
             assert_eq!(inc.covered_count(), reb.covered_count());
             assert_eq!(inc.covered_mask(), reb.covered_mask());
         }
+    }
+
+    #[test]
+    fn engine_stats_count_the_work_actually_done() {
+        let (_instance, mut topo) = paper_topology(23);
+        let built = topo.engine_stats();
+        // Construction recomputed coverage once, querying exactly the
+        // counted (giant-member) routers' disks from the client grid.
+        assert_eq!(built.topology.coverage_full_recomputes, 1);
+        assert_eq!(built.topology.disk_grid_queries, topo.giant_size() as u64);
+        assert_eq!(built.topology.single_moves, 0);
+
+        let mut rng = rng_from_seed(5);
+        for _ in 0..10 {
+            let id = RouterId(rng.gen_range(0..topo.router_count()));
+            let p = Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0));
+            topo.move_router(id, p);
+        }
+        topo.swap_routers(RouterId(0), RouterId(1));
+        let after = topo.engine_stats();
+        assert_eq!(after.topology.single_moves, 10);
+        assert_eq!(after.topology.swaps, 1);
+        assert!(
+            after.connectivity.repairs > 0,
+            "dynamic mode must route repairs through the engine"
+        );
+
+        // `clone` starts a zeroed window; `clone_from` keeps counting and
+        // records the buffer reuse.
+        let mut copy = topo.clone();
+        assert_eq!(copy.engine_stats(), EngineStats::default());
+        copy.clone_from(&topo);
+        assert_eq!(copy.engine_stats().topology.clone_from_reuses, 1);
+
+        // A reset opens a fresh delta window on a live topology.
+        topo.reset_engine_stats();
+        assert_eq!(topo.engine_stats(), EngineStats::default());
+        topo.move_router(RouterId(2), Point::new(64.0, 64.0));
+        assert_eq!(topo.engine_stats().topology.single_moves, 1);
+    }
+
+    #[test]
+    fn full_rebuild_mode_shows_up_in_the_counters() {
+        let (_instance, mut topo) = paper_topology(29);
+        topo.reset_engine_stats();
+        topo.set_connectivity_mode(ConnectivityMode::FullRebuild);
+        topo.move_router(RouterId(3), Point::new(10.0, 10.0));
+        let stats = topo.engine_stats();
+        assert_eq!(stats.topology.full_rebuilds, 1);
+        assert_eq!(
+            stats.connectivity.repairs, 0,
+            "full rebuild must bypass the dynamic engine"
+        );
     }
 }

@@ -10,6 +10,7 @@ use crate::measurement::NetworkMeasurement;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use wmn_graph::topology::{TopologyConfig, WmnTopology};
+use wmn_graph::EngineStats;
 use wmn_model::instance::ProblemInstance;
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
@@ -108,6 +109,25 @@ impl EvalWorkspace {
         match &mut self.topo {
             Some(t) => t.clone_from(src),
             None => self.topo = Some(src.clone()),
+        }
+    }
+
+    /// The stored topology's always-on work counters, if a topology exists.
+    ///
+    /// Counters accumulate across every evaluation routed through this
+    /// workspace since the last [`reset_engine_stats`](Self::reset_engine_stats)
+    /// (buffer-reusing `adopt_topology` keeps them running; a fresh clone
+    /// starts them at zero).
+    pub fn engine_stats(&self) -> Option<EngineStats> {
+        self.topo.as_ref().map(WmnTopology::engine_stats)
+    }
+
+    /// Zeroes the stored topology's work counters, starting a fresh
+    /// measurement window (e.g. per GA generation instead of lifetime
+    /// totals). A no-op when no topology has been built yet.
+    pub fn reset_engine_stats(&mut self) {
+        if let Some(t) = self.topo.as_mut() {
+            t.reset_engine_stats();
         }
     }
 }

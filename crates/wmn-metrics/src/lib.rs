@@ -42,4 +42,4 @@ pub use evaluator::{EvalWorkspace, Evaluation, Evaluator};
 pub use fitness::FitnessFunction;
 pub use measurement::NetworkMeasurement;
 pub use objective::{GiantComponentSize, Objective, UserCoverage};
-pub use stats::{RunningStats, Trace};
+pub use stats::{ProgressPoint, RunningStats, Trace};

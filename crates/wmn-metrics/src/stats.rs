@@ -166,6 +166,55 @@ impl fmt::Display for RunningStats {
     }
 }
 
+/// One solver progress sample: the solution quality observed at a step of
+/// an optimization run.
+///
+/// This is the shared per-phase record shape: the neighborhood-search
+/// drivers' per-phase trace and the GA's per-generation trace both embed a
+/// `ProgressPoint`, so figure writers and telemetry consume one type
+/// regardless of which engine produced the run.
+///
+/// `step` is engine-defined — annealing/tabu/hill-climbing phases for the
+/// search drivers, generations for the GA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgressPoint {
+    /// Engine-defined step index (search phase or GA generation).
+    pub step: usize,
+    /// Best fitness observed at this step.
+    pub fitness: f64,
+    /// Giant component size of the best solution at this step.
+    pub giant_size: usize,
+    /// Covered client count of the best solution at this step.
+    pub covered_clients: usize,
+}
+
+impl ProgressPoint {
+    /// Builds a sample.
+    pub fn new(step: usize, fitness: f64, giant_size: usize, covered_clients: usize) -> Self {
+        ProgressPoint {
+            step,
+            fitness,
+            giant_size,
+            covered_clients,
+        }
+    }
+
+    /// `(step, giant_size)` as a [`Trace`] point.
+    pub fn giant_xy(&self) -> (f64, f64) {
+        (self.step as f64, self.giant_size as f64)
+    }
+
+    /// `(step, covered_clients)` as a [`Trace`] point.
+    pub fn coverage_xy(&self) -> (f64, f64) {
+        (self.step as f64, self.covered_clients as f64)
+    }
+
+    /// `(step, fitness)` as a [`Trace`] point.
+    pub fn fitness_xy(&self) -> (f64, f64) {
+        (self.step as f64, self.fitness)
+    }
+}
+
 /// A named `(x, y)` series, e.g. "giant component size vs generation".
 ///
 /// # Examples
@@ -365,6 +414,14 @@ mod tests {
         assert_eq!(t.last_y(), None);
         assert_eq!(t.max_y(), None);
         assert_eq!(t.downsampled(3).len(), 0);
+    }
+
+    #[test]
+    fn progress_point_xy_projections() {
+        let p = ProgressPoint::new(7, 0.75, 120, 980);
+        assert_eq!(p.giant_xy(), (7.0, 120.0));
+        assert_eq!(p.coverage_xy(), (7.0, 980.0));
+        assert_eq!(p.fitness_xy(), (7.0, 0.75));
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Observability substrate for the WMN engine.
+//!
+//! Wall-clock timings are ±30% noisy on shared 1-core hardware, so the
+//! workspace's perf oracle is **deterministic work counters**: exact
+//! counts of repairs, edge visits, grid queries, and cache hits that are
+//! byte-stable across runs *and thread counts* for a fixed seed. This
+//! crate provides the two layers that carry them:
+//!
+//! * [`stats`] — always-on engine counters: [`ConnectivityStats`] (the
+//!   dynamic-connectivity repair engine), [`TopologyStats`] (the
+//!   topology's coverage/edge/cache work), and the unifying
+//!   [`EngineStats`] with deterministic merge/delta/flatten operations.
+//!   These are plain `u64` increments on structs the hot paths already
+//!   own — no indirection, no feature gates.
+//! * [`recorder`] — the opt-in telemetry layer: a [`Recorder`] trait
+//!   (monotonic counters, value histograms, span timers) with a no-op
+//!   default ([`NoopRecorder`]) that callers thread through as
+//!   `&mut dyn Recorder`. Instrumented code aggregates locally and emits
+//!   once per run/phase, so the disabled path costs a handful of virtual
+//!   calls per *run*, not per move. [`TelemetryRecorder`] collects into
+//!   `BTreeMap`s and renders **deterministic JSON** (spans, which carry
+//!   wall-clock nanoseconds, are rendered separately as JSONL and never
+//!   mixed into the deterministic document).
+//!
+//! The crate is dependency-free and sits below `wmn-graph`, so every
+//! layer of the engine can report through it.
+//!
+//! # Example
+//!
+//! ```
+//! use wmn_obs::{Recorder, TelemetryRecorder};
+//!
+//! let mut rec = TelemetryRecorder::new();
+//! rec.counter("engine.repairs", 3);
+//! rec.counter("engine.repairs", 2);
+//! rec.value("ga.diff_size", 7);
+//! assert!(rec.render_json().contains("\"engine.repairs\":5"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod recorder;
+pub mod stats;
+
+pub use recorder::{time_span, Histogram, NoopRecorder, Recorder, SpanEntry, TelemetryRecorder};
+pub use stats::{ConnectivityStats, EngineStats, TopologyStats};

@@ -1,0 +1,333 @@
+//! The opt-in telemetry layer: [`Recorder`], its no-op default, and the
+//! collecting [`TelemetryRecorder`].
+//!
+//! Instrumented code takes `&mut dyn Recorder` and follows two rules
+//! that make the disabled path free and the enabled path deterministic:
+//!
+//! 1. **Aggregate locally, emit rarely.** Hot loops accumulate plain
+//!    `u64` locals (or read the always-on [`EngineStats`] counters) and
+//!    call the recorder once per run, phase, or generation — never per
+//!    move. With a [`NoopRecorder`] the cost is a handful of virtual
+//!    calls per run; nothing allocates.
+//! 2. **Gate optional work on [`Recorder::enabled`].** Anything beyond a
+//!    pre-aggregated emit (per-generation delta sweeps, span timing via
+//!    `std::time::Instant`) runs only when the recorder asks for it.
+//!
+//! [`TelemetryRecorder`] keeps counters and histograms in `BTreeMap`s
+//! keyed by `&'static str`, so iteration — and therefore the rendered
+//! JSON — is deterministic. Merging two recorders is field-wise addition
+//! plus span concatenation; merging per-job recorders in job-index order
+//! (what `wmn-runtime` does) yields byte-identical documents for every
+//! thread count. Span entries carry wall-clock nanoseconds and are the
+//! one nondeterministic stream, so [`TelemetryRecorder::render_json`]
+//! excludes them; [`TelemetryRecorder::render_spans_jsonl`] renders them
+//! separately.
+//!
+//! [`EngineStats`]: crate::EngineStats
+
+use std::collections::BTreeMap;
+
+/// A sink for instrumentation events: monotonic counters, value
+/// histograms, and span timings.
+///
+/// Implementations must be order-insensitive for counters and histogram
+/// values (addition and min/max/sum/count are commutative), which is what
+/// lets per-worker recorders merge deterministically.
+pub trait Recorder {
+    /// Whether this recorder wants events at all. Instrumented code uses
+    /// this to skip work that exists only to feed the recorder (delta
+    /// sweeps, clock reads); it must not change *what* the instrumented
+    /// code computes.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter(&mut self, name: &'static str, delta: u64);
+
+    /// Records one observation of the value distribution `name`.
+    fn value(&mut self, name: &'static str, value: u64);
+
+    /// Records one completed span of `name` lasting `nanos` wall-clock
+    /// nanoseconds. Spans are nondeterministic by nature and must never
+    /// feed deterministic artifacts.
+    fn span(&mut self, name: &'static str, nanos: u64);
+}
+
+impl std::fmt::Debug for dyn Recorder + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn Recorder")
+    }
+}
+
+/// The zero-cost default: drops every event, reports disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn counter(&mut self, _name: &'static str, _delta: u64) {}
+
+    fn value(&mut self, _name: &'static str, _value: u64) {}
+
+    fn span(&mut self, _name: &'static str, _nanos: u64) {}
+}
+
+/// Times `f` into `recorder` as a span named `name` — but only reads the
+/// clock when the recorder is enabled, so the disabled path is exactly
+/// one virtual call around `f`.
+pub fn time_span<R>(recorder: &mut dyn Recorder, name: &'static str, f: impl FnOnce() -> R) -> R {
+    if !recorder.enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    recorder.span(name, nanos);
+    out
+}
+
+/// Summary of one value distribution: count, sum, and range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn of(value: u64) -> Histogram {
+        Histogram {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One recorded span: a name and its wall-clock duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// The span's name.
+    pub name: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+}
+
+/// A collecting [`Recorder`]: counters and histograms in deterministic
+/// `BTreeMap`s, spans in arrival order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryRecorder {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: Vec<SpanEntry>,
+}
+
+impl TelemetryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TelemetryRecorder::default()
+    }
+
+    /// The collected counters, keyed by name.
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// The collected histograms, keyed by name.
+    pub fn histograms(&self) -> &BTreeMap<&'static str, Histogram> {
+        &self.histograms
+    }
+
+    /// The collected spans, in arrival order.
+    pub fn spans(&self) -> &[SpanEntry] {
+        &self.spans
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge, spans
+    /// append. Merging per-job recorders in job-index order produces the
+    /// same counters and histograms as a serial run.
+    pub fn merge(&mut self, other: TelemetryRecorder) {
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(&h),
+                None => {
+                    self.histograms.insert(name, h);
+                }
+            }
+        }
+        self.spans.extend(other.spans);
+    }
+
+    /// Renders the **deterministic** portion — counters and histograms —
+    /// as one JSON object:
+    /// `{"counters":{...},"histograms":{"name":{"count":..,"sum":..,"min":..,"max":..},...}}`.
+    /// Keys appear in `BTreeMap` (lexicographic) order, so equal
+    /// recorders render byte-identically. Spans are deliberately absent.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                h.count, h.sum, h.min, h.max
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the spans as JSON Lines, one
+    /// `{"span":"name","nanos":N}` object per line (empty string when no
+    /// spans were recorded). Wall-clock durations are nondeterministic;
+    /// keep this out of byte-compared artifacts.
+    pub fn render_spans_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{{\"span\":\"{}\",\"nanos\":{}}}\n",
+                s.name, s.nanos
+            ));
+        }
+        out
+    }
+}
+
+impl Recorder for TelemetryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn value(&mut self, name: &'static str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                self.histograms.insert(name, Histogram::of(value));
+            }
+        }
+    }
+
+    fn span(&mut self, name: &'static str, nanos: u64) {
+        self.spans.push(SpanEntry { name, nanos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let mut rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.counter("x", 1);
+        rec.value("y", 2);
+        rec.span("z", 3);
+    }
+
+    #[test]
+    fn counters_accumulate_and_render_sorted() {
+        let mut rec = TelemetryRecorder::new();
+        rec.counter("b", 2);
+        rec.counter("a", 1);
+        rec.counter("b", 3);
+        assert_eq!(
+            rec.render_json(),
+            "{\"counters\":{\"a\":1,\"b\":5},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max() {
+        let mut rec = TelemetryRecorder::new();
+        for v in [5, 1, 9] {
+            rec.value("diff", v);
+        }
+        let h = rec.histograms()["diff"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 15, 1, 9));
+        assert!(rec
+            .render_json()
+            .contains("\"diff\":{\"count\":3,\"sum\":15,\"min\":1,\"max\":9}"));
+    }
+
+    #[test]
+    fn merge_order_does_not_change_rendering() {
+        let mut a = TelemetryRecorder::new();
+        a.counter("n", 1);
+        a.value("v", 10);
+        let mut b = TelemetryRecorder::new();
+        b.counter("n", 2);
+        b.counter("m", 7);
+        b.value("v", 4);
+
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab.render_json(), ba.render_json());
+        assert_eq!(ab.counters()["n"], 3);
+    }
+
+    #[test]
+    fn spans_render_separately_as_jsonl() {
+        let mut rec = TelemetryRecorder::new();
+        rec.span("run", 1234);
+        assert_eq!(
+            rec.render_spans_jsonl(),
+            "{\"span\":\"run\",\"nanos\":1234}\n"
+        );
+        assert!(
+            !rec.render_json().contains("span"),
+            "spans stay out of the deterministic doc"
+        );
+    }
+
+    #[test]
+    fn time_span_skips_the_clock_when_disabled() {
+        let mut noop = NoopRecorder;
+        let out = time_span(&mut noop, "work", || 7);
+        assert_eq!(out, 7);
+        let mut rec = TelemetryRecorder::new();
+        let out = time_span(&mut rec, "work", || 7);
+        assert_eq!(out, 7);
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].name, "work");
+    }
+}

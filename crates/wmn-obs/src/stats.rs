@@ -1,0 +1,370 @@
+//! Always-on deterministic work counters for the evaluation engine.
+//!
+//! Every counter here is a plain `u64` incremented on a code path the
+//! engine already executes; for a fixed seed the totals are exact and
+//! reproducible across runs, machines, and thread counts (the GA and the
+//! runtime both aggregate per-slot/per-job counters in index order).
+//! That makes them the perf oracle the wall clock cannot be: a change
+//! that silently reintroduces whole-graph rescans shows up as an exact
+//! counter diff, not a maybe-noise timing delta.
+//!
+//! The structs are `#[non_exhaustive]`: downstream crates read and
+//! mutate the public fields (the hot paths in `wmn-graph` do exactly
+//! that) but construct them only through `Default`, so new counters can
+//! be added without breaking anyone.
+
+/// Cumulative counters of the dynamic-connectivity repair engine
+/// (`wmn-graph`'s `DynamicConnectivity`), proving which repair path ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ConnectivityStats {
+    /// Diff applications attempted (calls to `apply_edge_diff`).
+    pub repairs: u64,
+    /// Edge insertions processed (each a DSU union over component ids).
+    pub insertions: u64,
+    /// Edge deletions processed (each a bounded bidirectional search).
+    pub deletions: u64,
+    /// Label-class merges that actually joined two components.
+    pub merges: u64,
+    /// Deletions that split a component.
+    pub splits: u64,
+    /// Total edge visits performed by the bidirectional searches.
+    pub bfs_edge_visits: u64,
+    /// Repairs that exceeded the cost cap and fell back to the
+    /// whole-graph DSU rescan.
+    pub fallbacks: u64,
+}
+
+impl ConnectivityStats {
+    /// Resets every counter to zero (the start of a measurement window).
+    pub fn reset(&mut self) {
+        *self = ConnectivityStats::default();
+    }
+
+    /// Adds `other`'s counts into `self` (order-independent, so merging
+    /// per-worker stats in index order is deterministic).
+    pub fn merge(&mut self, other: &ConnectivityStats) {
+        self.repairs += other.repairs;
+        self.insertions += other.insertions;
+        self.deletions += other.deletions;
+        self.merges += other.merges;
+        self.splits += other.splits;
+        self.bfs_edge_visits += other.bfs_edge_visits;
+        self.fallbacks += other.fallbacks;
+    }
+
+    /// The counts accumulated since `earlier` was captured (saturating,
+    /// so a reset between snapshots yields zeros instead of wrapping).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &ConnectivityStats) -> ConnectivityStats {
+        ConnectivityStats {
+            repairs: self.repairs.saturating_sub(earlier.repairs),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            deletions: self.deletions.saturating_sub(earlier.deletions),
+            merges: self.merges.saturating_sub(earlier.merges),
+            splits: self.splits.saturating_sub(earlier.splits),
+            bfs_edge_visits: self.bfs_edge_visits.saturating_sub(earlier.bfs_edge_visits),
+            fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+        }
+    }
+
+    /// Visits every counter as a `(name, value)` pair in a fixed,
+    /// documented order (the telemetry emission order).
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("repairs", self.repairs);
+        f("insertions", self.insertions);
+        f("deletions", self.deletions);
+        f("merges", self.merges);
+        f("splits", self.splits);
+        f("bfs_edge_visits", self.bfs_edge_visits);
+        f("fallbacks", self.fallbacks);
+    }
+}
+
+/// Cumulative counters of `WmnTopology`'s delta-evaluation engine:
+/// coverage repair strategy, disk-cache effectiveness, and state-copy
+/// buffer reuse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TopologyStats {
+    /// Single-router moves applied (`move_router`).
+    pub single_moves: u64,
+    /// Router swaps applied (`swap_routers`).
+    pub swaps: u64,
+    /// Batch repairs applied (`apply_moves` with ≥ 2 distinct routers).
+    pub batch_repairs: u64,
+    /// Distinct routers moved across all batch repairs.
+    pub batch_moved_routers: u64,
+    /// Repairs that early-outed because the moved routers' link sets
+    /// were unchanged (component and coverage work skipped entirely).
+    pub link_noop_repairs: u64,
+    /// Coverage repairs resolved by the exact per-disk delta path.
+    pub coverage_delta_repairs: u64,
+    /// Coverage repairs that fell back to a full in-place recompute.
+    pub coverage_full_recomputes: u64,
+    /// Client-grid radius queries issued to (re)fill a router's disk
+    /// cache.
+    pub disk_grid_queries: u64,
+    /// Disk-cache hits: coverage work served from a router's cached
+    /// client set without touching the grid.
+    pub disk_cache_hits: u64,
+    /// Disk-cache grafts: caches copied from a donor topology (the GA's
+    /// non-lineage parent) instead of re-queried.
+    pub disk_cache_grafts: u64,
+    /// Whole-topology rebuilds: `rebuild_full` (every move under
+    /// `FullRebuild` mode) and in-place `reset_placement` rebuilds.
+    pub full_rebuilds: u64,
+    /// Buffer-reusing `clone_from` state copies (vs. fresh `clone`s).
+    pub clone_from_reuses: u64,
+}
+
+impl TopologyStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = TopologyStats::default();
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &TopologyStats) {
+        self.single_moves += other.single_moves;
+        self.swaps += other.swaps;
+        self.batch_repairs += other.batch_repairs;
+        self.batch_moved_routers += other.batch_moved_routers;
+        self.link_noop_repairs += other.link_noop_repairs;
+        self.coverage_delta_repairs += other.coverage_delta_repairs;
+        self.coverage_full_recomputes += other.coverage_full_recomputes;
+        self.disk_grid_queries += other.disk_grid_queries;
+        self.disk_cache_hits += other.disk_cache_hits;
+        self.disk_cache_grafts += other.disk_cache_grafts;
+        self.full_rebuilds += other.full_rebuilds;
+        self.clone_from_reuses += other.clone_from_reuses;
+    }
+
+    /// The counts accumulated since `earlier` was captured (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &TopologyStats) -> TopologyStats {
+        TopologyStats {
+            single_moves: self.single_moves.saturating_sub(earlier.single_moves),
+            swaps: self.swaps.saturating_sub(earlier.swaps),
+            batch_repairs: self.batch_repairs.saturating_sub(earlier.batch_repairs),
+            batch_moved_routers: self
+                .batch_moved_routers
+                .saturating_sub(earlier.batch_moved_routers),
+            link_noop_repairs: self
+                .link_noop_repairs
+                .saturating_sub(earlier.link_noop_repairs),
+            coverage_delta_repairs: self
+                .coverage_delta_repairs
+                .saturating_sub(earlier.coverage_delta_repairs),
+            coverage_full_recomputes: self
+                .coverage_full_recomputes
+                .saturating_sub(earlier.coverage_full_recomputes),
+            disk_grid_queries: self
+                .disk_grid_queries
+                .saturating_sub(earlier.disk_grid_queries),
+            disk_cache_hits: self.disk_cache_hits.saturating_sub(earlier.disk_cache_hits),
+            disk_cache_grafts: self
+                .disk_cache_grafts
+                .saturating_sub(earlier.disk_cache_grafts),
+            full_rebuilds: self.full_rebuilds.saturating_sub(earlier.full_rebuilds),
+            clone_from_reuses: self
+                .clone_from_reuses
+                .saturating_sub(earlier.clone_from_reuses),
+        }
+    }
+
+    /// Visits every counter as a `(name, value)` pair in a fixed order.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("single_moves", self.single_moves);
+        f("swaps", self.swaps);
+        f("batch_repairs", self.batch_repairs);
+        f("batch_moved_routers", self.batch_moved_routers);
+        f("link_noop_repairs", self.link_noop_repairs);
+        f("coverage_delta_repairs", self.coverage_delta_repairs);
+        f("coverage_full_recomputes", self.coverage_full_recomputes);
+        f("disk_grid_queries", self.disk_grid_queries);
+        f("disk_cache_hits", self.disk_cache_hits);
+        f("disk_cache_grafts", self.disk_cache_grafts);
+        f("full_rebuilds", self.full_rebuilds);
+        f("clone_from_reuses", self.clone_from_reuses);
+    }
+}
+
+/// The unified work profile of one evaluation engine (a `WmnTopology`
+/// and its embedded connectivity engine), or a deterministic aggregate
+/// of many.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// Topology-level counters (moves, coverage strategy, disk caches).
+    pub topology: TopologyStats,
+    /// Connectivity-repair counters.
+    pub connectivity: ConnectivityStats,
+}
+
+impl EngineStats {
+    /// Composes an engine profile from its two counter groups.
+    pub fn new(topology: TopologyStats, connectivity: ConnectivityStats) -> EngineStats {
+        EngineStats {
+            topology,
+            connectivity,
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.topology.reset();
+        self.connectivity.reset();
+    }
+
+    /// Adds `other`'s counts into `self` (order-independent).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.topology.merge(&other.topology);
+        self.connectivity.merge(&other.connectivity);
+    }
+
+    /// The counts accumulated since `earlier` was captured (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            topology: self.topology.delta_since(&earlier.topology),
+            connectivity: self.connectivity.delta_since(&earlier.connectivity),
+        }
+    }
+
+    /// Visits every counter as a dot-qualified `(name, value)` pair
+    /// (`topology.*` then `connectivity.*`) in a fixed order — the shape
+    /// the [`Recorder`](crate::Recorder) layer and telemetry JSON use.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        self.topology.for_each(|name, v| {
+            f(qualified_topology_name(name), v);
+        });
+        self.connectivity.for_each(|name, v| {
+            f(qualified_connectivity_name(name), v);
+        });
+    }
+
+    /// Emits every counter into `recorder` under `topology.*` /
+    /// `connectivity.*` names, skipping zeros (deltas are sparse).
+    pub fn record_counters(&self, recorder: &mut dyn crate::Recorder) {
+        self.for_each(|name, v| {
+            if v != 0 {
+                recorder.counter(name, v);
+            }
+        });
+    }
+}
+
+/// Maps a [`TopologyStats`] field name to its dot-qualified telemetry
+/// name. Static strings keep the recorder API allocation-free.
+fn qualified_topology_name(name: &'static str) -> &'static str {
+    match name {
+        "single_moves" => "topology.single_moves",
+        "swaps" => "topology.swaps",
+        "batch_repairs" => "topology.batch_repairs",
+        "batch_moved_routers" => "topology.batch_moved_routers",
+        "link_noop_repairs" => "topology.link_noop_repairs",
+        "coverage_delta_repairs" => "topology.coverage_delta_repairs",
+        "coverage_full_recomputes" => "topology.coverage_full_recomputes",
+        "disk_grid_queries" => "topology.disk_grid_queries",
+        "disk_cache_hits" => "topology.disk_cache_hits",
+        "disk_cache_grafts" => "topology.disk_cache_grafts",
+        "full_rebuilds" => "topology.full_rebuilds",
+        "clone_from_reuses" => "topology.clone_from_reuses",
+        other => other,
+    }
+}
+
+/// Maps a [`ConnectivityStats`] field name to its dot-qualified
+/// telemetry name.
+fn qualified_connectivity_name(name: &'static str) -> &'static str {
+    match name {
+        "repairs" => "connectivity.repairs",
+        "insertions" => "connectivity.insertions",
+        "deletions" => "connectivity.deletions",
+        "merges" => "connectivity.merges",
+        "splits" => "connectivity.splits",
+        "bfs_edge_visits" => "connectivity.bfs_edge_visits",
+        "fallbacks" => "connectivity.fallbacks",
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_connectivity() -> ConnectivityStats {
+        ConnectivityStats {
+            repairs: 5,
+            insertions: 3,
+            deletions: 2,
+            bfs_edge_visits: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = sample_connectivity();
+        s.reset();
+        assert_eq!(s, ConnectivityStats::default());
+        let mut t = TopologyStats {
+            disk_cache_hits: 9,
+            ..Default::default()
+        };
+        t.reset();
+        assert_eq!(t, TopologyStats::default());
+    }
+
+    #[test]
+    fn merge_is_fieldwise_addition() {
+        let mut a = sample_connectivity();
+        let b = sample_connectivity();
+        a.merge(&b);
+        assert_eq!(a.repairs, 10);
+        assert_eq!(a.bfs_edge_visits, 80);
+        assert_eq!(a.fallbacks, 0);
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_saturates() {
+        let earlier = sample_connectivity();
+        let mut later = earlier;
+        later.repairs += 7;
+        later.bfs_edge_visits += 1;
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.repairs, 7);
+        assert_eq!(d.bfs_edge_visits, 1);
+        assert_eq!(d.insertions, 0);
+        // A reset between snapshots saturates to zero instead of wrapping.
+        let fresh = ConnectivityStats::default();
+        assert_eq!(fresh.delta_since(&earlier), fresh);
+    }
+
+    #[test]
+    fn engine_for_each_is_fixed_order_and_complete() {
+        let mut e = EngineStats::default();
+        e.topology.single_moves = 1;
+        e.connectivity.repairs = 2;
+        let mut names = Vec::new();
+        e.for_each(|name, _| names.push(name));
+        assert_eq!(names.len(), 12 + 7, "every field appears exactly once");
+        assert_eq!(names[0], "topology.single_moves");
+        assert_eq!(names[12], "connectivity.repairs");
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "names are unique");
+    }
+
+    #[test]
+    fn record_counters_skips_zeros() {
+        let mut e = EngineStats::default();
+        e.topology.swaps = 4;
+        let mut rec = crate::TelemetryRecorder::new();
+        e.record_counters(&mut rec);
+        assert_eq!(rec.counters().len(), 1);
+        assert_eq!(rec.counters().get("topology.swaps"), Some(&4));
+    }
+}

@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::Mutex;
+use wmn_obs::{Recorder, TelemetryRecorder};
 
 /// A deterministic parallel job executor.
 ///
@@ -137,6 +138,67 @@ impl Runtime {
     {
         self.execute(jobs, worker).into_iter().collect()
     }
+
+    /// Like [`execute`](Runtime::execute), additionally giving each job a
+    /// private [`TelemetryRecorder`]. The per-job recorders are merged into
+    /// `recorder` in **job-index order** after all workers join, so the
+    /// aggregated telemetry — like the results — is independent of which
+    /// worker ran which job and therefore byte-identical at any thread
+    /// count (provided each job's own emissions are deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker thread, like
+    /// [`execute`](Runtime::execute).
+    pub fn execute_recorded<T, R, F>(
+        &self,
+        jobs: Vec<T>,
+        recorder: &mut TelemetryRecorder,
+        worker: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T, &mut dyn Recorder) -> R + Sync,
+    {
+        let out = self.execute(jobs, |i, job| {
+            let mut job_recorder = TelemetryRecorder::new();
+            let result = worker(i, job, &mut job_recorder);
+            (result, job_recorder)
+        });
+        let mut results = Vec::with_capacity(out.len());
+        for (result, job_recorder) in out {
+            recorder.merge(job_recorder);
+            results.push(result);
+        }
+        results
+    }
+
+    /// Fallible variant of [`execute_recorded`](Runtime::execute_recorded):
+    /// the whole batch runs and every job's telemetry is merged (in job
+    /// order) before the result is folded, so telemetry stays deterministic
+    /// even when a job fails; the error returned is the lowest-indexed one,
+    /// like [`try_execute`](Runtime::try_execute).
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing job, if any.
+    pub fn try_execute_recorded<T, R, E, F>(
+        &self,
+        jobs: Vec<T>,
+        recorder: &mut TelemetryRecorder,
+        worker: F,
+    ) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, T, &mut dyn Recorder) -> Result<R, E> + Sync,
+    {
+        self.execute_recorded(jobs, recorder, worker)
+            .into_iter()
+            .collect()
+    }
 }
 
 impl Default for Runtime {
@@ -235,5 +297,49 @@ mod tests {
             .try_execute(jobs, |_, x| Ok::<_, String>(x * 2))
             .unwrap();
         assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recorded_telemetry_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut recorder = TelemetryRecorder::new();
+            let jobs: Vec<u64> = (0..32).collect();
+            let out = Runtime::new(threads).execute_recorded(
+                jobs,
+                &mut recorder,
+                |i, x, rec: &mut dyn Recorder| {
+                    rec.counter("jobs", 1);
+                    rec.value("job.payload", x);
+                    rec.counter(if i % 2 == 0 { "even" } else { "odd" }, x);
+                    x * 3
+                },
+            );
+            (out, recorder.render_json())
+        };
+        let (serial_out, serial_json) = run(1);
+        for threads in [2, 5, 8] {
+            let (out, json) = run(threads);
+            assert_eq!(out, serial_out, "threads = {threads}");
+            assert_eq!(json, serial_json, "threads = {threads}");
+        }
+        assert!(serial_json.contains("\"jobs\":32"));
+    }
+
+    #[test]
+    fn try_execute_recorded_merges_telemetry_even_on_error() {
+        let mut recorder = TelemetryRecorder::new();
+        let jobs: Vec<usize> = (0..8).collect();
+        let err = Runtime::new(4)
+            .try_execute_recorded(jobs, &mut recorder, |_, x, rec: &mut dyn Recorder| {
+                rec.counter("attempted", 1);
+                if x == 5 {
+                    Err(format!("job {x} failed"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "job 5 failed");
+        assert_eq!(recorder.counters().get("attempted"), Some(&8));
     }
 }

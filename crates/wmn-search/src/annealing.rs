@@ -12,6 +12,7 @@ use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::{NoopRecorder, Recorder};
 
 /// Configuration for [`SimulatedAnnealing`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +133,20 @@ impl<'e, 'i> SimulatedAnnealing<'e, 'i> {
         topo: &mut WmnTopology,
         rng: &mut dyn RngCore,
     ) -> AnnealingOutcome {
+        self.run_with_topology_recorded(topo, rng, &mut NoopRecorder)
+    }
+
+    /// Like [`run_with_topology`](Self::run_with_topology), additionally
+    /// emitting run telemetry to `recorder`: `search.sa.*` move counters
+    /// plus the engine work-counter delta attributable to this run. With a
+    /// disabled recorder the extra cost is one branch per run.
+    pub fn run_with_topology_recorded(
+        &self,
+        topo: &mut WmnTopology,
+        rng: &mut dyn RngCore,
+        recorder: &mut dyn Recorder,
+    ) -> AnnealingOutcome {
+        let engine_before = recorder.enabled().then(|| topo.engine_stats());
         let initial_evaluation = self.evaluator.evaluate_topology(topo);
         let mut current = initial_evaluation;
         let mut best_evaluation = initial_evaluation;
@@ -160,14 +175,26 @@ impl<'e, 'i> SimulatedAnnealing<'e, 'i> {
                     undo.undo(topo);
                 }
             }
-            trace.push(PhaseRecord {
+            trace.push(PhaseRecord::new(
                 phase,
-                giant_size: current.giant_size(),
-                covered_clients: current.covered_clients(),
-                fitness: current.fitness,
-                accepted: phase_accepted,
-            });
+                current.fitness,
+                current.giant_size(),
+                current.covered_clients(),
+                phase_accepted,
+            ));
             temperature *= self.config.cooling;
+        }
+
+        if let Some(before) = engine_before {
+            recorder.counter("search.sa.phases", trace.len() as u64);
+            recorder.counter(
+                "search.sa.moves_proposed",
+                (self.config.phases * self.config.moves_per_phase) as u64,
+            );
+            recorder.counter("search.sa.moves_accepted", accepted_moves as u64);
+            topo.engine_stats()
+                .delta_since(&before)
+                .record_counters(recorder);
         }
 
         AnnealingOutcome {

@@ -13,6 +13,7 @@ use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::{NoopRecorder, Recorder};
 
 /// Configuration for [`HillClimb`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,10 +115,25 @@ impl<'e, 'i> HillClimb<'e, 'i> {
         topo: &mut WmnTopology,
         rng: &mut dyn RngCore,
     ) -> HillClimbOutcome {
+        self.run_with_topology_recorded(topo, rng, &mut NoopRecorder)
+    }
+
+    /// Like [`run_with_topology`](Self::run_with_topology), additionally
+    /// emitting run telemetry to `recorder`: `search.hc.*` move counters
+    /// plus the engine work-counter delta attributable to this run. With a
+    /// disabled recorder the extra cost is one branch per run.
+    pub fn run_with_topology_recorded(
+        &self,
+        topo: &mut WmnTopology,
+        rng: &mut dyn RngCore,
+        recorder: &mut dyn Recorder,
+    ) -> HillClimbOutcome {
+        let engine_before = recorder.enabled().then(|| topo.engine_stats());
         let initial_evaluation = self.evaluator.evaluate_topology(topo);
         let mut current = initial_evaluation;
         let mut trace = SearchTrace::new();
         let mut stale_phases = 0usize;
+        let mut proposed = 0u64;
 
         for phase in 1..=self.config.max_phases {
             let mut accepted = false;
@@ -125,6 +141,7 @@ impl<'e, 'i> HillClimb<'e, 'i> {
                 let action = self.movement.propose(topo, rng);
                 let undo = action.apply(topo);
                 let eval = self.evaluator.evaluate_topology(topo);
+                proposed += 1;
                 if eval.fitness > current.fitness {
                     current = eval;
                     accepted = true;
@@ -132,17 +149,26 @@ impl<'e, 'i> HillClimb<'e, 'i> {
                 }
                 undo.undo(topo);
             }
-            trace.push(PhaseRecord {
+            trace.push(PhaseRecord::new(
                 phase,
-                giant_size: current.giant_size(),
-                covered_clients: current.covered_clients(),
-                fitness: current.fitness,
+                current.fitness,
+                current.giant_size(),
+                current.covered_clients(),
                 accepted,
-            });
+            ));
             stale_phases = if accepted { 0 } else { stale_phases + 1 };
             if stale_phases >= self.config.patience {
                 break;
             }
+        }
+
+        if let Some(before) = engine_before {
+            recorder.counter("search.hc.phases", trace.len() as u64);
+            recorder.counter("search.hc.moves_proposed", proposed);
+            recorder.counter("search.hc.moves_accepted", trace.accepted_count() as u64);
+            topo.engine_stats()
+                .delta_since(&before)
+                .record_counters(recorder);
         }
 
         HillClimbOutcome {

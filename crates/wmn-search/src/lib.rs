@@ -55,6 +55,7 @@ pub use movement::{MoveAction, Movement, RandomMovement, SwapConfig, SwapMovemen
 pub use neighborhood::{best_neighbor, BestNeighbor, ExplorationBudget};
 pub use search::{NeighborhoodSearch, SearchConfig, SearchOutcome, StoppingCondition};
 pub use trace::{PhaseRecord, SearchTrace};
+pub use wmn_metrics::stats::ProgressPoint;
 
 /// Convenient glob import of the search toolkit.
 pub mod prelude {
@@ -67,4 +68,5 @@ pub mod prelude {
     pub use crate::search::{NeighborhoodSearch, SearchConfig, SearchOutcome, StoppingCondition};
     pub use crate::tabu::{TabuConfig, TabuSearch};
     pub use crate::trace::{PhaseRecord, SearchTrace};
+    pub use wmn_metrics::stats::ProgressPoint;
 }

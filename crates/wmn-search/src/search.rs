@@ -15,6 +15,7 @@ use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::{NoopRecorder, Recorder};
 
 /// Stopping behaviour of the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,11 +167,27 @@ impl<'e, 'i> NeighborhoodSearch<'e, 'i> {
         topo: &mut WmnTopology,
         rng: &mut dyn RngCore,
     ) -> SearchOutcome {
+        self.run_with_topology_recorded(topo, rng, &mut NoopRecorder)
+    }
+
+    /// Like [`run_with_topology`](Self::run_with_topology), additionally
+    /// emitting run telemetry to `recorder`: `search.ns.*` move counters
+    /// plus the engine work-counter delta (`topology.*` / `connectivity.*`)
+    /// attributable to this run. With a disabled recorder the extra cost is
+    /// one branch per run — results are bit-identical either way.
+    pub fn run_with_topology_recorded(
+        &self,
+        topo: &mut WmnTopology,
+        rng: &mut dyn RngCore,
+        recorder: &mut dyn Recorder,
+    ) -> SearchOutcome {
+        let engine_before = recorder.enabled().then(|| topo.engine_stats());
         let initial_evaluation = self.evaluator.evaluate_topology(topo);
         let mut current = initial_evaluation;
         let mut best_placement = topo.placement();
         let mut best_evaluation = initial_evaluation;
         let mut trace = SearchTrace::new();
+        let mut proposed = 0u64;
 
         for phase in 1..=self.config.stopping.max_phases {
             let neighbor = best_neighbor(
@@ -180,6 +197,7 @@ impl<'e, 'i> NeighborhoodSearch<'e, 'i> {
                 self.config.budget,
                 rng,
             );
+            proposed += self.config.budget.count() as u64;
             let accepted = match neighbor {
                 Some(n) if n.evaluation.fitness > current.fitness => {
                     let _ = n.action.apply(topo);
@@ -192,16 +210,25 @@ impl<'e, 'i> NeighborhoodSearch<'e, 'i> {
                 }
                 _ => false,
             };
-            trace.push(PhaseRecord {
+            trace.push(PhaseRecord::new(
                 phase,
-                giant_size: current.giant_size(),
-                covered_clients: current.covered_clients(),
-                fitness: current.fitness,
+                current.fitness,
+                current.giant_size(),
+                current.covered_clients(),
                 accepted,
-            });
+            ));
             if !accepted && self.config.stopping.stop_on_first_non_improving {
                 break;
             }
+        }
+
+        if let Some(before) = engine_before {
+            recorder.counter("search.ns.phases", trace.len() as u64);
+            recorder.counter("search.ns.moves_proposed", proposed);
+            recorder.counter("search.ns.moves_accepted", trace.accepted_count() as u64);
+            topo.engine_stats()
+                .delta_since(&before)
+                .record_counters(recorder);
         }
 
         SearchOutcome {
@@ -278,7 +305,7 @@ mod tests {
         assert!(!last.accepted);
         // Every earlier phase improved.
         for p in &outcome.trace.phases()[..outcome.trace.len() - 1] {
-            assert!(p.accepted, "phase {} should have improved", p.phase);
+            assert!(p.accepted, "phase {} should have improved", p.phase());
         }
     }
 
@@ -294,11 +321,11 @@ mod tests {
         let mut prev = 0.0f64;
         for p in outcome.trace.phases() {
             assert!(
-                p.fitness >= prev - 1e-12,
+                p.fitness() >= prev - 1e-12,
                 "fitness dropped at phase {}",
-                p.phase
+                p.phase()
             );
-            prev = p.fitness;
+            prev = p.fitness();
         }
     }
 

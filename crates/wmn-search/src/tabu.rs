@@ -15,6 +15,7 @@ use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::node::RouterId;
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::{NoopRecorder, Recorder};
 
 /// Configuration for [`TabuSearch`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +122,20 @@ impl<'e, 'i> TabuSearch<'e, 'i> {
     /// initial solution), reusing the topology's scratch buffers; see
     /// [`NeighborhoodSearch::run_with_topology`](crate::search::NeighborhoodSearch::run_with_topology).
     pub fn run_with_topology(&self, topo: &mut WmnTopology, rng: &mut dyn RngCore) -> TabuOutcome {
+        self.run_with_topology_recorded(topo, rng, &mut NoopRecorder)
+    }
+
+    /// Like [`run_with_topology`](Self::run_with_topology), additionally
+    /// emitting run telemetry to `recorder`: `search.tabu.*` move counters
+    /// plus the engine work-counter delta attributable to this run. With a
+    /// disabled recorder the extra cost is one branch per run.
+    pub fn run_with_topology_recorded(
+        &self,
+        topo: &mut WmnTopology,
+        rng: &mut dyn RngCore,
+        recorder: &mut dyn Recorder,
+    ) -> TabuOutcome {
+        let engine_before = recorder.enabled().then(|| topo.engine_stats());
         let initial_evaluation = self.evaluator.evaluate_topology(topo);
         let mut current = initial_evaluation;
         let mut best_evaluation = initial_evaluation;
@@ -179,13 +194,26 @@ impl<'e, 'i> TabuSearch<'e, 'i> {
                 false
             };
 
-            trace.push(PhaseRecord {
+            trace.push(PhaseRecord::new(
                 phase,
-                giant_size: current.giant_size(),
-                covered_clients: current.covered_clients(),
-                fitness: current.fitness,
+                current.fitness,
+                current.giant_size(),
+                current.covered_clients(),
                 accepted,
-            });
+            ));
+        }
+
+        if let Some(before) = engine_before {
+            recorder.counter("search.tabu.phases", trace.len() as u64);
+            recorder.counter(
+                "search.tabu.moves_proposed",
+                (self.config.phases * self.config.candidates_per_phase) as u64,
+            );
+            recorder.counter("search.tabu.moves_accepted", trace.accepted_count() as u64);
+            recorder.counter("search.tabu.aspirations", aspirations as u64);
+            topo.engine_stats()
+                .delta_since(&before)
+                .record_counters(recorder);
         }
 
         TabuOutcome {

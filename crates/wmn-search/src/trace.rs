@@ -1,21 +1,58 @@
 //! Per-phase search traces (the data behind Figure 4).
+//!
+//! The per-phase record embeds the engine-agnostic
+//! [`ProgressPoint`](wmn_metrics::stats::ProgressPoint) from
+//! `wmn-metrics`, the same shape the GA's per-generation trace uses — so
+//! figure writers and telemetry consume one type regardless of which
+//! engine produced the run.
 
 use serde::{Deserialize, Serialize};
-use wmn_metrics::stats::Trace;
+use wmn_metrics::stats::{ProgressPoint, Trace};
 
 /// What happened in one phase of neighborhood exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PhaseRecord {
-    /// 1-based phase number.
-    pub phase: usize,
-    /// Giant component size of the *current* solution after the phase.
-    pub giant_size: usize,
-    /// Covered clients of the current solution after the phase.
-    pub covered_clients: usize,
-    /// Scalar fitness of the current solution after the phase.
-    pub fitness: f64,
+    /// Solution quality after the phase (`step` is the 1-based phase
+    /// number).
+    pub progress: ProgressPoint,
     /// Whether the phase's best neighbor was accepted.
     pub accepted: bool,
+}
+
+impl PhaseRecord {
+    /// Builds a record for one phase.
+    pub fn new(
+        phase: usize,
+        fitness: f64,
+        giant_size: usize,
+        covered_clients: usize,
+        accepted: bool,
+    ) -> Self {
+        PhaseRecord {
+            progress: ProgressPoint::new(phase, fitness, giant_size, covered_clients),
+            accepted,
+        }
+    }
+
+    /// 1-based phase number.
+    pub fn phase(&self) -> usize {
+        self.progress.step
+    }
+
+    /// Giant component size of the *current* solution after the phase.
+    pub fn giant_size(&self) -> usize {
+        self.progress.giant_size
+    }
+
+    /// Covered clients of the current solution after the phase.
+    pub fn covered_clients(&self) -> usize {
+        self.progress.covered_clients
+    }
+
+    /// Scalar fitness of the current solution after the phase.
+    pub fn fitness(&self) -> f64 {
+        self.progress.fitness
+    }
 }
 
 /// The full per-phase history of one search run.
@@ -60,7 +97,8 @@ impl SearchTrace {
     pub fn giant_series(&self, name: impl Into<String>) -> Trace {
         let mut t = Trace::new(name);
         for p in &self.phases {
-            t.push(p.phase as f64, p.giant_size as f64);
+            let (x, y) = p.progress.giant_xy();
+            t.push(x, y);
         }
         t
     }
@@ -69,7 +107,8 @@ impl SearchTrace {
     pub fn fitness_series(&self, name: impl Into<String>) -> Trace {
         let mut t = Trace::new(name);
         for p in &self.phases {
-            t.push(p.phase as f64, p.fitness);
+            let (x, y) = p.progress.fitness_xy();
+            t.push(x, y);
         }
         t
     }
@@ -80,13 +119,7 @@ mod tests {
     use super::*;
 
     fn record(phase: usize, giant: usize, accepted: bool) -> PhaseRecord {
-        PhaseRecord {
-            phase,
-            giant_size: giant,
-            covered_clients: giant * 2,
-            fitness: giant as f64 / 64.0,
-            accepted,
-        }
+        PhaseRecord::new(phase, giant as f64 / 64.0, giant, giant * 2, accepted)
     }
 
     #[test]
@@ -98,6 +131,16 @@ mod tests {
         t.push(record(3, 9, true));
         assert_eq!(t.len(), 3);
         assert_eq!(t.accepted_count(), 2);
+    }
+
+    #[test]
+    fn record_accessors_mirror_the_progress_point() {
+        let r = record(4, 16, true);
+        assert_eq!(r.phase(), 4);
+        assert_eq!(r.giant_size(), 16);
+        assert_eq!(r.covered_clients(), 32);
+        assert_eq!(r.fitness(), 0.25);
+        assert_eq!(r.progress.step, 4);
     }
 
     #[test]

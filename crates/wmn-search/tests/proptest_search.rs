@@ -102,8 +102,8 @@ proptest! {
         prop_assert!(instance.validate_placement(&outcome.best_placement).is_ok());
         let mut prev = f64::NEG_INFINITY;
         for p in outcome.trace.phases() {
-            prop_assert!(p.fitness >= prev - 1e-9);
-            prev = p.fitness;
+            prop_assert!(p.fitness() >= prev - 1e-9);
+            prev = p.fitness();
         }
         // Re-evaluating the reported best placement reproduces its score.
         let re = evaluator.evaluate(&outcome.best_placement).unwrap();

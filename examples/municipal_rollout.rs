@@ -55,7 +55,7 @@ fn main() -> Result<(), ModelError> {
         println!(
             "{:<22} {:>9}/48 {:>9}/48 {:>8}/256",
             init.name(),
-            first.best_giant,
+            first.best_giant(),
             e.giant_size(),
             e.covered_clients()
         );
