@@ -3,6 +3,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use wmn_experiments::ascii_plot::plot;
+use wmn_experiments::checkpoint::{CellDone, Checkpoint};
 use wmn_experiments::cli::{self, CliOptions};
 use wmn_experiments::error::ExperimentError;
 use wmn_experiments::figures::{run_ga_figure, run_ga_figure_recorded};
@@ -16,6 +17,11 @@ fn main() -> ExitCode {
 
 fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     let mut recorder = telemetry::recorder_if_requested(opts);
+    let mut checkpoint = Checkpoint::open(opts)?;
+    if checkpoint.contains("fig3") {
+        println!("fig3: complete in checkpoint, skipped");
+        return telemetry::maybe_write(opts, "fig3", &recorder);
+    }
     let started = Instant::now();
     let fig = match recorder.as_mut() {
         Some(rec) => run_ga_figure_recorded(Scenario::Weibull, &opts.config, rec)?,
@@ -32,6 +38,15 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
         )
     );
     write_ga_figure(&opts.out_dir, &fig)?;
+    checkpoint.record(CellDone {
+        cell: "fig3".to_owned(),
+        files: vec![
+            "fig3.csv".to_owned(),
+            "fig3.jsonl".to_owned(),
+            "fig3.txt".to_owned(),
+        ],
+        table: None,
+    })?;
     println!("wrote {}/fig3.{{csv,jsonl,txt}}", opts.out_dir.display());
     telemetry::maybe_write(opts, "fig3", &recorder)
 }

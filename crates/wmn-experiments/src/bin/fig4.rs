@@ -4,6 +4,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use wmn_experiments::ascii_plot::plot;
+use wmn_experiments::checkpoint::{CellDone, Checkpoint};
 use wmn_experiments::cli::{self, CliOptions};
 use wmn_experiments::error::ExperimentError;
 use wmn_experiments::figures::{run_ns_figure, run_ns_figure_recorded};
@@ -16,6 +17,11 @@ fn main() -> ExitCode {
 
 fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     let mut recorder = telemetry::recorder_if_requested(opts);
+    let mut checkpoint = Checkpoint::open(opts)?;
+    if checkpoint.contains("fig4") {
+        println!("fig4: complete in checkpoint, skipped");
+        return telemetry::maybe_write(opts, "fig4", &recorder);
+    }
     let started = Instant::now();
     let fig = match recorder.as_mut() {
         Some(rec) => run_ns_figure_recorded(&opts.config, rec)?,
@@ -37,6 +43,15 @@ fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
         fig.random.last_y().unwrap_or(0.0)
     );
     write_ns_figure(&opts.out_dir, &fig)?;
+    checkpoint.record(CellDone {
+        cell: "fig4".to_owned(),
+        files: vec![
+            "fig4.csv".to_owned(),
+            "fig4.jsonl".to_owned(),
+            "fig4.txt".to_owned(),
+        ],
+        table: None,
+    })?;
     println!("wrote {}/fig4.{{csv,jsonl,txt}}", opts.out_dir.display());
     telemetry::maybe_write(opts, "fig4", &recorder)
 }

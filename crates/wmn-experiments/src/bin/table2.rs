@@ -2,6 +2,7 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
+use wmn_experiments::checkpoint::{CellDone, Checkpoint};
 use wmn_experiments::cli::{self, CliOptions};
 use wmn_experiments::error::ExperimentError;
 use wmn_experiments::report::write_table;
@@ -15,15 +16,30 @@ fn main() -> ExitCode {
 
 fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     let mut recorder = telemetry::recorder_if_requested(opts);
-    let started = Instant::now();
-    let table = match recorder.as_mut() {
-        Some(rec) => run_table_recorded(Scenario::Exponential, &opts.config, rec)?,
-        None => run_table(Scenario::Exponential, &opts.config)?,
+    let mut checkpoint = Checkpoint::open(opts)?;
+    let table = match checkpoint.table("table2") {
+        Some(done) => {
+            println!("table2: complete in checkpoint, skipped");
+            done.clone()
+        }
+        None => {
+            let started = Instant::now();
+            let table = match recorder.as_mut() {
+                Some(rec) => run_table_recorded(Scenario::Exponential, &opts.config, rec)?,
+                None => run_table(Scenario::Exponential, &opts.config)?,
+            };
+            telemetry::finish_span(&mut recorder, "table2.run", started);
+            write_table(&opts.out_dir, &table)?;
+            checkpoint.record(CellDone {
+                cell: "table2".to_owned(),
+                files: vec!["table2.md".to_owned(), "table2.csv".to_owned()],
+                table: Some(table.clone()),
+            })?;
+            table
+        }
     };
-    telemetry::finish_span(&mut recorder, "table2.run", started);
     println!("# Table 2 — Exponential distribution (paper: Xhafa/Sánchez/Barolli 2009)\n");
     print!("{}", table.to_markdown());
-    write_table(&opts.out_dir, &table)?;
     println!("\nwrote {}/table2.{{md,csv}}", opts.out_dir.display());
     telemetry::maybe_write(opts, "table2", &recorder)
 }

@@ -2,6 +2,7 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
+use wmn_experiments::checkpoint::{CellDone, Checkpoint};
 use wmn_experiments::cli::{self, CliOptions};
 use wmn_experiments::error::ExperimentError;
 use wmn_experiments::report::write_table;
@@ -15,15 +16,30 @@ fn main() -> ExitCode {
 
 fn run(opts: &CliOptions) -> Result<(), ExperimentError> {
     let mut recorder = telemetry::recorder_if_requested(opts);
-    let started = Instant::now();
-    let table = match recorder.as_mut() {
-        Some(rec) => run_table_recorded(Scenario::Weibull, &opts.config, rec)?,
-        None => run_table(Scenario::Weibull, &opts.config)?,
+    let mut checkpoint = Checkpoint::open(opts)?;
+    let table = match checkpoint.table("table3") {
+        Some(done) => {
+            println!("table3: complete in checkpoint, skipped");
+            done.clone()
+        }
+        None => {
+            let started = Instant::now();
+            let table = match recorder.as_mut() {
+                Some(rec) => run_table_recorded(Scenario::Weibull, &opts.config, rec)?,
+                None => run_table(Scenario::Weibull, &opts.config)?,
+            };
+            telemetry::finish_span(&mut recorder, "table3.run", started);
+            write_table(&opts.out_dir, &table)?;
+            checkpoint.record(CellDone {
+                cell: "table3".to_owned(),
+                files: vec!["table3.md".to_owned(), "table3.csv".to_owned()],
+                table: Some(table.clone()),
+            })?;
+            table
+        }
     };
-    telemetry::finish_span(&mut recorder, "table3.run", started);
     println!("# Table 3 — Weibull distribution (paper: Xhafa/Sánchez/Barolli 2009)\n");
     print!("{}", table.to_markdown());
-    write_table(&opts.out_dir, &table)?;
     println!("\nwrote {}/table3.{{md,csv}}", opts.out_dir.display());
     telemetry::maybe_write(opts, "table3", &recorder)
 }

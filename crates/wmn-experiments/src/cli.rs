@@ -23,6 +23,16 @@
 //! * `--telemetry <dir>` — write structured run telemetry
 //!   (`telemetry.json` + `spans.jsonl`) to `<dir>`; see
 //!   [`crate::telemetry`].
+//! * `--retries <n>` — per-cell attempt budget for the panic-isolated
+//!   runner (`WMN_RETRIES`; default 1 = no retries). Retried cells
+//!   re-derive the same seed, so outputs are byte-identical.
+//! * `--fault-plan <spec>` — deterministic fault injection
+//!   (`WMN_FAULT_PLAN`), e.g. `seed=7;panic@start:p=0.4`; see
+//!   [`wmn_runtime::fault`]. Off by default.
+//! * `--resume <dir>` — resume an interrupted run from `<dir>`'s
+//!   `checkpoint.jsonl`, skipping completed cells; implies `--out <dir>`
+//!   (combining with `--out` or `--telemetry` is an error — skipped
+//!   cells' telemetry counters cannot be reconstructed).
 //! * `--out <dir>` — output directory (default `results`).
 
 use crate::error::ExperimentError;
@@ -41,12 +51,15 @@ pub struct CliOptions {
     /// Telemetry output directory (`None` = telemetry disabled, the
     /// zero-overhead default).
     pub telemetry: Option<PathBuf>,
+    /// Whether this run resumes from `out_dir`'s `checkpoint.jsonl`
+    /// (`--resume`); completed cells recorded there are skipped.
+    pub resume: bool,
 }
 
 const USAGE: &str = "usage: [--quick] [--seed <n>] [--instance-seed <n>] [--threads <n>] \
 [--ga-threads <n>] [--scale <n>] [--scale-routers <n>] [--scale-clients <n>] \
 [--scale-area <x>] [--ns-budget <n>] [--connectivity dynamic|rescan|full] \
-[--telemetry <dir>] [--out <dir>]";
+[--retries <n>] [--fault-plan <spec>] [--telemetry <dir>] [--resume <dir>] [--out <dir>]";
 
 /// Parses a connectivity-mode name (shared by the flag and env paths).
 fn connectivity_mode(value: &str) -> Result<ConnectivityMode, String> {
@@ -58,6 +71,11 @@ fn connectivity_mode(value: &str) -> Result<ConnectivityMode, String> {
             "unknown connectivity mode {other:?} (dynamic|rescan|full)"
         )),
     }
+}
+
+/// Parses a fault-plan spec (shared by the flag and env paths).
+fn fault_plan(value: &str) -> Result<wmn_runtime::FaultPlan, String> {
+    wmn_runtime::FaultPlan::parse(value).map_err(|e| format!("bad fault plan: {e}"))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
@@ -78,7 +96,9 @@ pub fn parse_from<I: IntoIterator<Item = String>>(
 ) -> Result<CliOptions, String> {
     let mut config = base;
     let mut out_dir = PathBuf::from("results");
+    let mut out_flag = false;
     let mut telemetry = None;
+    let mut resume = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -101,20 +121,41 @@ pub fn parse_from<I: IntoIterator<Item = String>>(
                 let v = it.next().ok_or("--connectivity needs a value")?;
                 config.connectivity = connectivity_mode(&v)?;
             }
+            "--retries" => config.retries = parse_num("--retries", it.next())?,
+            "--fault-plan" => {
+                let v = it.next().ok_or("--fault-plan needs a value")?;
+                config.fault_plan = Some(fault_plan(&v)?);
+            }
             "--telemetry" => {
                 telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a value")?));
             }
+            "--resume" => {
+                out_dir = PathBuf::from(it.next().ok_or("--resume needs a value")?);
+                resume = true;
+            }
             "--out" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+                out_flag = true;
             }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
+    if resume && out_flag {
+        return Err("--resume implies the output directory; drop --out".to_owned());
+    }
+    if resume && telemetry.is_some() {
+        return Err(
+            "--resume cannot be combined with --telemetry (skipped cells' counters \
+             cannot be reconstructed)"
+                .to_owned(),
+        );
+    }
     Ok(CliOptions {
         config,
         out_dir,
         telemetry,
+        resume,
     })
 }
 
@@ -169,6 +210,13 @@ pub fn config_from_vars(
         config.connectivity =
             connectivity_mode(&v).map_err(|e| format!("bad WMN_CONNECTIVITY value: {e}"))?;
     }
+    if let Some(n) = num::<u32>(&lookup, "WMN_RETRIES")? {
+        config.retries = n;
+    }
+    if let Some(v) = lookup("WMN_FAULT_PLAN") {
+        config.fault_plan =
+            Some(fault_plan(&v).map_err(|e| format!("bad WMN_FAULT_PLAN value: {e}"))?);
+    }
     Ok(config)
 }
 
@@ -214,6 +262,53 @@ mod tests {
         assert_eq!(opts.config, ExperimentConfig::paper());
         assert_eq!(opts.out_dir, PathBuf::from("results"));
         assert_eq!(opts.telemetry, None);
+        assert!(!opts.resume);
+    }
+
+    #[test]
+    fn robustness_flags() {
+        use wmn_runtime::{FaultKind, FaultSite};
+        let opts =
+            parse_vec(&["--retries", "3", "--fault-plan", "seed=7;error@start:p=1"]).unwrap();
+        assert_eq!(opts.config.retries, 3);
+        let plan = opts.config.fault_plan.unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(
+            plan.decide(FaultSite::JobStart, 0, 0),
+            Some(FaultKind::Error)
+        );
+        assert!(parse_vec(&["--retries", "some"]).is_err());
+        assert!(parse_vec(&["--fault-plan", "panic@nowhere:p=1"]).is_err());
+        assert!(parse_vec(&["--fault-plan"]).is_err());
+    }
+
+    #[test]
+    fn resume_implies_out_and_rejects_conflicts() {
+        let opts = parse_vec(&["--resume", "/tmp/run"]).unwrap();
+        assert!(opts.resume);
+        assert_eq!(opts.out_dir, PathBuf::from("/tmp/run"));
+        assert!(parse_vec(&["--resume", "/tmp/run", "--out", "/tmp/x"]).is_err());
+        assert!(parse_vec(&["--out", "/tmp/x", "--resume", "/tmp/run"]).is_err());
+        assert!(parse_vec(&["--resume", "/tmp/run", "--telemetry", "/tmp/t"]).is_err());
+        assert!(parse_vec(&["--resume"]).is_err());
+    }
+
+    #[test]
+    fn robustness_env_vars_apply_and_flags_win() {
+        let lookup = |name: &str| match name {
+            "WMN_RETRIES" => Some("5".to_owned()),
+            "WMN_FAULT_PLAN" => Some("seed=1;panic@start:p=0.5".to_owned()),
+            _ => None,
+        };
+        let base = config_from_vars(lookup).unwrap();
+        assert_eq!(base.retries, 5);
+        assert_eq!(base.fault_plan.unwrap().seed, 1);
+        let opts = parse_from(base, ["--retries".to_owned(), "2".to_owned()]).unwrap();
+        assert_eq!(opts.config.retries, 2);
+        let lookup = |name: &str| (name == "WMN_FAULT_PLAN").then(|| "gibberish".to_owned());
+        assert!(config_from_vars(lookup).is_err());
+        let lookup = |name: &str| (name == "WMN_RETRIES").then(|| "often".to_owned());
+        assert!(config_from_vars(lookup).is_err());
     }
 
     #[test]

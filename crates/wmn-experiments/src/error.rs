@@ -8,6 +8,7 @@
 use std::error::Error;
 use std::fmt;
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use wmn_model::ModelError;
 
@@ -24,6 +25,24 @@ pub enum ExperimentError {
         /// The underlying I/O failure.
         source: io::Error,
     },
+    /// A grid cell kept failing until its retry budget ran out; the label
+    /// names the cell (e.g. `ga-normal-HotSpot`) so a CI chaos run can
+    /// assert *which* cell exhausted its budget.
+    Cell {
+        /// The failing grid cell's label.
+        cell: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The final attempt's failure, rendered.
+        detail: String,
+    },
+    /// A `checkpoint.jsonl` could not be read back for `--resume`.
+    Checkpoint {
+        /// The checkpoint file being read.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -32,6 +51,20 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Model(e) => write!(f, "experiment run failed: {e}"),
             ExperimentError::Io { path, source } => {
                 write!(f, "cannot write {}: {source}", path.display())
+            }
+            ExperimentError::Cell {
+                cell,
+                attempts,
+                detail,
+            } => {
+                let plural = if *attempts == 1 { "" } else { "s" };
+                write!(
+                    f,
+                    "cell {cell} failed after {attempts} attempt{plural}: {detail}"
+                )
+            }
+            ExperimentError::Checkpoint { path, detail } => {
+                write!(f, "cannot resume from {}: {detail}", path.display())
             }
         }
     }
@@ -42,6 +75,7 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::Model(e) => Some(e),
             ExperimentError::Io { source, .. } => Some(source),
+            ExperimentError::Cell { .. } | ExperimentError::Checkpoint { .. } => None,
         }
     }
 }
@@ -62,13 +96,94 @@ impl ExperimentError {
     }
 }
 
-/// `fs::write` with the path attached to any failure.
+/// Atomically replaces `path` with `contents`: the bytes are written to a
+/// `*.tmp` sibling, fsynced, and renamed into place, so a crash (or an
+/// injected fault) mid-write can never leave a truncated artifact — the
+/// old file survives intact or the new one appears whole. This is what
+/// makes `--resume` safe: every artifact a checkpoint refers to is either
+/// complete or absent.
 ///
 /// # Errors
 ///
 /// Returns [`ExperimentError::Io`] naming `path`.
 pub fn write_file(path: &Path, contents: &str) -> Result<(), ExperimentError> {
-    std::fs::write(path, contents).map_err(|e| ExperimentError::io(path, e))
+    let mut file = AtomicFile::create(path)?;
+    file.write_all(contents.as_bytes())
+        .map_err(|e| ExperimentError::io(path, e))?;
+    file.commit()
+}
+
+/// The `*.tmp` sibling a pending [`AtomicFile`] writes into.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(std::ffi::OsStr::to_os_string)
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// A file that only appears at its final path once fully written: bytes go
+/// to a `*.tmp` sibling and [`commit`](AtomicFile::commit) fsyncs + renames
+/// it into place. Dropping without committing removes the temporary, so an
+/// abandoned write leaves no debris. Implements [`io::Write`], so streamed
+/// writers (`BufWriter`, `JsonlSink`) can layer on top.
+#[derive(Debug)]
+pub struct AtomicFile {
+    path: PathBuf,
+    tmp_path: PathBuf,
+    file: Option<std::fs::File>,
+}
+
+impl AtomicFile {
+    /// Opens the temporary sibling of `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Io`] naming `path`.
+    pub fn create(path: &Path) -> Result<Self, ExperimentError> {
+        let tmp_path = tmp_sibling(path);
+        let file = std::fs::File::create(&tmp_path).map_err(|e| ExperimentError::io(path, e))?;
+        Ok(AtomicFile {
+            path: path.to_owned(),
+            tmp_path,
+            file: Some(file),
+        })
+    }
+
+    /// Fsyncs the temporary and renames it to the final path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Io`] naming the final path.
+    pub fn commit(mut self) -> Result<(), ExperimentError> {
+        let file = self.file.take().expect("commit consumes the file");
+        file.sync_all()
+            .map_err(|e| ExperimentError::io(&self.path, e))?;
+        drop(file);
+        std::fs::rename(&self.tmp_path, &self.path).map_err(|e| ExperimentError::io(&self.path, e))
+    }
+}
+
+impl io::Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file
+            .as_mut()
+            .expect("file open until commit")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.as_mut().expect("file open until commit").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
+    }
 }
 
 /// `fs::create_dir_all` with the path attached to any failure.
@@ -91,6 +206,55 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("/nonexistent-root-dir/wmn/table1.md"), "{msg}");
         assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn write_file_is_atomic_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("wmn-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.txt");
+        std::fs::write(&path, "old contents").unwrap();
+        write_file(&path, "new contents").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
+        assert!(!tmp_sibling(&path).exists(), "tmp must be renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abandoned_atomic_file_removes_its_tmp_and_keeps_the_original() {
+        let dir = std::env::temp_dir().join(format!("wmn-atomic-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.txt");
+        std::fs::write(&path, "old contents").unwrap();
+        {
+            let mut file = AtomicFile::create(&path).unwrap();
+            file.write_all(b"half-writ").unwrap();
+            // Dropped without commit — simulates a crash mid-write.
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old contents");
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "abandoned tmp must be removed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_errors_name_the_cell_and_attempts() {
+        let err = ExperimentError::Cell {
+            cell: "ga-normal-HotSpot".to_owned(),
+            attempts: 3,
+            detail: "panic: injected panic@start".to_owned(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("ga-normal-HotSpot"), "{msg}");
+        assert!(msg.contains("3 attempts"), "{msg}");
+        let one = ExperimentError::Cell {
+            cell: "c".to_owned(),
+            attempts: 1,
+            detail: "d".to_owned(),
+        };
+        assert!(one.to_string().contains("1 attempt:"), "{one}");
     }
 
     #[test]

@@ -6,16 +6,20 @@
 //! neighborhood search phases, swap versus random movement, on the Normal
 //! scenario.
 
+use crate::error::ExperimentError;
 use crate::scenario::{ExperimentConfig, Scenario};
-use crate::tables::{experiment_ga_config, ga_cell};
+use crate::tables::{
+    cell_failure, experiment_ga_config, ga_cell, ga_cell_label, report_chaos, sabotaged_ga_config,
+};
 use wmn_ga::engine::{GaConfig, GaEngine};
 use wmn_ga::init::PopulationInit;
+use wmn_graph::topology::DegradationPolicy;
 use wmn_metrics::evaluator::Evaluator;
 use wmn_metrics::stats::Trace;
 use wmn_model::instance::ProblemInstance;
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
-use wmn_obs::{NoopRecorder, Recorder, TelemetryRecorder};
+use wmn_obs::{NoopRecorder, Recorder, RobustnessStats, TelemetryRecorder};
 use wmn_placement::registry::AdHocMethod;
 use wmn_runtime::grid::{domain, Cell};
 use wmn_search::movement::{Movement, RandomMovement, SwapConfig, SwapMovement};
@@ -58,62 +62,108 @@ impl GaFigure {
 }
 
 /// Runs one GA-evolution figure: one GA per ad hoc method, recording the
-/// per-generation best giant component size.
+/// per-generation best giant component size. Method curves run on the
+/// panic-isolated executor, so the figure — like the tables — is
+/// byte-identical under any within-budget fault plan.
 ///
 /// # Errors
 ///
-/// Propagates instance generation and evaluation failures (none occur for
-/// the built-in scenarios).
+/// Propagates instance generation failures, and reports the
+/// lowest-indexed grid cell that exhausted its retry budget
+/// ([`ExperimentError::Cell`]).
 pub fn run_ga_figure(
     scenario: Scenario,
     config: &ExperimentConfig,
-) -> Result<GaFigure, ModelError> {
+) -> Result<GaFigure, ExperimentError> {
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
     let ga_config = experiment_ga_config(config);
+    let sabotaged = sabotaged_ga_config(&ga_config);
 
     let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
-    let series = config.runtime().try_execute(jobs, |_, (mi, method)| {
-        ga_figure_job(
-            scenario,
-            config,
-            &evaluator,
-            &ga_config,
-            mi,
-            method,
-            &mut NoopRecorder,
+    let mut stats = RobustnessStats::default();
+    let series = config
+        .runtime()
+        .try_execute_isolated(
+            jobs,
+            config.retry_policy(),
+            config.fault_plan.as_ref(),
+            &mut stats,
+            |ctx, (mi, method)| {
+                ga_figure_job(
+                    scenario,
+                    config,
+                    &evaluator,
+                    if ctx.sabotage { &sabotaged } else { &ga_config },
+                    *mi,
+                    *method,
+                    &mut NoopRecorder,
+                )
+            },
         )
-    })?;
-    Ok(GaFigure { scenario, series })
+        .map_err(|f| cell_failure(ga_cell_label(scenario, f.index), f));
+    report_chaos(&ga_figure_context(scenario), &stats);
+    Ok(GaFigure {
+        scenario,
+        series: series?,
+    })
+}
+
+/// The chaos-report context of a GA figure run.
+fn ga_figure_context(scenario: Scenario) -> String {
+    scenario
+        .table_number()
+        .map_or_else(|| format!("fig-{scenario}"), |n| format!("fig{n}"))
 }
 
 /// Like [`run_ga_figure`], additionally collecting the run's work-counter
-/// telemetry into `recorder`. Per-job recorders merge in job-index order
-/// (see `wmn-runtime`), so the aggregated counters are byte-identical for
-/// every worker count; the figure itself equals [`run_ga_figure`]'s
-/// exactly.
+/// telemetry into `recorder`. Per-attempt recorders merge in job-index
+/// order, succeeding attempts only (see `wmn-runtime`), so the aggregated
+/// counters are byte-identical for every worker count and any
+/// within-budget fault plan; the figure itself equals
+/// [`run_ga_figure`]'s exactly.
 ///
 /// # Errors
 ///
-/// Propagates instance generation and evaluation failures, exactly as
-/// [`run_ga_figure`].
+/// Exactly as [`run_ga_figure`].
 pub fn run_ga_figure_recorded(
     scenario: Scenario,
     config: &ExperimentConfig,
     recorder: &mut TelemetryRecorder,
-) -> Result<GaFigure, ModelError> {
+) -> Result<GaFigure, ExperimentError> {
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
     let ga_config = experiment_ga_config(config);
+    let sabotaged = sabotaged_ga_config(&ga_config);
 
     let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
-    let series =
-        config
-            .runtime()
-            .try_execute_recorded(jobs, recorder, |_, (mi, method), rec| {
-                ga_figure_job(scenario, config, &evaluator, &ga_config, mi, method, rec)
-            })?;
-    Ok(GaFigure { scenario, series })
+    let mut stats = RobustnessStats::default();
+    let series = config
+        .runtime()
+        .try_execute_isolated_recorded(
+            jobs,
+            config.retry_policy(),
+            config.fault_plan.as_ref(),
+            &mut stats,
+            recorder,
+            |ctx, (mi, method), rec| {
+                ga_figure_job(
+                    scenario,
+                    config,
+                    &evaluator,
+                    if ctx.sabotage { &sabotaged } else { &ga_config },
+                    *mi,
+                    *method,
+                    rec,
+                )
+            },
+        )
+        .map_err(|f| cell_failure(ga_cell_label(scenario, f.index), f));
+    report_chaos(&ga_figure_context(scenario), &stats);
+    Ok(GaFigure {
+        scenario,
+        series: series?,
+    })
 }
 
 /// One figure curve: the GA run for one ad hoc method, on the same grid
@@ -160,35 +210,53 @@ impl NsFigure {
 ///
 /// Propagates instance generation and evaluation failures (none occur for
 /// the built-in configuration).
-pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ModelError> {
+pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ExperimentError> {
     let scenario = Scenario::Normal;
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
     let initial = ns_initial_placement(config, scenario, &instance);
 
     // Swap and random are the two cells of the Figure 4 grid; they run in
-    // parallel on the experiment runtime.
+    // parallel on the experiment runtime's panic-isolated executor.
     let jobs: Vec<(u64, &str)> = vec![(0, "Swap"), (1, "Random")];
-    let mut traces = config
+    let mut stats = RobustnessStats::default();
+    let traces = config
         .runtime()
-        .try_execute(jobs, |_, (movement_id, label)| {
-            ns_job(
-                scenario,
-                config,
-                &instance,
-                &evaluator,
-                &initial,
-                movement_id,
-                label,
-                &mut NoopRecorder,
-            )
-        })?
-        .into_iter();
+        .try_execute_isolated(
+            jobs,
+            config.retry_policy(),
+            config.fault_plan.as_ref(),
+            &mut stats,
+            |ctx, (movement_id, label)| {
+                ns_job(
+                    scenario,
+                    config,
+                    &instance,
+                    &evaluator,
+                    &initial,
+                    *movement_id,
+                    label,
+                    ctx.sabotage,
+                    &mut NoopRecorder,
+                )
+            },
+        )
+        .map_err(|f| cell_failure(ns_cell_label(f.index), f));
+    report_chaos("fig4", &stats);
+    let mut traces = traces?.into_iter();
     let (swap, random) = (
         traces.next().expect("swap trace"),
         traces.next().expect("random trace"),
     );
     Ok(NsFigure { swap, random })
+}
+
+/// The label of a Figure 4 grid cell for error reporting.
+fn ns_cell_label(index: usize) -> String {
+    match index {
+        0 => "ns-Swap".to_owned(),
+        _ => "ns-Random".to_owned(),
+    }
 }
 
 /// Like [`run_ns_figure`], additionally collecting the searches'
@@ -202,28 +270,39 @@ pub fn run_ns_figure(config: &ExperimentConfig) -> Result<NsFigure, ModelError> 
 pub fn run_ns_figure_recorded(
     config: &ExperimentConfig,
     recorder: &mut TelemetryRecorder,
-) -> Result<NsFigure, ModelError> {
+) -> Result<NsFigure, ExperimentError> {
     let scenario = Scenario::Normal;
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
     let initial = ns_initial_placement(config, scenario, &instance);
 
     let jobs: Vec<(u64, &str)> = vec![(0, "Swap"), (1, "Random")];
-    let mut traces = config
+    let mut stats = RobustnessStats::default();
+    let traces = config
         .runtime()
-        .try_execute_recorded(jobs, recorder, |_, (movement_id, label), rec| {
-            ns_job(
-                scenario,
-                config,
-                &instance,
-                &evaluator,
-                &initial,
-                movement_id,
-                label,
-                rec,
-            )
-        })?
-        .into_iter();
+        .try_execute_isolated_recorded(
+            jobs,
+            config.retry_policy(),
+            config.fault_plan.as_ref(),
+            &mut stats,
+            recorder,
+            |ctx, (movement_id, label), rec| {
+                ns_job(
+                    scenario,
+                    config,
+                    &instance,
+                    &evaluator,
+                    &initial,
+                    *movement_id,
+                    label,
+                    ctx.sabotage,
+                    rec,
+                )
+            },
+        )
+        .map_err(|f| cell_failure(ns_cell_label(f.index), f));
+    report_chaos("fig4", &stats);
+    let mut traces = traces?.into_iter();
     let (swap, random) = (
         traces.next().expect("swap trace"),
         traces.next().expect("random trace"),
@@ -245,7 +324,12 @@ fn ns_initial_placement(
 }
 
 /// One Figure 4 curve: a neighborhood search with the given movement over
-/// a topology pinned to the configured connectivity strategy.
+/// a topology pinned to the configured connectivity strategy. A sabotaged
+/// attempt (`blowup@repair` fault) floors the connectivity cost cap —
+/// forcing the rescan fallback on every deletion search — and arms the
+/// degradation ladder, driving real degraded work through the engine;
+/// the attempt is doomed by the runtime afterwards, so none of it can
+/// reach the figure or its telemetry.
 #[allow(clippy::too_many_arguments)]
 fn ns_job(
     scenario: Scenario,
@@ -255,6 +339,7 @@ fn ns_job(
     initial: &Placement,
     movement_id: u64,
     label: &str,
+    sabotage: bool,
     recorder: &mut dyn Recorder,
 ) -> Result<Trace, ModelError> {
     let search_config = SearchConfig {
@@ -273,6 +358,13 @@ fn ns_job(
     let search = NeighborhoodSearch::new(evaluator, movement, search_config);
     let mut topo = evaluator.topology(initial)?;
     topo.set_connectivity_mode(config.connectivity);
+    if sabotage {
+        topo.set_connectivity_cost_cap(Some(0));
+        topo.set_degradation_policy(DegradationPolicy {
+            audit_every: 1,
+            fallback_streak_limit: 1,
+        });
+    }
     let outcome = search.run_with_topology_recorded(&mut topo, &mut rng, recorder);
     Ok(outcome.trace.giant_series(label))
 }

@@ -34,10 +34,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ascii_plot;
+pub mod checkpoint;
 pub mod cli;
 pub mod csv;
 pub mod error;
 pub mod figures;
+pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod tables;

@@ -9,7 +9,7 @@
 
 use crate::ascii_plot::plot;
 use crate::csv::render_series;
-use crate::error::{create_dir, write_file, ExperimentError};
+use crate::error::{create_dir, write_file, AtomicFile, ExperimentError};
 use crate::figures::{GaFigure, NsFigure};
 use crate::tables::TableResult;
 use std::io::{self, Write};
@@ -57,7 +57,8 @@ pub fn stream_series<S: RowSink + ?Sized>(
 }
 
 /// Streams `series` into `path` as JSON Lines, row by row through a
-/// buffered file sink (no in-memory document).
+/// buffered [`AtomicFile`] sink (no in-memory document; the file appears
+/// at its final path only once complete).
 fn write_series_jsonl(
     dir: &Path,
     file: &str,
@@ -65,9 +66,13 @@ fn write_series_jsonl(
     series: &[wmn_metrics::stats::Trace],
 ) -> Result<(), ExperimentError> {
     let path = dir.join(file);
-    let out = std::fs::File::create(&path).map_err(|e| ExperimentError::io(&path, e))?;
+    let out = AtomicFile::create(&path)?;
     let mut sink = JsonlSink::new(io::BufWriter::new(out));
-    stream_series(&mut sink, header_x, series).map_err(|e| ExperimentError::io(&path, e))
+    stream_series(&mut sink, header_x, series).map_err(|e| ExperimentError::io(&path, e))?;
+    sink.into_inner()
+        .into_inner()
+        .map_err(|e| ExperimentError::io(&path, e.into_error()))?
+        .commit()
 }
 
 /// Writes a GA-evolution figure as `figN.csv`, `figN.jsonl`, and an ASCII

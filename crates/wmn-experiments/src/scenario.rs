@@ -8,7 +8,7 @@ use wmn_model::distribution::ClientDistribution;
 use wmn_model::geometry::Area;
 use wmn_model::instance::{InstanceSpec, ProblemInstance};
 use wmn_model::ModelError;
-use wmn_runtime::Runtime;
+use wmn_runtime::{FaultPlan, RetryPolicy, Runtime};
 
 /// Client distribution scenario, one per paper table/figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -225,6 +225,17 @@ pub struct ExperimentConfig {
     /// compare work profiles). Results are bit-identical in every mode —
     /// only the work counters differ.
     pub connectivity: ConnectivityMode,
+    /// Per-cell attempt budget for the panic-isolated runner (`--retries`):
+    /// each grid cell may run up to this many times before its failure is
+    /// reported. Retried cells re-derive the same coordinate seed, so a
+    /// retried-then-succeeded run is byte-identical to a fault-free one.
+    /// `0` clamps to 1 (no retries).
+    pub retries: u32,
+    /// Deterministic fault-injection plan (`--fault-plan`); `None` = no
+    /// injection, the production default. Injected faults doom individual
+    /// attempts only — within the retry budget, outputs stay byte-identical
+    /// to a fault-free run.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ExperimentConfig {
@@ -247,6 +258,8 @@ impl ExperimentConfig {
             runner_threads: 0,
             scale: ScenarioScale::identity(),
             connectivity: ConnectivityMode::Dynamic,
+            retries: 1,
+            fault_plan: None,
         }
     }
 
@@ -299,6 +312,14 @@ impl ExperimentConfig {
     /// [`runner_threads`](ExperimentConfig::runner_threads).
     pub fn runtime(&self) -> Runtime {
         Runtime::new(self.runner_threads)
+    }
+
+    /// The retry policy resolved from [`retries`](ExperimentConfig::retries)
+    /// (`0` clamps to a single attempt).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.retries.max(1),
+        }
     }
 
     /// The GA evaluation pipeline implied by
@@ -374,11 +395,25 @@ mod tests {
         config.run_seed = 7;
         config.runner_threads = 3;
         config.scale = ScenarioScale::proportional(2);
+        config.retries = 3;
+        config.fault_plan = Some(FaultPlan::parse("seed=7;panic@start:p=0.5").unwrap());
         let q = config.quickened();
         assert_eq!(q.generations, ExperimentConfig::quick().generations);
         assert_eq!(q.run_seed, 7);
         assert_eq!(q.runner_threads, 3);
         assert_eq!(q.scale, ScenarioScale::proportional(2));
+        assert_eq!(q.retries, 3);
+        assert_eq!(q.fault_plan, config.fault_plan);
+    }
+
+    #[test]
+    fn retry_policy_clamps_zero_to_one_attempt() {
+        let mut config = ExperimentConfig::quick();
+        assert_eq!(config.retry_policy().max_attempts, 1);
+        config.retries = 0;
+        assert_eq!(config.retry_policy().max_attempts, 1);
+        config.retries = 4;
+        assert_eq!(config.retry_policy().max_attempts, 4);
     }
 
     #[test]

@@ -7,15 +7,17 @@
 //! see [`wmn_runtime::grid`]), so the table is bit-identical for every
 //! worker count.
 
+use crate::error::ExperimentError;
 use crate::scenario::{ExperimentConfig, Scenario};
 use wmn_ga::engine::{GaConfig, GaEngine};
 use wmn_ga::init::PopulationInit;
 use wmn_metrics::evaluator::Evaluator;
 use wmn_model::ModelError;
 use wmn_model::ProblemInstance;
-use wmn_obs::{NoopRecorder, Recorder, TelemetryRecorder};
+use wmn_obs::{NoopRecorder, Recorder, RobustnessStats, TelemetryRecorder};
 use wmn_placement::registry::AdHocMethod;
 use wmn_runtime::grid::{domain, Cell};
+use wmn_runtime::JobFailure;
 
 /// One row of a paper table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +127,55 @@ pub(crate) fn experiment_ga_config(config: &ExperimentConfig) -> GaConfig {
         .expect("experiment GA config is valid")
 }
 
+/// `base` with the connectivity cost cap floored to zero: every deletion
+/// search immediately falls back to the whole-graph rescan, making repair
+/// artificially expensive. This is the GA-side response to a
+/// `blowup@repair` sabotage — outcomes stay bit-identical (all repair
+/// paths agree), and the sabotaged attempt is doomed afterwards anyway.
+pub(crate) fn sabotaged_ga_config(base: &GaConfig) -> GaConfig {
+    let mut config = base.clone();
+    config.connectivity_cost_cap = Some(0);
+    config
+}
+
+/// Maps a runtime [`JobFailure`] onto [`ExperimentError::Cell`], naming
+/// the failed grid cell.
+pub(crate) fn cell_failure<E: std::fmt::Display>(
+    cell: String,
+    failure: JobFailure<E>,
+) -> ExperimentError {
+    ExperimentError::Cell {
+        cell,
+        attempts: failure.attempts,
+        detail: failure.kind.to_string(),
+    }
+}
+
+/// Reports the chaos profile of a finished batch on stderr — injected
+/// faults, retries, recoveries. Silent (no output at all) when nothing
+/// fired, which is every production run; stderr rather than any artifact
+/// file, so faulty-but-recovered runs stay byte-identical to clean ones.
+pub(crate) fn report_chaos(context: &str, stats: &RobustnessStats) {
+    if stats.is_uneventful() {
+        return;
+    }
+    let mut parts = Vec::new();
+    stats.for_each(|name, value| {
+        if value != 0 {
+            parts.push(format!("{name}={value}"));
+        }
+    });
+    eprintln!("chaos[{context}]: {}", parts.join(" "));
+}
+
+/// The label of the GA grid cell for error reporting (`ga-normal-HotSpot`).
+pub(crate) fn ga_cell_label(scenario: Scenario, index: usize) -> String {
+    AdHocMethod::all().into_iter().nth(index).map_or_else(
+        || format!("ga-{}-job{index}", scenario.name()),
+        |m| format!("ga-{}-{}", scenario.name(), m.name()),
+    )
+}
+
 /// One method's table row: the standalone placement (paper scenario 1) and
 /// a GA initialized from the method (paper scenario 2). The GA run feeds
 /// `recorder`; the caller picks [`NoopRecorder`] (free) or a per-job
@@ -163,71 +214,113 @@ fn table_row(
 
 /// Runs one paper table: for every ad hoc method, measure the standalone
 /// placement and a GA initialized from it. Method rows run in parallel on
-/// [`ExperimentConfig::runtime`]; the result is bit-identical for every
-/// worker count.
+/// [`ExperimentConfig::runtime`]'s panic-isolated executor; the result is
+/// bit-identical for every worker count, and — under any within-budget
+/// fault plan — byte-identical to a fault-free run (retried cells
+/// re-derive the same coordinate seeds).
 ///
 /// # Errors
 ///
-/// Propagates instance generation and evaluation failures (none occur for
-/// the built-in scenarios).
-pub fn run_table(scenario: Scenario, config: &ExperimentConfig) -> Result<TableResult, ModelError> {
+/// Propagates instance generation failures, and reports the
+/// lowest-indexed grid cell that exhausted its retry budget
+/// ([`ExperimentError::Cell`]).
+pub fn run_table(
+    scenario: Scenario,
+    config: &ExperimentConfig,
+) -> Result<TableResult, ExperimentError> {
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
     let ga_config = experiment_ga_config(config);
+    let sabotaged = sabotaged_ga_config(&ga_config);
 
     let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
-    let rows = config.runtime().try_execute(jobs, |_, (mi, method)| {
-        table_row(
-            scenario,
-            config,
-            &instance,
-            &evaluator,
-            &ga_config,
-            mi,
-            method,
-            &mut NoopRecorder,
+    let mut stats = RobustnessStats::default();
+    let rows = config
+        .runtime()
+        .try_execute_isolated(
+            jobs,
+            config.retry_policy(),
+            config.fault_plan.as_ref(),
+            &mut stats,
+            |ctx, (mi, method)| {
+                table_row(
+                    scenario,
+                    config,
+                    &instance,
+                    &evaluator,
+                    if ctx.sabotage { &sabotaged } else { &ga_config },
+                    *mi,
+                    *method,
+                    &mut NoopRecorder,
+                )
+            },
         )
-    })?;
+        .map_err(|f| cell_failure(ga_cell_label(scenario, f.index), f));
+    let context = scenario
+        .table_number()
+        .map_or_else(|| format!("table-{scenario}"), |n| format!("table{n}"));
+    report_chaos(&context, &stats);
     Ok(TableResult {
         scenario,
         router_count: instance.router_count(),
         client_count: instance.client_count(),
-        rows,
+        rows: rows?,
     })
 }
 
 /// Like [`run_table`], additionally collecting the run's work-counter
 /// telemetry into `recorder`. Each method row records into a private
-/// per-job recorder; `wmn-runtime` merges them in job-index order, so the
-/// aggregated counters — like the table itself — are byte-identical for
-/// every worker count. The table values equal [`run_table`]'s exactly.
+/// per-attempt recorder; only succeeding attempts merge, in job-index
+/// order, so the aggregated counters — like the table itself — are
+/// byte-identical for every worker count and any within-budget fault
+/// plan. The table values equal [`run_table`]'s exactly.
 ///
 /// # Errors
 ///
-/// Propagates instance generation and evaluation failures, exactly as
-/// [`run_table`].
+/// Exactly as [`run_table`].
 pub fn run_table_recorded(
     scenario: Scenario,
     config: &ExperimentConfig,
     recorder: &mut TelemetryRecorder,
-) -> Result<TableResult, ModelError> {
+) -> Result<TableResult, ExperimentError> {
     let instance = config.instance(scenario)?;
     let evaluator = Evaluator::paper_default(&instance);
     let ga_config = experiment_ga_config(config);
+    let sabotaged = sabotaged_ga_config(&ga_config);
 
     let jobs: Vec<(usize, AdHocMethod)> = AdHocMethod::all().into_iter().enumerate().collect();
+    let mut stats = RobustnessStats::default();
     let rows = config
         .runtime()
-        .try_execute_recorded(jobs, recorder, |_, (mi, method), rec| {
-            table_row(
-                scenario, config, &instance, &evaluator, &ga_config, mi, method, rec,
-            )
-        })?;
+        .try_execute_isolated_recorded(
+            jobs,
+            config.retry_policy(),
+            config.fault_plan.as_ref(),
+            &mut stats,
+            recorder,
+            |ctx, (mi, method), rec| {
+                table_row(
+                    scenario,
+                    config,
+                    &instance,
+                    &evaluator,
+                    if ctx.sabotage { &sabotaged } else { &ga_config },
+                    *mi,
+                    *method,
+                    rec,
+                )
+            },
+        )
+        .map_err(|f| cell_failure(ga_cell_label(scenario, f.index), f));
+    let context = scenario
+        .table_number()
+        .map_or_else(|| format!("table-{scenario}"), |n| format!("table{n}"));
+    report_chaos(&context, &stats);
     Ok(TableResult {
         scenario,
         router_count: instance.router_count(),
         client_count: instance.client_count(),
-        rows,
+        rows: rows?,
     })
 }
 

@@ -33,7 +33,7 @@ pub const SCHEMA: &str = "wmn-telemetry/v1";
 /// (`threads`, `runner_threads`) are excluded on purpose: counters are
 /// thread-invariant, and including them would break the byte-identity of
 /// otherwise-equal runs.
-fn config_json(config: &ExperimentConfig) -> String {
+pub(crate) fn config_json(config: &ExperimentConfig) -> String {
     format!(
         "{{\"instance_seed\":{},\"run_seed\":{},\"population\":{},\"generations\":{},\
          \"ns_phases\":{},\"ns_budget\":{},\"sample_every\":{},\"scale_routers\":{},\

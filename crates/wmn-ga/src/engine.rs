@@ -105,6 +105,12 @@ pub struct GaConfig {
     /// Evaluation pipeline (incremental topology-backed vs full rebuild);
     /// outcomes are bit-identical either way.
     pub eval_mode: GaEvalMode,
+    /// Override of the dynamic connectivity engine's per-deletion cost
+    /// cap, pinned onto every evaluation slot (`None` = engine default).
+    /// `Some(0)` forces the rescan fallback on every deletion search —
+    /// outcomes stay bit-identical (all repair paths agree), only the
+    /// work profile changes; fault plans use this to sabotage repair cost.
+    pub connectivity_cost_cap: Option<usize>,
 }
 
 impl GaConfig {
@@ -122,6 +128,7 @@ impl GaConfig {
             mutations: MutationOp::paper_default_stack(),
             threads: 1,
             eval_mode: GaEvalMode::Incremental,
+            connectivity_cost_cap: None,
         }
     }
 
@@ -197,6 +204,13 @@ impl GaConfigBuilder {
     /// Sets the evaluation pipeline (incremental vs full rebuild).
     pub fn eval_mode(&mut self, mode: GaEvalMode) -> &mut Self {
         self.config.eval_mode = mode;
+        self
+    }
+
+    /// Overrides the connectivity engine's per-deletion cost cap on every
+    /// evaluation slot (see [`GaConfig::connectivity_cost_cap`]).
+    pub fn connectivity_cost_cap(&mut self, cap: Option<usize>) -> &mut Self {
+        self.config.connectivity_cost_cap = cap;
         self
     }
 
@@ -416,7 +430,8 @@ impl<'e, 'i> GaEngine<'e, 'i> {
     ) -> Result<GaOutcome, ModelError> {
         let mut population =
             init.build(self.evaluator.instance(), self.config.population_size, rng);
-        let mut backend = EvalBackend::new(self.config.eval_mode);
+        let mut backend =
+            EvalBackend::new(self.config.eval_mode, self.config.connectivity_cost_cap);
         backend.evaluate_initial(self.evaluator, &mut population, self.config.threads)?;
         let mut engine_prev = recorder.enabled().then(|| backend.engine_totals());
 
@@ -495,6 +510,9 @@ enum EvalBackend {
         /// (children inherit it through `clone_from`, so one pass after
         /// the initial evaluation pins the whole run).
         connectivity: ConnectivityMode,
+        /// Cost-cap override pinned onto the slot topologies the same way
+        /// (it also travels with `clone_from`).
+        cost_cap: Option<usize>,
     },
     Rebuild {
         /// One workspace per evaluation worker, persistent across
@@ -504,17 +522,19 @@ enum EvalBackend {
 }
 
 impl EvalBackend {
-    fn new(mode: GaEvalMode) -> Self {
+    fn new(mode: GaEvalMode, cost_cap: Option<usize>) -> Self {
         match mode {
             GaEvalMode::Incremental => EvalBackend::Incremental {
                 slots: Vec::new(),
                 spare: Vec::new(),
                 connectivity: ConnectivityMode::Dynamic,
+                cost_cap,
             },
             GaEvalMode::IncrementalDsuRescan => EvalBackend::Incremental {
                 slots: Vec::new(),
                 spare: Vec::new(),
                 connectivity: ConnectivityMode::DsuRescan,
+                cost_cap,
             },
             GaEvalMode::Rebuild => EvalBackend::Rebuild {
                 workspaces: Vec::new(),
@@ -532,6 +552,7 @@ impl EvalBackend {
             EvalBackend::Incremental {
                 slots,
                 connectivity,
+                cost_cap,
                 ..
             } => {
                 slots.resize_with(population.len(), EvalWorkspace::new);
@@ -539,6 +560,7 @@ impl EvalBackend {
                 for slot in slots.iter_mut() {
                     if let Some(topo) = slot.topology_mut() {
                         topo.set_connectivity_mode(*connectivity);
+                        topo.set_connectivity_cost_cap(*cost_cap);
                     }
                 }
                 Ok(())

@@ -55,5 +55,7 @@ pub use connectivity::{ConnectivityStats, DynamicConnectivity, RepairOutcome};
 pub use density::{CellWindow, DensityMap};
 pub use dsu::UnionFind;
 pub use spatial::{DynamicGrid, GridIndex};
-pub use topology::{ConnectivityMode, CoverageRule, TopologyConfig, WmnTopology};
+pub use topology::{
+    ConnectivityMode, CoverageRule, DegradationPolicy, TopologyConfig, WmnTopology,
+};
 pub use wmn_obs::{EngineStats, TopologyStats};

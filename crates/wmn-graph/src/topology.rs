@@ -88,7 +88,7 @@ use wmn_model::geometry::{Area, Point};
 use wmn_model::instance::ProblemInstance;
 use wmn_model::node::RouterId;
 use wmn_model::placement::Placement;
-use wmn_obs::{EngineStats, TopologyStats};
+use wmn_obs::{DegradeStats, EngineStats, TopologyStats};
 
 /// Which routers count for client coverage.
 ///
@@ -148,6 +148,35 @@ impl fmt::Display for ConnectivityMode {
             ConnectivityMode::FullRebuild => write!(f, "full-rebuild"),
         }
     }
+}
+
+/// Self-check policy for the connectivity **degradation ladder**
+/// `Dynamic → DsuRescan → FullRebuild`.
+///
+/// All three [`ConnectivityMode`]s produce bit-identical state, so
+/// demoting to a slower rung is always output-safe — it trades speed for
+/// simplicity when the fast engine shows signs of trouble. Two triggers
+/// exist, both off by default (a zero field disables its trigger, and
+/// the all-zero `Default` policy is completely free on the hot path):
+///
+/// * **Audit:** every `audit_every` repairs, the component partition is
+///   recomputed from the adjacency by the whole-graph union–find rescan
+///   and compared with the engine's. A mismatch adopts the reference
+///   partition and demotes one rung.
+/// * **Fallback streak:** `fallback_streak_limit` consecutive repairs
+///   that each exceeded the dynamic engine's cost cap demote
+///   `Dynamic → DsuRescan` (paying one rescan per repair *anyway* means
+///   the dynamic bookkeeping is pure overhead).
+///
+/// Demotions are observable via the `degrade.*` counters of
+/// [`engine_stats`](WmnTopology::engine_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationPolicy {
+    /// Audit the partition every this many repairs (`0` = never).
+    pub audit_every: u64,
+    /// Demote `Dynamic → DsuRescan` after this many consecutive cost-cap
+    /// fallbacks (`0` = never).
+    pub fallback_streak_limit: u64,
 }
 
 /// Link model + coverage rule: everything configurable about how a
@@ -233,6 +262,9 @@ pub struct WmnTopology {
     disk_cached: Vec<bool>,
     /// Connectivity repair strategy (see [`ConnectivityMode`]).
     connectivity_mode: ConnectivityMode,
+    /// Degradation-ladder policy (see [`DegradationPolicy`]; all-zero =
+    /// disabled). Configuration like the mode: travels with state copies.
+    degradation: DegradationPolicy,
     scratch: MoveScratch,
 }
 
@@ -260,6 +292,22 @@ struct MoveScratch {
     /// like the connectivity engine's: zeroed by `clone`, kept running by
     /// `clone_from` (so per-slot totals accumulate across a GA run).
     counters: TopologyStats,
+    /// Degradation-ladder counters (audits, demotions); scratch like
+    /// `counters`.
+    degrade: DegradeStats,
+    /// Repairs since the last partition audit.
+    repairs_since_audit: u64,
+    /// Consecutive deletion repairs that each hit the cost-cap fallback.
+    fallback_streak: u64,
+    /// `conn.stats().fallbacks` after the previous repair (streak
+    /// detection).
+    last_fallbacks: u64,
+    /// `conn.stats().bfs_edge_visits` after the previous repair (a grown
+    /// value without a fallback means a deletion search *succeeded*,
+    /// which is what breaks a streak).
+    last_bfs_visits: u64,
+    /// Reference partition buffer for audits (lazily allocated).
+    audit_components: Option<Components>,
 }
 
 /// One unique moved router of a batch application
@@ -299,6 +347,7 @@ impl Clone for WmnTopology {
             disk_clients: self.disk_clients.clone(),
             disk_cached: self.disk_cached.clone(),
             connectivity_mode: self.connectivity_mode,
+            degradation: self.degradation,
             scratch,
         }
     }
@@ -328,6 +377,7 @@ impl Clone for WmnTopology {
         crate::spatial::clone_buckets_from(&mut self.disk_clients, &src.disk_clients);
         self.disk_cached.clone_from(&src.disk_cached);
         self.connectivity_mode = src.connectivity_mode;
+        self.degradation = src.degradation;
         self.scratch
             .conn
             .set_cost_cap(src.scratch.conn.cost_cap_override());
@@ -381,6 +431,7 @@ impl WmnTopology {
             disk_clients: vec![Vec::new(); positions_len],
             disk_cached: vec![false; positions_len],
             connectivity_mode: ConnectivityMode::default(),
+            degradation: DegradationPolicy::default(),
             scratch: MoveScratch::default(),
         };
         topo.refresh_giant_mask();
@@ -559,15 +610,51 @@ impl WmnTopology {
     /// kept running by `clone_from` — and deterministic for a fixed seed
     /// at any thread count.
     pub fn engine_stats(&self) -> EngineStats {
-        EngineStats::new(self.scratch.counters, self.scratch.conn.stats())
+        let mut stats = EngineStats::new(self.scratch.counters, self.scratch.conn.stats());
+        stats.degrade = self.scratch.degrade;
+        stats
     }
 
-    /// Zeroes every engine counter (topology and connectivity), starting
-    /// a fresh measurement window — per-generation or per-phase deltas
-    /// without lifetime bookkeeping.
+    /// Zeroes every engine counter (topology, connectivity, degradation),
+    /// starting a fresh measurement window — per-generation or per-phase
+    /// deltas without lifetime bookkeeping.
     pub fn reset_engine_stats(&mut self) {
         self.scratch.counters.reset();
         self.scratch.conn.reset_stats();
+        self.scratch.degrade.reset();
+    }
+
+    /// Arms (or, with the all-zero default, disarms) the connectivity
+    /// degradation ladder — see [`DegradationPolicy`]. Like the
+    /// connectivity mode, the policy travels with state copies
+    /// (`clone` / `clone_from`); the ladder's streak/audit bookkeeping is
+    /// scratch and starts fresh in a `clone`.
+    pub fn set_degradation_policy(&mut self, policy: DegradationPolicy) {
+        self.degradation = policy;
+    }
+
+    /// The active degradation-ladder policy.
+    pub fn degradation_policy(&self) -> DegradationPolicy {
+        self.degradation
+    }
+
+    /// Forces one demotion down the ladder
+    /// (`Dynamic → DsuRescan → FullRebuild`; a no-op at the bottom),
+    /// exactly as an audit failure would. Exposed for tests exercising
+    /// the lower rungs without having to corrupt the partition first.
+    #[doc(hidden)]
+    pub fn degrade_one_rung(&mut self) {
+        match self.connectivity_mode {
+            ConnectivityMode::Dynamic => {
+                self.connectivity_mode = ConnectivityMode::DsuRescan;
+                self.scratch.degrade.demotions_to_rescan += 1;
+            }
+            ConnectivityMode::DsuRescan => {
+                self.connectivity_mode = ConnectivityMode::FullRebuild;
+                self.scratch.degrade.demotions_to_full += 1;
+            }
+            ConnectivityMode::FullRebuild => {}
+        }
     }
 
     /// Overrides the dynamic engine's per-deletion edge-visit budget
@@ -783,7 +870,7 @@ impl WmnTopology {
     /// dynamic engine's [`RepairOutcome::Unchanged`]) — the giant mask is
     /// then current as-is and the membership-diff pass can be skipped.
     fn repair_components(&mut self) -> bool {
-        match self.connectivity_mode {
+        let unchanged = match self.connectivity_mode {
             ConnectivityMode::Dynamic => {
                 let MoveScratch {
                     uf,
@@ -810,7 +897,76 @@ impl WmnTopology {
                     .rebuild_incremental(&self.adjacency, uf, label_of_root);
                 false
             }
+        };
+        if self.degradation == DegradationPolicy::default() {
+            return unchanged;
         }
+        let audit_repaired = self.run_degradation_ladder();
+        unchanged && !audit_repaired
+    }
+
+    /// The degradation ladder's per-repair hook: streak detection plus the
+    /// periodic partition audit. Returns `true` when an audit found — and
+    /// repaired — a divergent partition (the caller must then treat the
+    /// repair as "changed" so masks get rebuilt).
+    fn run_degradation_ladder(&mut self) -> bool {
+        let policy = self.degradation;
+        if policy.fallback_streak_limit > 0 && self.connectivity_mode == ConnectivityMode::Dynamic {
+            let stats = self.scratch.conn.stats();
+            // Streak bookkeeping over repairs that exercised deletion
+            // handling: a fallback extends the streak, a *successful*
+            // search (visits grew, no fallback) breaks it, and repairs
+            // with no deletion work are neutral.
+            let fell_back = stats.fallbacks > self.scratch.last_fallbacks;
+            let searched = stats.bfs_edge_visits > self.scratch.last_bfs_visits;
+            self.scratch.last_fallbacks = stats.fallbacks;
+            self.scratch.last_bfs_visits = stats.bfs_edge_visits;
+            if fell_back {
+                self.scratch.fallback_streak += 1;
+            } else if searched {
+                self.scratch.fallback_streak = 0;
+            }
+            if self.scratch.fallback_streak >= policy.fallback_streak_limit {
+                // Paying a whole-graph rescan per repair anyway: the
+                // dynamic bookkeeping is pure overhead, demote past it.
+                self.degrade_one_rung();
+                self.scratch.fallback_streak = 0;
+            }
+        }
+        if policy.audit_every == 0 {
+            return false;
+        }
+        self.scratch.repairs_since_audit += 1;
+        if self.scratch.repairs_since_audit < policy.audit_every {
+            return false;
+        }
+        self.scratch.repairs_since_audit = 0;
+        self.audit_partition()
+    }
+
+    /// Recomputes the component partition from the adjacency by the
+    /// whole-graph union–find rescan and compares it with the engine's
+    /// (labels are canonical in every mode, so `==` is the right check).
+    /// On divergence: adopt the reference partition, demote one rung, and
+    /// report `true`.
+    fn audit_partition(&mut self) -> bool {
+        let MoveScratch {
+            uf,
+            label_of_root,
+            degrade,
+            audit_components,
+            ..
+        } = &mut self.scratch;
+        degrade.audits += 1;
+        let reference = audit_components.get_or_insert_with(|| self.components.clone());
+        reference.rebuild_incremental(&self.adjacency, uf, label_of_root);
+        if *reference == self.components {
+            return false;
+        }
+        degrade.audit_failures += 1;
+        std::mem::swap(&mut self.components, reference);
+        self.degrade_one_rung();
+        true
     }
 
     /// Repairs components (per the connectivity mode) and writes the fresh
@@ -1454,6 +1610,109 @@ mod tests {
                 "drift after step {step}"
             );
         }
+    }
+
+    fn churn(topo: &mut WmnTopology, seed: u64, steps: usize, extent: f64) {
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..steps {
+            let id = RouterId(rng.gen_range(0..topo.router_count()));
+            let p = Point::new(rng.gen_range(0.0..=extent), rng.gen_range(0.0..=extent));
+            topo.move_router(id, p);
+        }
+    }
+
+    /// A dense, well-connected topology: deleted edges usually leave both
+    /// endpoints with other links, so deletion repair actually runs the
+    /// bounded search (the paper instance is sparse enough that deletions
+    /// mostly hit the singleton fast path and never search).
+    fn dense_topology(seed: u64) -> WmnTopology {
+        let area = Area::square(40.0).unwrap();
+        let prof = RadioProfile::fixed(12.0).unwrap();
+        let instance = InstanceBuilder::new(area)
+            .routers(prof, 24)
+            .client(Point::new(20.0, 20.0))
+            .build()
+            .unwrap();
+        let mut rng = rng_from_seed(seed);
+        let placement = instance.random_placement(&mut rng);
+        WmnTopology::build(&instance, &placement, TopologyConfig::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn degrade_one_rung_walks_the_ladder() {
+        let (_instance, mut topo) = paper_topology(5);
+        assert_eq!(topo.connectivity_mode(), ConnectivityMode::Dynamic);
+        topo.degrade_one_rung();
+        assert_eq!(topo.connectivity_mode(), ConnectivityMode::DsuRescan);
+        topo.degrade_one_rung();
+        assert_eq!(topo.connectivity_mode(), ConnectivityMode::FullRebuild);
+        topo.degrade_one_rung();
+        assert_eq!(topo.connectivity_mode(), ConnectivityMode::FullRebuild);
+        let degrade = topo.engine_stats().degrade;
+        assert_eq!(degrade.demotions_to_rescan, 1);
+        assert_eq!(degrade.demotions_to_full, 1);
+    }
+
+    #[test]
+    fn audit_passes_on_a_healthy_engine() {
+        let (_instance, mut topo) = paper_topology(13);
+        topo.set_degradation_policy(DegradationPolicy {
+            audit_every: 4,
+            fallback_streak_limit: 0,
+        });
+        churn(&mut topo, 77, 30, 128.0);
+        topo.assert_consistent();
+        let degrade = topo.engine_stats().degrade;
+        assert!(degrade.audits > 0, "audits must have run");
+        assert_eq!(degrade.audit_failures, 0);
+        assert_eq!(degrade.demotions_to_rescan, 0);
+        assert_eq!(topo.connectivity_mode(), ConnectivityMode::Dynamic);
+    }
+
+    #[test]
+    fn fallback_streak_demotes_dynamic_to_rescan_without_changing_state() {
+        let mut topo = dense_topology(17);
+        let mut reference = topo.clone();
+        // Cost cap 0 forces the whole-graph fallback on every deletion
+        // that needs a search; three in a row must demote.
+        topo.set_connectivity_cost_cap(Some(0));
+        topo.set_degradation_policy(DegradationPolicy {
+            audit_every: 0,
+            fallback_streak_limit: 3,
+        });
+        churn(&mut topo, 31, 40, 40.0);
+        churn(&mut reference, 31, 40, 40.0);
+        assert_eq!(
+            topo.connectivity_mode(),
+            ConnectivityMode::DsuRescan,
+            "the streak must have demoted the engine"
+        );
+        let degrade = topo.engine_stats().degrade;
+        assert_eq!(degrade.demotions_to_rescan, 1);
+        assert_eq!(degrade.demotions_to_full, 0);
+        // Degradation is output-invariant: same state as the untouched
+        // dynamic reference.
+        topo.assert_consistent();
+        assert_eq!(topo.giant_size(), reference.giant_size());
+        assert_eq!(topo.covered_count(), reference.covered_count());
+        assert_eq!(topo.components(), reference.components());
+    }
+
+    #[test]
+    fn degradation_policy_travels_with_state_copies() {
+        let (_instance, mut topo) = paper_topology(19);
+        let policy = DegradationPolicy {
+            audit_every: 8,
+            fallback_streak_limit: 2,
+        };
+        topo.set_degradation_policy(policy);
+        let copy = topo.clone();
+        assert_eq!(copy.degradation_policy(), policy);
+        // Ladder counters are scratch: zeroed in a fresh clone.
+        assert_eq!(copy.engine_stats().degrade, Default::default());
+        let (_other, mut target) = paper_topology(23);
+        target.clone_from(&topo);
+        assert_eq!(target.degradation_policy(), policy);
     }
 
     #[test]

@@ -45,4 +45,7 @@ pub mod recorder;
 pub mod stats;
 
 pub use recorder::{time_span, Histogram, NoopRecorder, Recorder, SpanEntry, TelemetryRecorder};
-pub use stats::{ConnectivityStats, EngineStats, TopologyStats};
+pub use stats::{
+    ConnectivityStats, DegradeStats, EngineStats, FaultStats, RetryStats, RobustnessStats,
+    TopologyStats,
+};

@@ -190,6 +190,189 @@ impl TopologyStats {
     }
 }
 
+/// Counters of the connectivity degradation ladder (`wmn-graph`'s
+/// `DegradationPolicy`): self-check audits and mode demotions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DegradeStats {
+    /// Self-check audits run (reference partition rebuilt and compared).
+    pub audits: u64,
+    /// Audits whose comparison found a divergence.
+    pub audit_failures: u64,
+    /// Demotions `Dynamic → DsuRescan` (audit failure or fallback streak).
+    pub demotions_to_rescan: u64,
+    /// Demotions `DsuRescan → FullRebuild` (audit failure).
+    pub demotions_to_full: u64,
+}
+
+impl DegradeStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = DegradeStats::default();
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &DegradeStats) {
+        self.audits += other.audits;
+        self.audit_failures += other.audit_failures;
+        self.demotions_to_rescan += other.demotions_to_rescan;
+        self.demotions_to_full += other.demotions_to_full;
+    }
+
+    /// The counts accumulated since `earlier` was captured (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &DegradeStats) -> DegradeStats {
+        DegradeStats {
+            audits: self.audits.saturating_sub(earlier.audits),
+            audit_failures: self.audit_failures.saturating_sub(earlier.audit_failures),
+            demotions_to_rescan: self
+                .demotions_to_rescan
+                .saturating_sub(earlier.demotions_to_rescan),
+            demotions_to_full: self
+                .demotions_to_full
+                .saturating_sub(earlier.demotions_to_full),
+        }
+    }
+
+    /// Visits every counter as a `(name, value)` pair in a fixed order.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("audits", self.audits);
+        f("audit_failures", self.audit_failures);
+        f("demotions_to_rescan", self.demotions_to_rescan);
+        f("demotions_to_full", self.demotions_to_full);
+    }
+}
+
+/// Counters of injected faults (`wmn-runtime`'s `FaultPlan`) and the
+/// panics the pool isolated, regardless of their origin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FaultStats {
+    /// Panics injected by a fault plan.
+    pub injected_panics: u64,
+    /// `Err` returns injected by a fault plan.
+    pub injected_errors: u64,
+    /// Repair-cost blowups injected by a fault plan.
+    pub injected_blowups: u64,
+    /// Panics caught by the pool's per-job `catch_unwind` (injected or
+    /// organic).
+    pub caught_panics: u64,
+}
+
+impl FaultStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = FaultStats::default();
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.injected_panics += other.injected_panics;
+        self.injected_errors += other.injected_errors;
+        self.injected_blowups += other.injected_blowups;
+        self.caught_panics += other.caught_panics;
+    }
+
+    /// Visits every counter as a `(name, value)` pair in a fixed order.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("injected_panics", self.injected_panics);
+        f("injected_errors", self.injected_errors);
+        f("injected_blowups", self.injected_blowups);
+        f("caught_panics", self.caught_panics);
+    }
+}
+
+/// Counters of the pool's bounded retry policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RetryStats {
+    /// Job attempts started (successes and failures alike).
+    pub attempts: u64,
+    /// Attempts beyond each job's first (i.e. actual retries).
+    pub retries: u64,
+    /// Jobs that failed at least once and then succeeded.
+    pub recovered_jobs: u64,
+    /// Jobs that exhausted their attempt budget without succeeding.
+    pub exhausted_jobs: u64,
+}
+
+impl RetryStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = RetryStats::default();
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &RetryStats) {
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.recovered_jobs += other.recovered_jobs;
+        self.exhausted_jobs += other.exhausted_jobs;
+    }
+
+    /// Visits every counter as a `(name, value)` pair in a fixed order.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("attempts", self.attempts);
+        f("retries", self.retries);
+        f("recovered_jobs", self.recovered_jobs);
+        f("exhausted_jobs", self.exhausted_jobs);
+    }
+}
+
+/// The fault-isolation profile of one batch execution: injected faults
+/// plus retry outcomes. Reported on stderr by the experiment runners —
+/// deliberately **not** part of `telemetry.json`, whose byte-identity
+/// across faulty and fault-free runs is the chaos gate's whole point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RobustnessStats {
+    /// Injected-fault and caught-panic counters.
+    pub fault: FaultStats,
+    /// Retry-policy counters.
+    pub retry: RetryStats,
+}
+
+impl RobustnessStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.fault.reset();
+        self.retry.reset();
+    }
+
+    /// Adds `other`'s counts into `self` (order-independent).
+    pub fn merge(&mut self, other: &RobustnessStats) {
+        self.fault.merge(&other.fault);
+        self.retry.merge(&other.retry);
+    }
+
+    /// Whether anything at all was injected, caught, or retried (the
+    /// runners' gate for printing a chaos report).
+    pub fn is_zero(&self) -> bool {
+        *self == RobustnessStats::default()
+    }
+
+    /// Whether the batch ran without incident: no faults injected or
+    /// caught, no retries, no recovered or exhausted jobs. First
+    /// attempts alone (`retry.attempts` equals the job count) are
+    /// business as usual, so a fault-free run is uneventful even though
+    /// it is not [`is_zero`](Self::is_zero).
+    pub fn is_uneventful(&self) -> bool {
+        self.fault == FaultStats::default()
+            && self.retry.retries == 0
+            && self.retry.recovered_jobs == 0
+            && self.retry.exhausted_jobs == 0
+    }
+
+    /// Visits every counter as a dot-qualified `(name, value)` pair
+    /// (`fault.*` then `retry.*`) in a fixed order.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        self.fault
+            .for_each(|name, v| f(qualified_fault_name(name), v));
+        self.retry
+            .for_each(|name, v| f(qualified_retry_name(name), v));
+    }
+}
+
 /// The unified work profile of one evaluation engine (a `WmnTopology`
 /// and its embedded connectivity engine), or a deterministic aggregate
 /// of many.
@@ -200,14 +383,20 @@ pub struct EngineStats {
     pub topology: TopologyStats,
     /// Connectivity-repair counters.
     pub connectivity: ConnectivityStats,
+    /// Degradation-ladder counters (audits and mode demotions). Zero
+    /// unless a `DegradationPolicy` is armed, so default runs keep the
+    /// committed counter baselines unchanged.
+    pub degrade: DegradeStats,
 }
 
 impl EngineStats {
-    /// Composes an engine profile from its two counter groups.
+    /// Composes an engine profile from its topology and connectivity
+    /// counter groups (degradation counters start at zero).
     pub fn new(topology: TopologyStats, connectivity: ConnectivityStats) -> EngineStats {
         EngineStats {
             topology,
             connectivity,
+            degrade: DegradeStats::default(),
         }
     }
 
@@ -215,12 +404,14 @@ impl EngineStats {
     pub fn reset(&mut self) {
         self.topology.reset();
         self.connectivity.reset();
+        self.degrade.reset();
     }
 
     /// Adds `other`'s counts into `self` (order-independent).
     pub fn merge(&mut self, other: &EngineStats) {
         self.topology.merge(&other.topology);
         self.connectivity.merge(&other.connectivity);
+        self.degrade.merge(&other.degrade);
     }
 
     /// The counts accumulated since `earlier` was captured (saturating).
@@ -229,18 +420,23 @@ impl EngineStats {
         EngineStats {
             topology: self.topology.delta_since(&earlier.topology),
             connectivity: self.connectivity.delta_since(&earlier.connectivity),
+            degrade: self.degrade.delta_since(&earlier.degrade),
         }
     }
 
     /// Visits every counter as a dot-qualified `(name, value)` pair
-    /// (`topology.*` then `connectivity.*`) in a fixed order — the shape
-    /// the [`Recorder`](crate::Recorder) layer and telemetry JSON use.
+    /// (`topology.*`, then `connectivity.*`, then `degrade.*`) in a fixed
+    /// order — the shape the [`Recorder`](crate::Recorder) layer and
+    /// telemetry JSON use.
     pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
         self.topology.for_each(|name, v| {
             f(qualified_topology_name(name), v);
         });
         self.connectivity.for_each(|name, v| {
             f(qualified_connectivity_name(name), v);
+        });
+        self.degrade.for_each(|name, v| {
+            f(qualified_degrade_name(name), v);
         });
     }
 
@@ -286,6 +482,40 @@ fn qualified_connectivity_name(name: &'static str) -> &'static str {
         "splits" => "connectivity.splits",
         "bfs_edge_visits" => "connectivity.bfs_edge_visits",
         "fallbacks" => "connectivity.fallbacks",
+        other => other,
+    }
+}
+
+/// Maps a [`DegradeStats`] field name to its dot-qualified telemetry
+/// name.
+fn qualified_degrade_name(name: &'static str) -> &'static str {
+    match name {
+        "audits" => "degrade.audits",
+        "audit_failures" => "degrade.audit_failures",
+        "demotions_to_rescan" => "degrade.demotions_to_rescan",
+        "demotions_to_full" => "degrade.demotions_to_full",
+        other => other,
+    }
+}
+
+/// Maps a [`FaultStats`] field name to its dot-qualified name.
+fn qualified_fault_name(name: &'static str) -> &'static str {
+    match name {
+        "injected_panics" => "fault.injected_panics",
+        "injected_errors" => "fault.injected_errors",
+        "injected_blowups" => "fault.injected_blowups",
+        "caught_panics" => "fault.caught_panics",
+        other => other,
+    }
+}
+
+/// Maps a [`RetryStats`] field name to its dot-qualified name.
+fn qualified_retry_name(name: &'static str) -> &'static str {
+    match name {
+        "attempts" => "retry.attempts",
+        "retries" => "retry.retries",
+        "recovered_jobs" => "retry.recovered_jobs",
+        "exhausted_jobs" => "retry.exhausted_jobs",
         other => other,
     }
 }
@@ -349,13 +579,60 @@ mod tests {
         e.connectivity.repairs = 2;
         let mut names = Vec::new();
         e.for_each(|name, _| names.push(name));
-        assert_eq!(names.len(), 12 + 7, "every field appears exactly once");
+        assert_eq!(names.len(), 12 + 7 + 4, "every field appears exactly once");
         assert_eq!(names[0], "topology.single_moves");
         assert_eq!(names[12], "connectivity.repairs");
+        assert_eq!(names[19], "degrade.audits");
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len(), "names are unique");
+    }
+
+    #[test]
+    fn uneventful_ignores_first_attempts_but_not_incidents() {
+        let mut r = RobustnessStats::default();
+        assert!(r.is_uneventful());
+        // A fault-free batch still counts one attempt per job.
+        r.retry.attempts = 7;
+        assert!(r.is_uneventful());
+        r.retry.retries = 1;
+        assert!(!r.is_uneventful());
+        r.retry.retries = 0;
+        r.fault.injected_errors = 1;
+        assert!(!r.is_uneventful());
+    }
+
+    #[test]
+    fn robustness_for_each_is_fixed_order_and_complete() {
+        let mut r = RobustnessStats::default();
+        assert!(r.is_zero());
+        r.fault.injected_panics = 1;
+        r.retry.attempts = 2;
+        assert!(!r.is_zero());
+        let mut names = Vec::new();
+        r.for_each(|name, _| names.push(name));
+        assert_eq!(names.len(), 4 + 4);
+        assert_eq!(names[0], "fault.injected_panics");
+        assert_eq!(names[4], "retry.attempts");
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "names are unique");
+    }
+
+    #[test]
+    fn robustness_merge_adds_fieldwise() {
+        let mut a = RobustnessStats::default();
+        a.fault.caught_panics = 2;
+        a.retry.retries = 3;
+        let mut b = RobustnessStats::default();
+        b.fault.caught_panics = 1;
+        b.retry.recovered_jobs = 5;
+        a.merge(&b);
+        assert_eq!(a.fault.caught_panics, 3);
+        assert_eq!(a.retry.retries, 3);
+        assert_eq!(a.retry.recovered_jobs, 5);
     }
 
     #[test]

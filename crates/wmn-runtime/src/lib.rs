@@ -46,10 +46,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod grid;
 pub mod pool;
 pub mod sink;
 
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use grid::Cell;
-pub use pool::Runtime;
+pub use pool::{FailureKind, JobContext, JobFailure, RetryPolicy, Runtime};
 pub use sink::{MemorySink, RowSink};

@@ -10,11 +10,30 @@
 //! Results are written into a preallocated slot per job index, which is
 //! what makes the output order (and therefore downstream iteration order)
 //! independent of scheduling.
+//!
+//! Two execution families coexist:
+//!
+//! * the plain [`execute`](Runtime::execute) family, where a job panic
+//!   propagates to the caller (lock poisoning is recovered via
+//!   [`PoisonError::into_inner`], so a panicking job never corrupts
+//!   another job's completed result);
+//! * the **isolated** family
+//!   ([`try_execute_isolated`](Runtime::try_execute_isolated) and its
+//!   recorded variant), where every job attempt runs inside
+//!   [`std::panic::catch_unwind`], failures are classified
+//!   ([`FailureKind`]), and a bounded [`RetryPolicy`] re-runs failed
+//!   jobs. A retried job re-derives its seed from its grid coordinates
+//!   (seeds never come from shared state), and each attempt gets a fresh
+//!   private [`TelemetryRecorder`] whose contents are merged only on the
+//!   attempt that succeeds — which is why a within-budget faulty run's
+//!   results *and telemetry* are byte-identical to a fault-free run.
 
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
-use wmn_obs::{Recorder, TelemetryRecorder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+use wmn_obs::{Recorder, RobustnessStats, TelemetryRecorder};
 
 /// A deterministic parallel job executor.
 ///
@@ -92,19 +111,26 @@ impl Runtime {
 
         let workers = self.threads.min(jobs.len());
         let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+        // Lock poisoning is recovered everywhere (`PoisonError::into_inner`):
+        // no invariant here spans a lock acquisition, so a panicking job must
+        // not make surviving workers — or the final collection of results
+        // that *did* complete — panic a second time.
         let slots: Vec<Mutex<Option<R>>> = std::iter::repeat_with(|| Mutex::new(None))
-            .take(queue.lock().expect("fresh queue lock").len())
+            .take(queue.lock().unwrap_or_else(PoisonError::into_inner).len())
             .collect();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let Some((index, job)) = queue.lock().expect("job queue lock").pop_front()
+                    let Some((index, job)) = queue
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .pop_front()
                     else {
                         break;
                     };
                     let result = worker(index, job);
-                    *slots[index].lock().expect("result slot lock") = Some(result);
+                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
@@ -113,7 +139,7 @@ impl Runtime {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot lock")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .expect("every job index was executed exactly once")
             })
             .collect()
@@ -199,7 +225,301 @@ impl Runtime {
             .into_iter()
             .collect()
     }
+
+    /// Panic-isolated, retrying batch execution.
+    ///
+    /// Every attempt of every job runs inside
+    /// [`catch_unwind`](std::panic::catch_unwind); a failed attempt
+    /// (panic, `Err`, or injected fault from `plan`) is retried up to
+    /// `policy.max_attempts` times. The worker receives a [`JobContext`]
+    /// naming the job index, the attempt number, and whether this attempt
+    /// is sabotaged (a `blowup@repair` fault fired — the worker should
+    /// make repair work artificially expensive; the attempt is doomed
+    /// afterwards regardless, so sabotaged results never leak).
+    ///
+    /// Jobs are taken by reference so a retry re-runs the *same* job
+    /// value; determinism then follows from the caller deriving seeds
+    /// from the job's coordinates, never from shared state. The whole
+    /// batch always runs to completion; on failure the **lowest-indexed**
+    /// exhausted job is reported (deterministic across thread counts),
+    /// and `stats` accumulates the per-job fault/retry counters in job
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed job that exhausted its attempt budget.
+    pub fn try_execute_isolated<T, R, E, F>(
+        &self,
+        jobs: Vec<T>,
+        policy: RetryPolicy,
+        plan: Option<&FaultPlan>,
+        stats: &mut RobustnessStats,
+        worker: F,
+    ) -> Result<Vec<R>, JobFailure<E>>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(JobContext, &T) -> Result<R, E> + Sync,
+    {
+        let mut recorder = TelemetryRecorder::new();
+        self.try_execute_isolated_recorded(
+            jobs,
+            policy,
+            plan,
+            stats,
+            &mut recorder,
+            |ctx, job, _rec| worker(ctx, job),
+        )
+    }
+
+    /// [`try_execute_isolated`](Runtime::try_execute_isolated) with
+    /// per-job telemetry.
+    ///
+    /// Each *attempt* gets a fresh private [`TelemetryRecorder`]; only
+    /// the succeeding attempt's recorder is merged (in job-index order),
+    /// so the aggregated telemetry of a within-budget faulty run is
+    /// byte-identical to the fault-free run — failed attempts leave no
+    /// trace in the deterministic document. (This deliberately differs
+    /// from [`try_execute_recorded`](Runtime::try_execute_recorded),
+    /// which keeps failed jobs' telemetry.)
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed job that exhausted its attempt budget.
+    pub fn try_execute_isolated_recorded<T, R, E, F>(
+        &self,
+        jobs: Vec<T>,
+        policy: RetryPolicy,
+        plan: Option<&FaultPlan>,
+        stats: &mut RobustnessStats,
+        recorder: &mut TelemetryRecorder,
+        worker: F,
+    ) -> Result<Vec<R>, JobFailure<E>>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(JobContext, &T, &mut dyn Recorder) -> Result<R, E> + Sync,
+    {
+        let out = self.execute(jobs, |index, job| {
+            let mut job_stats = RobustnessStats::default();
+            let result = run_isolated_job(index, &job, policy, plan, &mut job_stats, &worker);
+            (result, job_stats)
+        });
+
+        let mut results = Vec::with_capacity(out.len());
+        let mut first_failure: Option<JobFailure<E>> = None;
+        for (result, job_stats) in out {
+            stats.merge(&job_stats);
+            match result {
+                Ok((r, job_recorder)) => {
+                    recorder.merge(job_recorder);
+                    results.push(r);
+                }
+                Err(failure) => {
+                    if first_failure.is_none() {
+                        first_failure = Some(failure);
+                    }
+                }
+            }
+        }
+        match first_failure {
+            Some(failure) => Err(failure),
+            None => Ok(results),
+        }
+    }
 }
+
+/// Runs one job to success or attempt exhaustion; the heart of the
+/// isolated execution family.
+fn run_isolated_job<T, R, E, F>(
+    index: usize,
+    job: &T,
+    policy: RetryPolicy,
+    plan: Option<&FaultPlan>,
+    stats: &mut RobustnessStats,
+    worker: &F,
+) -> Result<(R, TelemetryRecorder), JobFailure<E>>
+where
+    F: Fn(JobContext, &T, &mut dyn Recorder) -> Result<R, E>,
+{
+    let max_attempts = policy.max_attempts.max(1);
+    for attempt in 0..max_attempts {
+        stats.retry.attempts += 1;
+        if attempt > 0 {
+            stats.retry.retries += 1;
+        }
+        let start_fault = plan.and_then(|p| p.decide(FaultSite::JobStart, index, attempt));
+        let finish_fault = plan.and_then(|p| p.decide(FaultSite::JobFinish, index, attempt));
+        let sabotage = plan.and_then(|p| p.decide(FaultSite::Repair, index, attempt))
+            == Some(FaultKind::Blowup);
+        if sabotage {
+            stats.fault.injected_blowups += 1;
+        }
+
+        // The injected-fault counters are bumped *inside* the unwind scope
+        // (via the captured `&mut stats`) right before the corresponding
+        // panic fires, so mutation survives the unwind and the counts stay
+        // exact.
+        let fault = &mut stats.fault;
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            match start_fault {
+                Some(FaultKind::Panic) => {
+                    fault.injected_panics += 1;
+                    panic!("injected panic@start (job {index}, attempt {attempt})");
+                }
+                Some(FaultKind::Error) => {
+                    fault.injected_errors += 1;
+                    return Err(FailureKind::Injected("error@start"));
+                }
+                Some(FaultKind::Blowup) | None => {}
+            }
+            let mut attempt_recorder = TelemetryRecorder::new();
+            let ctx = JobContext {
+                index,
+                attempt,
+                sabotage,
+            };
+            match worker(ctx, job, &mut attempt_recorder) {
+                Err(e) => Err(FailureKind::Error(e)),
+                Ok(result) => {
+                    if sabotage {
+                        // Sabotaged work may have taken degraded paths;
+                        // never let its result (or telemetry) leak.
+                        return Err(FailureKind::Injected("blowup@repair"));
+                    }
+                    match finish_fault {
+                        Some(FaultKind::Panic) => {
+                            fault.injected_panics += 1;
+                            panic!("injected panic@finish (job {index}, attempt {attempt})");
+                        }
+                        Some(FaultKind::Error) => {
+                            fault.injected_errors += 1;
+                            Err(FailureKind::Injected("error@finish"))
+                        }
+                        Some(FaultKind::Blowup) | None => Ok((result, attempt_recorder)),
+                    }
+                }
+            }
+        }));
+
+        let failure_kind = match unwound {
+            Ok(Ok(success)) => {
+                if attempt > 0 {
+                    stats.retry.recovered_jobs += 1;
+                }
+                return Ok(success);
+            }
+            Ok(Err(kind)) => kind,
+            Err(payload) => {
+                stats.fault.caught_panics += 1;
+                FailureKind::Panic(panic_message(payload.as_ref()))
+            }
+        };
+        if attempt + 1 == max_attempts {
+            stats.retry.exhausted_jobs += 1;
+            return Err(JobFailure {
+                index,
+                attempts: max_attempts,
+                kind: failure_kind,
+            });
+        }
+    }
+    unreachable!("loop either returns success or exhausts the attempt budget");
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
+/// Bounded retry budget for the isolated execution family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per job (`0` is treated as `1`).
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// A policy allowing up to `max_attempts` attempts per job.
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// One attempt, i.e. no retries.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+}
+
+/// What the isolated worker is told about the attempt it is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobContext {
+    /// The job's index in the batch (its deterministic identity).
+    pub index: usize,
+    /// Zero-based attempt number (`> 0` means this is a retry).
+    pub attempt: u32,
+    /// Whether a `blowup@repair` fault fired for this attempt: the worker
+    /// should make repair artificially expensive (e.g. force connectivity
+    /// fallbacks); the attempt is doomed afterwards either way.
+    pub sabotage: bool,
+}
+
+/// Classification of one failed attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind<E> {
+    /// The attempt panicked; carries the panic message.
+    Panic(String),
+    /// The worker returned `Err`.
+    Error(E),
+    /// A fault plan doomed the attempt (carries the `kind@site` label).
+    Injected(&'static str),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for FailureKind<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureKind::Error(e) => write!(f, "error: {e}"),
+            FailureKind::Injected(label) => write!(f, "injected fault: {label}"),
+        }
+    }
+}
+
+/// A job that exhausted its attempt budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure<E> {
+    /// The failing job's index in the batch.
+    pub index: usize,
+    /// Attempts consumed (equals the policy's cap).
+    pub attempts: u32,
+    /// The classification of the final attempt's failure.
+    pub kind: FailureKind<E>,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for JobFailure<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} failed after {} attempt{}: {}",
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.kind
+        )
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for JobFailure<E> {}
 
 impl Default for Runtime {
     /// One worker per available core; equivalent to `Runtime::new(0)`.
@@ -323,6 +643,206 @@ mod tests {
             assert_eq!(json, serial_json, "threads = {threads}");
         }
         assert!(serial_json.contains("\"jobs\":32"));
+    }
+
+    #[test]
+    fn isolated_matches_plain_execution_without_faults() {
+        let jobs: Vec<u64> = (0..16).map(|i| i * 3).collect();
+        let mut stats = RobustnessStats::default();
+        let out = Runtime::new(4)
+            .try_execute_isolated(
+                jobs.clone(),
+                RetryPolicy::default(),
+                None,
+                &mut stats,
+                |ctx, x| Ok::<_, String>(x + ctx.index as u64),
+            )
+            .unwrap();
+        let expected: Vec<u64> = jobs.iter().enumerate().map(|(i, x)| x + i as u64).collect();
+        assert_eq!(out, expected);
+        assert_eq!(stats.retry.attempts, 16);
+        assert_eq!(stats.retry.retries, 0);
+        assert!(stats.fault == Default::default());
+    }
+
+    #[test]
+    fn isolated_failure_at_every_index_selects_that_index_across_thread_counts() {
+        // The satellite's matrix: a single injected failure at each job
+        // index, at 1, 2, and 8 threads, must always report exactly that
+        // index (with one job there is nothing lower to confuse it with).
+        for fail_at in 0..8usize {
+            for threads in [1, 2, 8] {
+                let jobs: Vec<usize> = (0..8).collect();
+                let mut stats = RobustnessStats::default();
+                let err = Runtime::new(threads)
+                    .try_execute_isolated(
+                        jobs,
+                        RetryPolicy::default(),
+                        None,
+                        &mut stats,
+                        |ctx, x| {
+                            if ctx.index == fail_at {
+                                Err(format!("boom at {x}"))
+                            } else {
+                                Ok(*x)
+                            }
+                        },
+                    )
+                    .unwrap_err();
+                assert_eq!(err.index, fail_at, "threads = {threads}");
+                assert_eq!(err.attempts, 1);
+                assert_eq!(err.kind, FailureKind::Error(format!("boom at {fail_at}")));
+                assert_eq!(stats.retry.exhausted_jobs, 1, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_reports_lowest_index_of_many_failures() {
+        for threads in [1, 2, 8] {
+            let jobs: Vec<usize> = (0..16).collect();
+            let mut stats = RobustnessStats::default();
+            let err = Runtime::new(threads)
+                .try_execute_isolated(jobs, RetryPolicy::default(), None, &mut stats, |ctx, _| {
+                    if ctx.index % 5 == 3 {
+                        Err(format!("job {} failed", ctx.index))
+                    } else {
+                        Ok(ctx.index)
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err.index, 3, "threads = {threads}");
+            assert_eq!(stats.retry.exhausted_jobs, 3);
+        }
+    }
+
+    #[test]
+    fn isolated_catches_panics_and_classifies_them() {
+        let jobs: Vec<usize> = (0..6).collect();
+        let mut stats = RobustnessStats::default();
+        let err = Runtime::new(3)
+            .try_execute_isolated(
+                jobs,
+                RetryPolicy::default(),
+                None,
+                &mut stats,
+                |ctx, _| -> Result<usize, String> {
+                    if ctx.index == 2 {
+                        panic!("organic panic in job {}", ctx.index);
+                    }
+                    Ok(ctx.index)
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(
+            err.kind,
+            FailureKind::Panic(String::from("organic panic in job 2"))
+        );
+        assert_eq!(stats.fault.caught_panics, 1);
+        assert_eq!(
+            err.to_string(),
+            "job 2 failed after 1 attempt: panic: organic panic in job 2"
+        );
+    }
+
+    #[test]
+    fn retried_jobs_recover_and_match_fault_free_output_bytewise() {
+        use crate::fault::FaultPlan;
+        // Every job's first attempt is doomed three different ways; with
+        // three attempts allowed, the batch recovers, and both results and
+        // merged telemetry render byte-identically to the fault-free run.
+        let plan =
+            FaultPlan::parse("seed=7;panic@start:p=0.3;error@finish:p=0.3;blowup@repair:p=0.3")
+                .unwrap();
+        let work = |ctx: JobContext, x: &u64, rec: &mut dyn Recorder| -> Result<u64, String> {
+            rec.counter("jobs", 1);
+            rec.value("payload", *x);
+            // Sabotaged attempts really do different (more expensive) work —
+            // which must never show up in the surviving telemetry.
+            if ctx.sabotage {
+                rec.counter("expensive_fallbacks", 100);
+            }
+            Ok(x * 7)
+        };
+        let run = |threads: usize, plan: Option<&FaultPlan>| {
+            let jobs: Vec<u64> = (0..24).collect();
+            let mut stats = RobustnessStats::default();
+            let mut recorder = TelemetryRecorder::new();
+            let out = Runtime::new(threads)
+                .try_execute_isolated_recorded(
+                    jobs,
+                    RetryPolicy::new(3),
+                    plan,
+                    &mut stats,
+                    &mut recorder,
+                    work,
+                )
+                .unwrap();
+            (out, recorder.render_json(), stats)
+        };
+        let (clean_out, clean_json, clean_stats) = run(1, None);
+        assert!(clean_stats.is_zero() || clean_stats.retry.attempts == 24);
+        for threads in [1, 2, 8] {
+            let (out, json, stats) = run(threads, Some(&plan));
+            assert_eq!(out, clean_out, "threads = {threads}");
+            assert_eq!(json, clean_json, "threads = {threads}");
+            // Some faults fired (p=0.3 over 24 jobs × 3 rules) and every
+            // doomed job recovered.
+            assert!(stats.retry.retries > 0, "threads = {threads}");
+            assert_eq!(stats.retry.exhausted_jobs, 0);
+            assert_eq!(stats.retry.recovered_jobs, stats.retry.retries);
+            // Fault/retry profiles are themselves thread-invariant.
+            let (_, _, again) = run(1, Some(&plan));
+            assert_eq!(stats, again, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reports_the_job_deterministically() {
+        use crate::fault::FaultPlan;
+        // n=4 doomed attempts > max_attempts=2: job can never recover.
+        let plan = FaultPlan::parse("seed=1;error@start:p=1,n=4").unwrap();
+        for threads in [1, 2, 8] {
+            let jobs: Vec<u64> = (0..6).collect();
+            let mut stats = RobustnessStats::default();
+            let err = Runtime::new(threads)
+                .try_execute_isolated(
+                    jobs,
+                    RetryPolicy::new(2),
+                    Some(&plan),
+                    &mut stats,
+                    |_, x| Ok::<_, String>(*x),
+                )
+                .unwrap_err();
+            assert_eq!(err.index, 0, "threads = {threads}");
+            assert_eq!(err.attempts, 2);
+            assert_eq!(err.kind, FailureKind::Injected("error@start"));
+            assert_eq!(stats.retry.exhausted_jobs, 6);
+            assert_eq!(stats.fault.injected_errors, 12);
+        }
+    }
+
+    #[test]
+    fn injected_panic_counters_are_exact() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::parse("seed=3;panic@finish:p=1,n=1").unwrap();
+        let jobs: Vec<u64> = (0..5).collect();
+        let mut stats = RobustnessStats::default();
+        let out = Runtime::serial()
+            .try_execute_isolated(
+                jobs,
+                RetryPolicy::new(2),
+                Some(&plan),
+                &mut stats,
+                |_, x| Ok::<_, String>(*x),
+            )
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.fault.injected_panics, 5);
+        assert_eq!(stats.fault.caught_panics, 5);
+        assert_eq!(stats.retry.attempts, 10);
+        assert_eq!(stats.retry.recovered_jobs, 5);
     }
 
     #[test]
