@@ -6,7 +6,13 @@
 //! intersect (`d ≤ r_i + r_j`), the standard geometric model in the WMN
 //! placement literature and the one that keeps heterogeneous ("oscillating")
 //! radii meaningful.
+//!
+//! Adjacency lists live in a [`NeighborSlab`] arena (u32 router ids, one
+//! flat element array, free-list-recycled blocks — see the
+//! [`arena`](crate::arena) module docs), so state copies are bulk `memcpy`s
+//! and neighbor walks stay inside one allocation.
 
+use crate::arena::NeighborSlab;
 use crate::spatial::GridIndex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -82,13 +88,14 @@ impl fmt::Display for LinkModel {
     }
 }
 
-/// Undirected adjacency lists of the router mesh.
+/// Undirected adjacency lists of the router mesh, stored in a
+/// [`NeighborSlab`] arena (u32 router ids).
 ///
 /// Node `i` corresponds to router `i`; neighbor lists are sorted and
 /// deduplicated.
 #[derive(Debug, PartialEq, Eq, Default)]
 pub struct MeshAdjacency {
-    neighbors: Vec<Vec<usize>>,
+    neighbors: NeighborSlab,
     edge_count: usize,
 }
 
@@ -100,11 +107,11 @@ impl Clone for MeshAdjacency {
         }
     }
 
-    /// Buffer-reusing copy: every neighbor-list allocation already held by
-    /// `self` is kept, so copying adjacency between same-sized topologies
-    /// (the GA population pool) is allocation-free once warm.
+    /// Buffer-reusing copy: the slab copy is a handful of bulk copies, so
+    /// copying adjacency between same-sized topologies (the GA population
+    /// pool) is allocation-free once warm — and layout-identical.
     fn clone_from(&mut self, src: &Self) {
-        crate::spatial::clone_buckets_from(&mut self.neighbors, &src.neighbors);
+        self.neighbors.clone_from(&src.neighbors);
         self.edge_count = src.edge_count;
     }
 }
@@ -115,7 +122,8 @@ impl MeshAdjacency {
     ///
     /// # Panics
     ///
-    /// Panics if `positions.len() != radii.len()`.
+    /// Panics if `positions.len() != radii.len()` or the router count does
+    /// not fit u32 ids.
     pub fn build(
         area: &Area,
         positions: &[Point],
@@ -134,7 +142,7 @@ impl MeshAdjacency {
         let max_radius = radii.iter().copied().fold(0.0_f64, f64::max);
         let index = GridIndex::build(area, positions, model.grid_cell_size(max_radius));
 
-        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut neighbors = NeighborSlab::with_nodes(n);
         let mut edge_count = 0;
         for i in 0..n {
             let query_r = model.max_link_range(radii[i], max_radius);
@@ -144,14 +152,14 @@ impl MeshAdjacency {
                 }
                 let d2 = positions[i].distance_squared(positions[j]);
                 if model.links(d2, radii[i], radii[j]) {
-                    neighbors[i].push(j);
-                    neighbors[j].push(i);
+                    neighbors.push(i, j as u32);
+                    neighbors.push(j, i as u32);
                     edge_count += 1;
                 }
             }
         }
-        for list in &mut neighbors {
-            list.sort_unstable();
+        for i in 0..n {
+            neighbors.get_mut(i).sort_unstable();
         }
         MeshAdjacency {
             neighbors,
@@ -167,14 +175,14 @@ impl MeshAdjacency {
     ) -> MeshAdjacency {
         assert_eq!(positions.len(), radii.len());
         let n = positions.len();
-        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut neighbors = NeighborSlab::with_nodes(n);
         let mut edge_count = 0;
         for i in 0..n {
             for j in (i + 1)..n {
                 let d2 = positions[i].distance_squared(positions[j]);
                 if model.links(d2, radii[i], radii[j]) {
-                    neighbors[i].push(j);
-                    neighbors[j].push(i);
+                    neighbors.push(i, j as u32);
+                    neighbors.push(j, i as u32);
                     edge_count += 1;
                 }
             }
@@ -187,7 +195,7 @@ impl MeshAdjacency {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.neighbors.len()
+        self.neighbors.node_count()
     }
 
     /// Number of undirected edges.
@@ -195,13 +203,14 @@ impl MeshAdjacency {
         self.edge_count
     }
 
-    /// Neighbors of node `i` (sorted).
+    /// Neighbors of node `i` (sorted u32 router ids).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn neighbors(&self, i: usize) -> &[usize] {
-        &self.neighbors[i]
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        self.neighbors.get(i)
     }
 
     /// Degree of node `i`.
@@ -210,76 +219,81 @@ impl MeshAdjacency {
     ///
     /// Panics if `i` is out of range.
     pub fn degree(&self, i: usize) -> usize {
-        self.neighbors[i].len()
+        self.neighbors.len_of(i)
     }
 
     /// Mean node degree (0 for an empty graph).
     pub fn mean_degree(&self) -> f64 {
-        if self.neighbors.is_empty() {
+        if self.neighbors.node_count() == 0 {
             return 0.0;
         }
-        2.0 * self.edge_count as f64 / self.neighbors.len() as f64
+        2.0 * self.edge_count as f64 / self.neighbors.node_count() as f64
     }
 
-    /// Removes every edge incident to `i`, returning the former neighbors.
-    /// Part of the incremental-move repair path; prefer
-    /// [`MeshAdjacency::detach_node_into`] in loops — it reuses buffers.
-    pub fn detach_node(&mut self, i: usize) -> Vec<usize> {
-        let mut old = Vec::new();
-        self.detach_node_into(i, &mut old);
-        old
-    }
-
-    /// Removes every edge incident to `i`, writing the former neighbors
-    /// (sorted) into `out` (cleared first). Neither `out` nor the internal
-    /// lists are reallocated once warm — this is the per-move hot path.
-    pub fn detach_node_into(&mut self, i: usize, out: &mut Vec<usize>) {
-        out.clear();
-        let mut list = std::mem::take(&mut self.neighbors[i]);
-        for &j in &list {
-            if let Ok(pos) = self.neighbors[j].binary_search(&i) {
-                self.neighbors[j].remove(pos);
+    /// Rewrites node `i`'s neighbor set from `old` (its current list) to
+    /// `new`, touching only the **changed** neighbors: a linear merge-diff
+    /// over the two sorted, duplicate-free slices removes `i` from dropped
+    /// neighbors and inserts it into gained ones, then `i`'s own block is
+    /// overwritten in place. Links that survive a move cost nothing — the
+    /// per-move edge repair's slab mutations are proportional to the edge
+    /// *delta*, not the degree. Allocation-free once the slab is warm.
+    ///
+    /// The caller guarantees `old` equals `i`'s current list (checked in
+    /// debug builds).
+    pub fn replace_node_edges(&mut self, i: usize, old: &[u32], new: &[u32]) {
+        debug_assert_eq!(self.neighbors.get(i), old, "old must be i's current list");
+        debug_assert!(new.windows(2).all(|w| w[0] < w[1]), "sorted");
+        debug_assert!(!new.contains(&(i as u32)));
+        let (mut a, mut b) = (0usize, 0usize);
+        loop {
+            match (old.get(a), new.get(b)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    a += 1;
+                    b += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    self.drop_half_edge(i, x);
+                    a += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    self.add_half_edge(i, y);
+                    b += 1;
+                }
+                (Some(&x), None) => {
+                    self.drop_half_edge(i, x);
+                    a += 1;
+                }
+                (None, Some(&y)) => {
+                    self.add_half_edge(i, y);
+                    b += 1;
+                }
+                (None, None) => break,
             }
-            self.edge_count -= 1;
         }
-        out.extend_from_slice(&list);
-        list.clear();
-        self.neighbors[i] = list; // hand the (empty) buffer back, capacity intact
+        self.neighbors.assign(i, new);
     }
 
-    /// Connects `i` to each node in `new_neighbors` (which must not contain
-    /// `i` or duplicates). Part of the incremental-move repair path; prefer
-    /// [`MeshAdjacency::attach_node_from`] in loops.
-    pub fn attach_node(&mut self, i: usize, new_neighbors: Vec<usize>) {
-        let mut sorted = new_neighbors;
-        sorted.sort_unstable();
-        self.attach_node_from(i, &sorted);
+    /// Removes `i` from dropped neighbor `j`'s list (the `j → i` half of
+    /// the undirected edge; `i`'s own list is rewritten wholesale by
+    /// [`replace_node_edges`](MeshAdjacency::replace_node_edges)).
+    fn drop_half_edge(&mut self, i: usize, j: u32) {
+        let removed = self.neighbors.remove_sorted(j as usize, i as u32);
+        debug_assert!(removed, "symmetric edge {i}-{j} missing on removal");
+        self.edge_count -= 1;
     }
 
-    /// Connects `i` (currently detached) to each node in the **sorted,
-    /// duplicate-free** slice `new_neighbors`, without taking ownership of
-    /// any buffer. The allocation-free counterpart of
-    /// [`MeshAdjacency::attach_node`].
-    pub fn attach_node_from(&mut self, i: usize, new_neighbors: &[usize]) {
-        debug_assert!(self.neighbors[i].is_empty(), "attach after detach only");
-        debug_assert!(new_neighbors.windows(2).all(|w| w[0] < w[1]), "sorted");
-        debug_assert!(!new_neighbors.contains(&i));
-        for &j in new_neighbors {
-            match self.neighbors[j].binary_search(&i) {
-                Ok(_) => unreachable!("duplicate edge insertion"),
-                Err(pos) => self.neighbors[j].insert(pos, i),
-            }
-            self.edge_count += 1;
-        }
-        self.neighbors[i].extend_from_slice(new_neighbors);
+    /// Inserts `i` into gained neighbor `j`'s sorted list.
+    fn add_half_edge(&mut self, i: usize, j: u32) {
+        let inserted = self.neighbors.insert_sorted(j as usize, i as u32);
+        assert!(inserted, "duplicate edge insertion");
+        self.edge_count += 1;
     }
 
     /// Recomputes the whole adjacency **in place** for `positions`/`radii`
     /// under `model`, taking candidate pairs from `grid` (which must be in
     /// sync with `positions`). Produces exactly the result of
-    /// [`MeshAdjacency::build`] while reusing every neighbor-list buffer —
-    /// the workspace path behind `Evaluator::evaluate_with` in
-    /// `wmn-metrics`.
+    /// [`MeshAdjacency::build`] while reusing the slab's blocks — the
+    /// workspace path behind `Evaluator::evaluate_with` in `wmn-metrics`.
     ///
     /// # Panics
     ///
@@ -297,10 +311,7 @@ impl MeshAdjacency {
             "positions and radii must be parallel vectors"
         );
         let n = positions.len();
-        self.neighbors.resize_with(n, Vec::new);
-        for list in &mut self.neighbors {
-            list.clear();
-        }
+        self.neighbors.clear_lists(n);
         self.edge_count = 0;
         let max_radius = radii.iter().copied().fold(0.0_f64, f64::max);
         for i in 0..n {
@@ -311,15 +322,44 @@ impl MeshAdjacency {
                 }
                 let d2 = positions[i].distance_squared(positions[j]);
                 if model.links(d2, radii[i], radii[j]) {
-                    self.neighbors[i].push(j);
-                    self.neighbors[j].push(i);
+                    self.neighbors.push(i, j as u32);
+                    self.neighbors.push(j, i as u32);
                     self.edge_count += 1;
                 }
             }
         }
-        for list in &mut self.neighbors {
-            list.sort_unstable();
+        for i in 0..n {
+            self.neighbors.get_mut(i).sort_unstable();
         }
+    }
+
+    /// Asserts the backing slab's structural invariants (free lists, block
+    /// tiling — see [`NeighborSlab::assert_invariants`]) plus list
+    /// symmetry/sortedness and the edge-count sum. Wired into
+    /// `WmnTopology::assert_consistent` so every equivalence suite checks
+    /// the arena internals too.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn assert_arena_invariants(&self) {
+        self.neighbors.assert_invariants();
+        let mut total = 0usize;
+        for i in 0..self.node_count() {
+            let list = self.neighbors(i);
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "node {i} unsorted");
+            for &j in list {
+                assert_ne!(j as usize, i, "self-loop at {i}");
+                assert!(
+                    self.neighbors(j as usize)
+                        .binary_search(&(i as u32))
+                        .is_ok(),
+                    "edge {i}-{j} asymmetric"
+                );
+            }
+            total += list.len();
+        }
+        assert_eq!(total, 2 * self.edge_count, "edge count drifted from lists");
     }
 }
 
@@ -380,6 +420,7 @@ mod tests {
             let fast = MeshAdjacency::build(&area, &pts, &radii, model);
             let slow = MeshAdjacency::build_brute_force(&pts, &radii, model);
             assert_eq!(fast, slow, "model {model}");
+            fast.assert_arena_invariants();
         }
     }
 
@@ -390,8 +431,11 @@ mod tests {
         let adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
         for i in 0..adj.node_count() {
             for &j in adj.neighbors(i) {
-                assert!(adj.neighbors(j).contains(&i), "edge {i}-{j} asymmetric");
-                assert_ne!(i, j, "self-loop at {i}");
+                assert!(
+                    adj.neighbors(j as usize).contains(&(i as u32)),
+                    "edge {i}-{j} asymmetric"
+                );
+                assert_ne!(i as u32, j, "self-loop at {i}");
             }
         }
     }
@@ -424,23 +468,6 @@ mod tests {
     }
 
     #[test]
-    fn detach_then_attach_restores_graph() {
-        let area = area100();
-        let (pts, radii) = random_layout(80, 6);
-        let original = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
-        let mut adj = original.clone();
-        let old = adj.detach_node(17);
-        assert_eq!(adj.degree(17), 0);
-        assert_eq!(
-            adj.edge_count(),
-            original.edge_count() - old.len(),
-            "detach removes exactly the node's edges"
-        );
-        adj.attach_node(17, old);
-        assert_eq!(adj, original);
-    }
-
-    #[test]
     fn rebuild_in_place_matches_build_all_models() {
         use crate::spatial::DynamicGrid;
         let area = area100();
@@ -458,31 +485,70 @@ mod tests {
                 adj.rebuild_in_place(&pts, &radii, model, &grid);
                 let fresh = MeshAdjacency::build(&area, &pts, &radii, model);
                 assert_eq!(adj, fresh, "model {model} trial {trial}");
+                adj.assert_arena_invariants();
             }
         }
     }
 
     #[test]
-    fn detach_into_and_attach_from_round_trip() {
+    fn replace_node_edges_detach_and_reattach_round_trip() {
         let area = area100();
         let (pts, radii) = random_layout(80, 14);
         let original = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
         let mut adj = original.clone();
-        let mut old = Vec::new();
-        adj.detach_node_into(23, &mut old);
-        assert_eq!(adj.degree(23), 0);
+        let old: Vec<u32> = adj.neighbors(23).to_vec();
         assert!(old.windows(2).all(|w| w[0] < w[1]), "sorted neighbors");
-        adj.attach_node_from(23, &old);
+        adj.replace_node_edges(23, &old, &[]);
+        assert_eq!(adj.degree(23), 0);
+        assert_eq!(
+            adj.edge_count(),
+            original.edge_count() - old.len(),
+            "detaching removes exactly the node's edges"
+        );
+        adj.replace_node_edges(23, &[], &old);
         assert_eq!(adj, original);
+        adj.assert_arena_invariants();
     }
 
     #[test]
-    fn detach_isolated_node_is_noop_on_edges() {
+    fn replace_node_edges_partial_overlap_touches_only_the_delta() {
+        let area = area100();
+        let (pts, radii) = random_layout(80, 14);
+        let mut adj = MeshAdjacency::build(&area, &pts, &radii, LinkModel::CoverageOverlap);
+        let node = (0..80usize)
+            .max_by_key(|&i| adj.degree(i))
+            .expect("nonempty layout");
+        assert!(
+            adj.degree(node) >= 2,
+            "layout must give some node neighbors"
+        );
+        let old: Vec<u32> = adj.neighbors(node).to_vec();
+        // Keep a prefix of the current neighbors, gain one new one.
+        let gained: u32 = (0..80u32)
+            .find(|j| *j as usize != node && !old.contains(j))
+            .unwrap();
+        let mut new: Vec<u32> = old[..old.len() - 1].to_vec();
+        new.push(gained);
+        new.sort_unstable();
+        new.dedup();
+        let before = adj.edge_count();
+        adj.replace_node_edges(node, &old, &new);
+        assert_eq!(adj.neighbors(node), new.as_slice());
+        assert_eq!(adj.edge_count(), before); // one dropped, one gained
+        assert!(adj.neighbors(gained as usize).contains(&(node as u32)));
+        assert!(!adj
+            .neighbors(old[old.len() - 1] as usize)
+            .contains(&(node as u32)));
+        adj.assert_arena_invariants();
+    }
+
+    #[test]
+    fn replace_node_edges_identical_lists_is_a_noop() {
         let pts = vec![Point::new(0.0, 0.0), Point::new(50.0, 50.0)];
         let radii = vec![1.0, 1.0];
         let mut adj = MeshAdjacency::build(&area100(), &pts, &radii, LinkModel::CoverageOverlap);
-        let old = adj.detach_node(0);
-        assert!(old.is_empty());
+        adj.replace_node_edges(0, &[], &[]);
         assert_eq!(adj.edge_count(), 0);
+        assert_eq!(adj.degree(0), 0);
     }
 }

@@ -5,9 +5,17 @@
 //! [`MeshAdjacency`], either by BFS or by union–find (both kept so the
 //! `ablation_components` bench can compare them; they are verified equal in
 //! tests).
+//!
+//! Labels and sizes are stored as flat `u32` arrays (the crate-wide id-width
+//! invariant — see the [`arena`](crate::arena) module docs): component
+//! labels fit u32 because node counts do, and the flat layout makes
+//! `clone_from` two bulk copies.
 
 use crate::adjacency::MeshAdjacency;
 use crate::dsu::UnionFind;
+
+/// Sentinel for "no label assigned yet" / "no giant component".
+const NONE: u32 = u32::MAX;
 
 /// Component structure of a router mesh.
 ///
@@ -36,12 +44,12 @@ use crate::dsu::UnionFind;
 pub struct Components {
     /// Component label per node, labels in `0..count`, assigned in order of
     /// first appearance (lowest node index first).
-    label: Vec<usize>,
+    label: Vec<u32>,
     /// Size per component label.
-    sizes: Vec<usize>,
-    /// Label of the giant component (lowest label among maxima), or
-    /// `usize::MAX` for an empty graph.
-    giant: usize,
+    sizes: Vec<u32>,
+    /// Label of the giant component (lowest label among maxima), or [`NONE`]
+    /// for an empty graph.
+    giant: u32,
 }
 
 impl Clone for Components {
@@ -54,7 +62,7 @@ impl Clone for Components {
     }
 
     /// Buffer-reusing copy (allocation-free once `self` has seen a graph at
-    /// least this large).
+    /// least this large) — two `copy_from_slice`-class bulk copies.
     fn clone_from(&mut self, src: &Self) {
         self.label.clone_from(&src.label);
         self.sizes.clone_from(&src.sizes);
@@ -66,23 +74,23 @@ impl Components {
     /// Computes components by breadth-first search.
     pub fn from_adjacency(adj: &MeshAdjacency) -> Components {
         let n = adj.node_count();
-        let mut label = vec![usize::MAX; n];
-        let mut sizes = Vec::new();
+        let mut label = vec![NONE; n];
+        let mut sizes: Vec<u32> = Vec::new();
         let mut queue = std::collections::VecDeque::new();
         for start in 0..n {
-            if label[start] != usize::MAX {
+            if label[start] != NONE {
                 continue;
             }
             let id = sizes.len();
             sizes.push(0);
-            label[start] = id;
+            label[start] = id as u32;
             queue.push_back(start);
             while let Some(u) = queue.pop_front() {
                 sizes[id] += 1;
                 for &v in adj.neighbors(u) {
-                    if label[v] == usize::MAX {
-                        label[v] = id;
-                        queue.push_back(v);
+                    if label[v as usize] == NONE {
+                        label[v as usize] = id as u32;
+                        queue.push_back(v as usize);
                     }
                 }
             }
@@ -102,15 +110,15 @@ impl Components {
         let mut uf = UnionFind::new(n);
         for i in 0..n {
             for &j in adj.neighbors(i) {
-                if j > i {
-                    uf.union(i, j);
+                if j as usize > i {
+                    uf.union(i, j as usize);
                 }
             }
         }
-        let label = uf.labeling();
-        let mut sizes = vec![0usize; uf.set_count()];
+        let label: Vec<u32> = uf.labeling().into_iter().map(|l| l as u32).collect();
+        let mut sizes = vec![0u32; uf.set_count()];
         for &l in &label {
-            sizes[l] += 1;
+            sizes[l as usize] += 1;
         }
         let giant = Self::giant_label(&sizes);
         Components {
@@ -133,25 +141,25 @@ impl Components {
         &mut self,
         adj: &MeshAdjacency,
         uf: &mut UnionFind,
-        label_of_root: &mut Vec<usize>,
+        label_of_root: &mut Vec<u32>,
     ) {
         let n = adj.node_count();
         uf.reset(n);
         for i in 0..n {
             for &j in adj.neighbors(i) {
-                if j > i {
-                    uf.union(i, j);
+                if j as usize > i {
+                    uf.union(i, j as usize);
                 }
             }
         }
         label_of_root.clear();
-        label_of_root.resize(n, usize::MAX);
+        label_of_root.resize(n, NONE);
         self.label.clear();
         self.sizes.clear();
         for x in 0..n {
             let r = uf.find(x);
-            let l = if label_of_root[r] == usize::MAX {
-                let next = self.sizes.len();
+            let l = if label_of_root[r] == NONE {
+                let next = self.sizes.len() as u32;
                 label_of_root[r] = next;
                 self.sizes.push(0);
                 next
@@ -159,14 +167,14 @@ impl Components {
                 label_of_root[r]
             };
             self.label.push(l);
-            self.sizes[l] += 1;
+            self.sizes[l as usize] += 1;
         }
         self.giant = Self::giant_label(&self.sizes);
     }
 
     /// The current label vector (canonical between repairs; the dynamic
     /// connectivity engine reads component ids per node from here).
-    pub(crate) fn labels(&self) -> &[usize] {
+    pub(crate) fn labels(&self) -> &[u32] {
         &self.label
     }
 
@@ -174,7 +182,7 @@ impl Components {
     /// split-relabeling; callers must restore canonical form via
     /// [`Components::relabel_canonical`] (or a rebuild) before the
     /// structure is observed again.
-    pub(crate) fn labels_mut(&mut self) -> &mut [usize] {
+    pub(crate) fn labels_mut(&mut self) -> &mut [u32] {
         &mut self.label
     }
 
@@ -188,15 +196,15 @@ impl Components {
     pub(crate) fn relabel_canonical(
         &mut self,
         id_dsu: &mut UnionFind,
-        label_of_root: &mut Vec<usize>,
+        label_of_root: &mut Vec<u32>,
     ) {
         label_of_root.clear();
-        label_of_root.resize(id_dsu.len(), usize::MAX);
+        label_of_root.resize(id_dsu.len(), NONE);
         self.sizes.clear();
         for l in &mut self.label {
-            let r = id_dsu.find(*l);
-            let canon = if label_of_root[r] == usize::MAX {
-                let next = self.sizes.len();
+            let r = id_dsu.find(*l as usize);
+            let canon = if label_of_root[r] == NONE {
+                let next = self.sizes.len() as u32;
                 label_of_root[r] = next;
                 self.sizes.push(0);
                 next
@@ -204,18 +212,18 @@ impl Components {
                 label_of_root[r]
             };
             *l = canon;
-            self.sizes[canon] += 1;
+            self.sizes[canon as usize] += 1;
         }
         self.giant = Self::giant_label(&self.sizes);
     }
 
-    fn giant_label(sizes: &[usize]) -> usize {
-        let mut best = usize::MAX;
+    fn giant_label(sizes: &[u32]) -> u32 {
+        let mut best = NONE;
         let mut best_size = 0;
         for (l, &s) in sizes.iter().enumerate() {
             if s > best_size {
                 best_size = s;
-                best = l;
+                best = l as u32;
             }
         }
         best
@@ -237,7 +245,7 @@ impl Components {
     ///
     /// Panics if `i` is out of range.
     pub fn label_of(&self, i: usize) -> usize {
-        self.label[i]
+        self.label[i] as usize
     }
 
     /// Size of the component containing node `i`.
@@ -246,11 +254,11 @@ impl Components {
     ///
     /// Panics if `i` is out of range.
     pub fn size_of(&self, i: usize) -> usize {
-        self.sizes[self.label[i]]
+        self.sizes[self.label[i] as usize] as usize
     }
 
     /// Component sizes, indexed by label.
-    pub fn sizes(&self) -> &[usize] {
+    pub fn sizes(&self) -> &[u32] {
         &self.sizes
     }
 
@@ -258,17 +266,17 @@ impl Components {
     ///
     /// This is the paper's connectivity objective.
     pub fn giant_size(&self) -> usize {
-        if self.giant == usize::MAX {
+        if self.giant == NONE {
             0
         } else {
-            self.sizes[self.giant]
+            self.sizes[self.giant as usize] as usize
         }
     }
 
     /// Label of the giant component, or `None` for an empty graph.
     /// Ties break toward the lowest label (deterministic).
     pub fn giant_label_opt(&self) -> Option<usize> {
-        (self.giant != usize::MAX).then_some(self.giant)
+        (self.giant != NONE).then_some(self.giant as usize)
     }
 
     /// Returns `true` if node `i` belongs to the giant component.
@@ -277,12 +285,12 @@ impl Components {
     ///
     /// Panics if `i` is out of range.
     pub fn in_giant(&self, i: usize) -> bool {
-        self.giant != usize::MAX && self.label[i] == self.giant
+        self.giant != NONE && self.label[i] == self.giant
     }
 
     /// Indices of the nodes in the giant component, ascending.
     pub fn giant_members(&self) -> Vec<usize> {
-        if self.giant == usize::MAX {
+        if self.giant == NONE {
             return Vec::new();
         }
         (0..self.label.len())
@@ -402,7 +410,7 @@ mod tests {
     fn sizes_sum_to_node_count() {
         let adj = chain(17, 5.0, 2.4); // some links hold (4.8 < 5.0 — none hold)
         let c = Components::from_adjacency(&adj);
-        assert_eq!(c.sizes().iter().sum::<usize>(), 17);
+        assert_eq!(c.sizes().iter().map(|&s| s as usize).sum::<usize>(), 17);
         assert_eq!(c.node_count(), 17);
     }
 
@@ -411,7 +419,7 @@ mod tests {
         let adj = chain(6, 5.0, 3.0);
         let c = Components::from_adjacency(&adj);
         for i in 0..6 {
-            assert_eq!(c.size_of(i), c.sizes()[c.label_of(i)]);
+            assert_eq!(c.size_of(i), c.sizes()[c.label_of(i)] as usize);
         }
     }
 }

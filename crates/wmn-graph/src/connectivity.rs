@@ -19,6 +19,11 @@
 //!   *final* adjacency lists plus an overlay of the not-yet-processed
 //!   deleted edges, which makes processing a batched diff exactly
 //!   equivalent to deleting one edge at a time (see *Invariants* below).
+//!   Two fast paths settle a deletion without searching: a now-isolated
+//!   endpoint is split off directly, and a neighbor shared by both
+//!   endpoints in the final adjacency (a triangle) proves they stay
+//!   connected — sound because the overlay only ever *adds* edges on
+//!   top of the final adjacency.
 //!   If the endpoints meet, the component survived and nothing changes; if
 //!   one frontier exhausts, that side is a complete component of the
 //!   current graph and is split off by relabeling exactly its nodes.
@@ -34,6 +39,11 @@
 //! **bit-identical** to a from-scratch build, and every downstream
 //! consumer (coverage rules, fitness, traces) sees exactly the reference
 //! results. The equivalence and proptest suites pin this.
+//!
+//! Edge endpoints are `u32` router ids throughout (the crate-wide id-width
+//! invariant), matching the arena-backed adjacency lists; the overlay and
+//! search queues store the same width so a repair's working set stays
+//! compact.
 //!
 //! # Invariants (split detection)
 //!
@@ -151,15 +161,15 @@ pub struct DynamicConnectivity {
     id_dsu: UnionFind,
     /// Pending-deletion overlay adjacency, populated per repair and torn
     /// down before returning (`touched` tracks the dirtied rows).
-    extra: Vec<Vec<usize>>,
-    touched: Vec<usize>,
+    extra: Vec<Vec<u32>>,
+    touched: Vec<u32>,
     /// Bidirectional-search visit stamps (`epoch`-based, never refilled in
     /// the hot path) and the two frontier queues; after an exhausted
     /// search a queue holds the split side's complete node set.
     mark: Vec<u32>,
     epoch: u32,
-    queue_a: Vec<usize>,
-    queue_b: Vec<usize>,
+    queue_a: Vec<u32>,
+    queue_b: Vec<u32>,
     /// `Some(cap)` overrides the default edge-visit budget per deletion.
     cost_cap: Option<usize>,
     stats: ConnectivityStats,
@@ -205,10 +215,10 @@ impl DynamicConnectivity {
 
     /// Repairs `components` (which must describe the graph *before* the
     /// diff) to match `adj` (the graph *after* the diff), given the edge
-    /// `inserted`/`deleted` lists, in any order and with duplicates
-    /// allowed, as long as "pre-graph edges plus insertions" equals
-    /// "post-graph edges plus deletions" as sets — exactly what per-node
-    /// old-vs-new neighbor diffs produce. `fallback_uf` and
+    /// `inserted`/`deleted` lists (u32 endpoints), in any order and with
+    /// duplicates allowed, as long as "pre-graph edges plus insertions"
+    /// equals "post-graph edges plus deletions" as sets — exactly what
+    /// per-node old-vs-new neighbor diffs produce. `fallback_uf` and
     /// `label_scratch` are the caller-owned buffers the whole-graph rescan
     /// fallback (and the canonicalization pass) reuse.
     ///
@@ -223,10 +233,10 @@ impl DynamicConnectivity {
         &mut self,
         adj: &MeshAdjacency,
         components: &mut Components,
-        inserted: &[(usize, usize)],
-        deleted: &[(usize, usize)],
+        inserted: &[(u32, u32)],
+        deleted: &[(u32, u32)],
         fallback_uf: &mut UnionFind,
-        label_scratch: &mut Vec<usize>,
+        label_scratch: &mut Vec<u32>,
     ) -> RepairOutcome {
         assert_eq!(
             components.node_count(),
@@ -248,7 +258,10 @@ impl DynamicConnectivity {
         {
             let labels = components.labels();
             for &(u, v) in inserted {
-                if self.id_dsu.union(labels[u], labels[v]) {
+                if self
+                    .id_dsu
+                    .union(labels[u as usize] as usize, labels[v as usize] as usize)
+                {
                     merges += 1;
                 }
             }
@@ -258,8 +271,8 @@ impl DynamicConnectivity {
         // Phase 2 — deletions, against the final adjacency plus the
         // overlay of still-pending deleted edges (one-at-a-time semantics).
         for &(u, v) in deleted {
-            self.extra[u].push(v);
-            self.extra[v].push(u);
+            self.extra[u as usize].push(v);
+            self.extra[v as usize].push(u);
             self.touched.push(u);
             self.touched.push(v);
         }
@@ -271,25 +284,40 @@ impl DynamicConnectivity {
         let cap = self.cost_cap(n);
         let budget = (2 * (n + 2 * adj.edge_count())).max(cap);
         let mut spent = 0usize;
-        let mut next_fresh = base;
+        let mut next_fresh = base as u32;
         let mut splits = 0;
         let mut capped = false;
         for &(u, v) in deleted {
             self.stats.deletions += 1;
-            remove_one(&mut self.extra[u], v);
-            remove_one(&mut self.extra[v], u);
+            remove_one(&mut self.extra[u as usize], v);
+            remove_one(&mut self.extra[v as usize], u);
             // Singleton fast path: an endpoint with no remaining edges (in
             // the adjacency or the overlay) just lost its last link, so it
             // is a complete component by itself — and the rest of its old
             // component stays connected, because a degree-one node lies on
             // no other path. Both-isolated means the component was exactly
             // the edge's two endpoints; splitting one side off is enough.
-            let u_isolated = adj.neighbors(u).is_empty() && self.extra[u].is_empty();
-            if u_isolated || (adj.neighbors(v).is_empty() && self.extra[v].is_empty()) {
+            let u_isolated =
+                adj.neighbors(u as usize).is_empty() && self.extra[u as usize].is_empty();
+            if u_isolated
+                || (adj.neighbors(v as usize).is_empty() && self.extra[v as usize].is_empty())
+            {
                 let lone = if u_isolated { u } else { v };
-                components.labels_mut()[lone] = next_fresh;
+                components.labels_mut()[lone as usize] = next_fresh;
                 next_fresh += 1;
                 splits += 1;
+                continue;
+            }
+            // Triangle fast path: a neighbor shared by both endpoints in
+            // the *final* adjacency proves they stay connected — the
+            // overlay only ever adds edges on top of `adj`, so any
+            // final-adjacency path already exists in the one-at-a-time
+            // graph the search would explore. Geometric meshes are
+            // triangle-rich, so this settles most still-connected
+            // deletions with a handful of comparisons (mean degree is
+            // tiny) instead of a full search setup.
+            if shares_element(adj.neighbors(u as usize), adj.neighbors(v as usize)) {
+                self.stats.triangle_shortcuts += 1;
                 continue;
             }
             if spent > budget {
@@ -308,7 +336,7 @@ impl DynamicConnectivity {
                     };
                     let labels = components.labels_mut();
                     for &x in split_nodes {
-                        labels[x] = fresh;
+                        labels[x as usize] = fresh;
                     }
                 }
                 SearchOutcome::CapExceeded => {
@@ -319,7 +347,7 @@ impl DynamicConnectivity {
         }
         self.stats.splits += splits;
         for &t in &self.touched {
-            self.extra[t].clear();
+            self.extra[t as usize].clear();
         }
         self.touched.clear();
 
@@ -346,8 +374,8 @@ impl DynamicConnectivity {
     fn bidirectional_search(
         &mut self,
         adj: &MeshAdjacency,
-        u: usize,
-        v: usize,
+        u: u32,
+        v: u32,
         cap: usize,
         spent: &mut usize,
     ) -> SearchOutcome {
@@ -363,9 +391,9 @@ impl DynamicConnectivity {
 
         self.queue_a.clear();
         self.queue_b.clear();
-        self.mark[u] = mark_a;
+        self.mark[u as usize] = mark_a;
         self.queue_a.push(u);
-        self.mark[v] = mark_b;
+        self.mark[v as usize] = mark_b;
         self.queue_b.push(v);
         let (mut head_a, mut head_b) = (0usize, 0usize);
         let mut visits = 0usize;
@@ -435,9 +463,9 @@ enum StepOutcome {
 #[allow(clippy::too_many_arguments)]
 fn expand_one(
     adj: &MeshAdjacency,
-    extra: &[Vec<usize>],
+    extra: &[Vec<u32>],
     mark: &mut [u32],
-    queue: &mut Vec<usize>,
+    queue: &mut Vec<u32>,
     head: &mut usize,
     (own, other): (u32, u32),
     visits: &mut usize,
@@ -447,17 +475,21 @@ fn expand_one(
         return StepOutcome::Exhausted;
     };
     *head += 1;
-    for &w in adj.neighbors(x).iter().chain(extra[x].iter()) {
+    for &w in adj
+        .neighbors(x as usize)
+        .iter()
+        .chain(extra[x as usize].iter())
+    {
         *visits += 1;
         if *visits > cap {
             return StepOutcome::Capped;
         }
-        let m = mark[w];
+        let m = mark[w as usize];
         if m == other {
             return StepOutcome::Met;
         }
         if m != own {
-            mark[w] = own;
+            mark[w as usize] = own;
             queue.push(w);
         }
     }
@@ -466,10 +498,23 @@ fn expand_one(
 
 /// Removes one occurrence of `value` from `list` (the overlay rows are a
 /// multiset: a batch may delete, re-insert, and re-delete the same edge).
-fn remove_one(list: &mut Vec<usize>, value: usize) {
+fn remove_one(list: &mut Vec<u32>, value: u32) {
     if let Some(pos) = list.iter().position(|&x| x == value) {
         list.swap_remove(pos);
     }
+}
+
+/// Whether two strictly-sorted slices share an element (two-pointer walk).
+fn shares_element(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while let (Some(&x), Some(&y)) = (a.get(i), b.get(j)) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -489,7 +534,7 @@ mod tests {
         (pts, radii)
     }
 
-    type EdgeList = Vec<(usize, usize)>;
+    type EdgeList = Vec<(u32, u32)>;
 
     /// The sorted-neighbor-list symmetric difference between two graphs,
     /// as (inserted, deleted) unordered edge lists.
@@ -497,13 +542,13 @@ mod tests {
         let (mut ins, mut del) = (Vec::new(), Vec::new());
         for i in 0..before.node_count() {
             for &j in before.neighbors(i) {
-                if j > i && after.neighbors(i).binary_search(&j).is_err() {
-                    del.push((i, j));
+                if j as usize > i && after.neighbors(i).binary_search(&j).is_err() {
+                    del.push((i as u32, j));
                 }
             }
             for &j in after.neighbors(i) {
-                if j > i && before.neighbors(i).binary_search(&j).is_err() {
-                    ins.push((i, j));
+                if j as usize > i && before.neighbors(i).binary_search(&j).is_err() {
+                    ins.push((i as u32, j));
                 }
             }
         }

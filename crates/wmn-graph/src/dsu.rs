@@ -4,6 +4,11 @@
 //! router–router link and reading off the largest set. This implementation
 //! tracks set sizes so the giant component is available in O(1) after the
 //! merge phase.
+//!
+//! Internally the parent and size tables are `u32` (the crate-wide id-width
+//! invariant — element counts fit u32), halving the table footprint so the
+//! per-move `reset` + union sweep stays in cache; the public API keeps
+//! `usize` indices.
 
 /// A disjoint-set forest over `0..n`.
 ///
@@ -31,9 +36,9 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct UnionFind {
-    parent: Vec<usize>,
+    parent: Vec<u32>,
     rank: Vec<u8>,
-    size: Vec<usize>,
+    size: Vec<u32>,
     sets: usize,
 }
 
@@ -46,9 +51,14 @@ impl Default for UnionFind {
 
 impl UnionFind {
     /// Creates `n` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not fit u32 ids.
     pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "element count exceeds u32 id space");
         UnionFind {
-            parent: (0..n).collect(),
+            parent: (0..n as u32).collect(),
             rank: vec![0; n],
             size: vec![1; n],
             sets: n,
@@ -64,9 +74,14 @@ impl UnionFind {
     /// buffers. This is the allocation-free path the incremental topology
     /// engine uses to rebuild connectivity after every router move: after
     /// the first call at a given `n`, no further heap allocation occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not fit u32 ids.
     pub fn reset(&mut self, n: usize) {
+        assert!(n < u32::MAX as usize, "element count exceeds u32 id space");
         self.parent.clear();
-        self.parent.extend(0..n);
+        self.parent.extend(0..n as u32);
         self.rank.clear();
         self.rank.resize(n, 0);
         self.size.clear();
@@ -91,14 +106,14 @@ impl UnionFind {
     ///
     /// Panics if `x >= len()`.
     pub fn find(&mut self, x: usize) -> usize {
-        let mut x = x;
+        let mut x = x as u32;
         loop {
-            let p = self.parent[x];
+            let p = self.parent[x as usize];
             if p == x {
-                return x;
+                return x as usize;
             }
-            let gp = self.parent[p];
-            self.parent[x] = gp; // path halving
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp; // path halving
             x = gp;
         }
     }
@@ -110,11 +125,11 @@ impl UnionFind {
     ///
     /// Panics if `x >= len()`.
     pub fn root_of(&self, x: usize) -> usize {
-        let mut x = x;
-        while self.parent[x] != x {
-            x = self.parent[x];
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
         }
-        x
+        x as usize
     }
 
     /// Merges the sets containing `a` and `b`; returns `true` if they were
@@ -131,7 +146,7 @@ impl UnionFind {
         if self.rank[ra] < self.rank[rb] {
             std::mem::swap(&mut ra, &mut rb);
         }
-        self.parent[rb] = ra;
+        self.parent[rb] = ra as u32;
         self.size[ra] += self.size[rb];
         if self.rank[ra] == self.rank[rb] {
             self.rank[ra] += 1;
@@ -155,14 +170,14 @@ impl UnionFind {
     ///
     /// Panics if `x >= len()`.
     pub fn set_size(&self, x: usize) -> usize {
-        self.size[self.root_of(x)]
+        self.size[self.root_of(x)] as usize
     }
 
     /// Size of the largest set (0 for an empty structure).
     pub fn largest_set_size(&self) -> usize {
         (0..self.len())
-            .filter(|&i| self.parent[i] == i)
-            .map(|i| self.size[i])
+            .filter(|&i| self.parent[i] == i as u32)
+            .map(|i| self.size[i] as usize)
             .max()
             .unwrap_or(0)
     }
@@ -170,7 +185,7 @@ impl UnionFind {
     /// Representative of a largest set, or `None` when empty.
     pub fn largest_set_root(&self) -> Option<usize> {
         (0..self.len())
-            .filter(|&i| self.parent[i] == i)
+            .filter(|&i| self.parent[i] == i as u32)
             .max_by_key(|&i| self.size[i])
     }
 

@@ -3,6 +3,10 @@
 //! Everything the placement algorithms need to turn a candidate
 //! [`Placement`](wmn_model::Placement) into a measurable network:
 //!
+//! * [`arena`] — [`NeighborSlab`], the struct-of-arrays slab arena behind
+//!   adjacency lists and disk-client caches: per-node spans over one flat
+//!   `u32` buffer with power-of-two size-class free lists, cloneable with
+//!   a handful of bulk copies.
 //! * [`dsu`] — union–find with rank + path compression, resettable in
 //!   place for the allocation-free per-move connectivity rebuild.
 //! * [`spatial`] — a uniform-grid index for radius/rectangle queries
@@ -42,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adjacency;
+pub mod arena;
 pub mod components;
 pub mod connectivity;
 pub mod density;
@@ -50,6 +55,7 @@ pub mod spatial;
 pub mod topology;
 
 pub use adjacency::{LinkModel, MeshAdjacency};
+pub use arena::NeighborSlab;
 pub use components::Components;
 pub use connectivity::{ConnectivityStats, DynamicConnectivity, RepairOutcome};
 pub use density::{CellWindow, DensityMap};

@@ -1,4 +1,4 @@
-//! Uniform-grid spatial index for fixed point sets.
+//! Uniform-grid spatial indexes in flat struct-of-arrays layout.
 //!
 //! Building the router mesh and attaching clients both need "all points
 //! within distance `r` of `p`" queries. A uniform bucket grid over the
@@ -6,32 +6,28 @@
 //! this problem works at (the alternative — an O(n²) scan — is kept around
 //! in tests and the `ablation_spatial_index` bench as the reference
 //! implementation).
+//!
+//! Both indexes follow the crate-wide id-width invariant (u32 point ids)
+//! and store **no per-bucket allocations**:
+//!
+//! * [`GridIndex`] (immutable) is CSR — one `starts` offset array plus one
+//!   flat `entries` array, built in two counting passes. Within a bucket,
+//!   entries are in ascending point order (the order the old per-bucket
+//!   `Vec` push produced), so query iteration order is unchanged.
+//! * [`DynamicGrid`] (mutable) keeps intrusive doubly-linked lists: one
+//!   `head` slot per cell and `next`/`prev`/`cell` words per point, making
+//!   insert/remove/relocate O(1) with zero allocation.
 
 use wmn_model::geometry::{Area, Point, Rect};
 
-/// Copies nested index buckets from `src` into `dst`, reusing every inner
-/// allocation already present in `dst` — the shared building block behind
-/// the `Clone::clone_from` impls of the spatial indexes and
-/// [`MeshAdjacency`](crate::adjacency::MeshAdjacency), which the
-/// population-pool state copy (`WmnTopology::clone_from`) relies on to stay
-/// allocation-free once warm.
-pub(crate) fn clone_buckets_from<T: Copy>(dst: &mut Vec<Vec<T>>, src: &[Vec<T>]) {
-    dst.truncate(src.len());
-    let prefix = dst.len();
-    for (d, s) in dst.iter_mut().zip(src) {
-        d.clear();
-        d.extend_from_slice(s);
-    }
-    for s in &src[prefix..] {
-        dst.push(s.clone());
-    }
-}
+/// Sentinel for "no point" / "no cell" in the intrusive grid lists.
+const NIL: u32 = u32::MAX;
 
-/// A uniform-grid index over a fixed slice of points.
+/// A uniform-grid index over a fixed slice of points, in CSR layout.
 ///
 /// The index stores point *indices* (into the original slice) bucketed by
 /// grid cell. It is immutable after construction — placement algorithms
-/// rebuild indices over new position sets, which is cheap (one pass).
+/// rebuild indices over new position sets, which is cheap (two passes).
 ///
 /// # Examples
 ///
@@ -48,12 +44,19 @@ pub(crate) fn clone_buckets_from<T: Copy>(dst: &mut Vec<Vec<T>>, src: &[Vec<T>])
 /// assert_eq!(near, vec![0, 1]);
 /// # Ok::<(), wmn_model::ModelError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct GridIndex {
     cell_size: f64,
+    /// `1.0 / cell_size`, precomputed so the per-query cell mapping is a
+    /// multiply instead of a divide (monotonic in the coordinate, so query
+    /// ranges still cover every bucket a point can land in).
+    inv_cell_size: f64,
     cols: usize,
     rows: usize,
-    buckets: Vec<Vec<usize>>,
+    /// CSR offsets: bucket `b` holds `entries[starts[b]..starts[b + 1]]`.
+    starts: Vec<u32>,
+    /// Point indices, bucket-major, ascending within a bucket.
+    entries: Vec<u32>,
     points: Vec<Point>,
 }
 
@@ -61,20 +64,24 @@ impl Clone for GridIndex {
     fn clone(&self) -> Self {
         GridIndex {
             cell_size: self.cell_size,
+            inv_cell_size: self.inv_cell_size,
             cols: self.cols,
             rows: self.rows,
-            buckets: self.buckets.clone(),
+            starts: self.starts.clone(),
+            entries: self.entries.clone(),
             points: self.points.clone(),
         }
     }
 
-    /// Buffer-reusing copy: once `self` has seen a grid of the same shape,
-    /// no heap allocation happens.
+    /// Buffer-reusing copy — three flat bulk copies; once `self` has seen a
+    /// grid of the same shape, no heap allocation happens.
     fn clone_from(&mut self, src: &Self) {
         self.cell_size = src.cell_size;
+        self.inv_cell_size = src.inv_cell_size;
         self.cols = src.cols;
         self.rows = src.rows;
-        clone_buckets_from(&mut self.buckets, &src.buckets);
+        self.starts.clone_from(&src.starts);
+        self.entries.clone_from(&src.entries);
         self.points.clone_from(&src.points);
     }
 }
@@ -90,24 +97,47 @@ impl GridIndex {
     ///
     /// # Panics
     ///
-    /// Panics if `cell_size` is not positive and finite.
+    /// Panics if `cell_size` is not positive and finite, or if the point
+    /// count does not fit u32 ids.
     pub fn build(area: &Area, points: &[Point], cell_size: f64) -> Self {
         assert!(
             cell_size.is_finite() && cell_size > 0.0,
             "cell_size must be positive and finite, got {cell_size}"
         );
+        assert!(
+            points.len() < u32::MAX as usize,
+            "point count exceeds u32 id space"
+        );
         let cols = (area.width() / cell_size).ceil().max(1.0) as usize;
         let rows = (area.height() / cell_size).ceil().max(1.0) as usize;
-        let mut buckets = vec![Vec::new(); cols * rows];
-        for (i, p) in points.iter().enumerate() {
-            let (cx, cy) = Self::cell_of(p, cell_size, cols, rows);
-            buckets[cy * cols + cx].push(i);
+        let inv_cell_size = cell_size.recip();
+        let nb = cols * rows;
+        // Counting pass, prefix sum, fill pass (ascending point order, so
+        // within-bucket order matches what per-bucket pushes produced).
+        let mut starts = vec![0u32; nb + 1];
+        let mut bucket_of = Vec::with_capacity(points.len());
+        for p in points {
+            let (cx, cy) = Self::cell_of(p, inv_cell_size, cols, rows);
+            let b = cy * cols + cx;
+            bucket_of.push(b as u32);
+            starts[b + 1] += 1;
+        }
+        for b in 0..nb {
+            starts[b + 1] += starts[b];
+        }
+        let mut cursor: Vec<u32> = starts[..nb].to_vec();
+        let mut entries = vec![0u32; points.len()];
+        for (i, &b) in bucket_of.iter().enumerate() {
+            entries[cursor[b as usize] as usize] = i as u32;
+            cursor[b as usize] += 1;
         }
         GridIndex {
             cell_size,
+            inv_cell_size,
             cols,
             rows,
-            buckets,
+            starts,
+            entries,
             points: points.to_vec(),
         }
     }
@@ -132,9 +162,15 @@ impl GridIndex {
         &self.points
     }
 
-    fn cell_of(p: &Point, cell_size: f64, cols: usize, rows: usize) -> (usize, usize) {
-        let cx = ((p.x / cell_size).floor().max(0.0) as usize).min(cols - 1);
-        let cy = ((p.y / cell_size).floor().max(0.0) as usize).min(rows - 1);
+    /// The entries of bucket `b` (ascending point indices).
+    #[inline]
+    fn bucket(&self, b: usize) -> &[u32] {
+        &self.entries[self.starts[b] as usize..self.starts[b + 1] as usize]
+    }
+
+    fn cell_of(p: &Point, inv_cell_size: f64, cols: usize, rows: usize) -> (usize, usize) {
+        let cx = (((p.x * inv_cell_size).floor().max(0.0)) as usize).min(cols - 1);
+        let cy = (((p.y * inv_cell_size).floor().max(0.0)) as usize).min(rows - 1);
         (cx, cy)
     }
 
@@ -142,7 +178,7 @@ impl GridIndex {
     /// (inclusive), as a **lazy, allocation-free iterator**.
     ///
     /// Results come out in grid-cell order (row-major over the touched
-    /// cells, insertion order within a cell), which is deterministic but
+    /// cells, ascending within a cell), which is deterministic but
     /// **not sorted by index** — callers that need ascending order must
     /// collect and sort. The hot coverage-delta path of
     /// [`WmnTopology`](crate::topology::WmnTopology) iterates this directly,
@@ -157,12 +193,12 @@ impl GridIndex {
                 cursor: CellCursor::empty(),
             };
         }
-        let range = CellRange::covering(center, radius, self.cell_size, self.cols, self.rows);
+        let range = CellRange::covering(center, radius, self.inv_cell_size, self.cols, self.rows);
         WithinRadius {
             index: self,
             center,
             r2: radius * radius,
-            bucket: self.buckets[range.first_bucket(self.cols)].iter(),
+            bucket: self.bucket(range.first_bucket(self.cols)).iter(),
             cursor: CellCursor::start(range),
         }
     }
@@ -178,14 +214,14 @@ impl GridIndex {
         if radius < 0.0 || self.points.is_empty() {
             return;
         }
-        let range = CellRange::covering(center, radius, self.cell_size, self.cols, self.rows);
+        let range = CellRange::covering(center, radius, self.inv_cell_size, self.cols, self.rows);
         let r2 = radius * radius;
         for cy in range.min_cy..=range.max_cy {
             let row = cy * self.cols;
             for cx in range.min_cx..=range.max_cx {
-                for &i in &self.buckets[row + cx] {
-                    if self.points[i].distance_squared(center) <= r2 {
-                        out.push(i as u32);
+                for &i in self.bucket(row + cx) {
+                    if self.points[i as usize].distance_squared(center) <= r2 {
+                        out.push(i);
                     }
                 }
             }
@@ -204,9 +240,9 @@ impl GridIndex {
         let mut found = Vec::new();
         for cy in min_cy..=max_cy {
             for cx in min_cx..=max_cx {
-                for &i in &self.buckets[cy * self.cols + cx] {
-                    if rect.contains(self.points[i]) {
-                        found.push(i);
+                for &i in self.bucket(cy * self.cols + cx) {
+                    if rect.contains(self.points[i as usize]) {
+                        found.push(i as usize);
                     }
                 }
             }
@@ -287,9 +323,15 @@ struct CellRange {
 }
 
 impl CellRange {
-    fn covering(center: Point, radius: f64, cell_size: f64, cols: usize, rows: usize) -> CellRange {
-        let clamp_col = |v: f64| ((v / cell_size).floor().max(0.0) as usize).min(cols - 1);
-        let clamp_row = |v: f64| ((v / cell_size).floor().max(0.0) as usize).min(rows - 1);
+    fn covering(
+        center: Point,
+        radius: f64,
+        inv_cell_size: f64,
+        cols: usize,
+        rows: usize,
+    ) -> CellRange {
+        let clamp_col = |v: f64| ((v * inv_cell_size).floor().max(0.0) as usize).min(cols - 1);
+        let clamp_row = |v: f64| ((v * inv_cell_size).floor().max(0.0) as usize).min(rows - 1);
         CellRange {
             min_cx: clamp_col(center.x - radius),
             max_cx: clamp_col(center.x + radius),
@@ -357,7 +399,7 @@ pub struct WithinRadius<'a> {
     center: Point,
     r2: f64,
     cursor: CellCursor,
-    bucket: std::slice::Iter<'a, usize>,
+    bucket: std::slice::Iter<'a, u32>,
 }
 
 impl Iterator for WithinRadius<'_> {
@@ -366,12 +408,12 @@ impl Iterator for WithinRadius<'_> {
     fn next(&mut self) -> Option<usize> {
         loop {
             for &i in self.bucket.by_ref() {
-                if self.index.points[i].distance_squared(self.center) <= self.r2 {
-                    return Some(i);
+                if self.index.points[i as usize].distance_squared(self.center) <= self.r2 {
+                    return Some(i as usize);
                 }
             }
             let bucket = self.cursor.advance(self.index.cols)?;
-            self.bucket = self.index.buckets[bucket].iter();
+            self.bucket = self.index.bucket(bucket).iter();
         }
     }
 }
@@ -382,10 +424,15 @@ impl Iterator for WithinRadius<'_> {
 /// `DynamicGrid` stores only bucket membership and is kept in sync by its
 /// owner as points move — the router-side index of
 /// [`WmnTopology`](crate::topology::WmnTopology) relocates exactly one
-/// bucket entry per router move instead of rebuilding the index. Queries
-/// return *candidate* indices (every point whose cell intersects the query
-/// disk); the caller applies the precise distance predicate, since it owns
-/// the coordinates.
+/// entry per router move instead of rebuilding the index. Membership lives
+/// in intrusive doubly-linked lists (`head` per cell, `next`/`prev`/`cell`
+/// per point), so insert, remove, and relocate are O(1) pointer splices
+/// with zero allocation, and a state copy is four flat bulk copies.
+/// Queries return *candidate* indices (every point whose cell intersects
+/// the query disk); the caller applies the precise distance predicate,
+/// since it owns the coordinates. Candidate order within a cell is the
+/// list order (most-recently-inserted first) — deterministic, but
+/// unspecified to callers, which all sort or reduce order-independently.
 ///
 /// # Examples
 ///
@@ -411,28 +458,45 @@ impl Iterator for WithinRadius<'_> {
 #[derive(Debug)]
 pub struct DynamicGrid {
     cell_size: f64,
+    /// `1.0 / cell_size` — see [`GridIndex::inv_cell_size`]'s note.
+    inv_cell_size: f64,
     cols: usize,
     rows: usize,
-    buckets: Vec<Vec<usize>>,
+    /// First point of each cell's list, or [`NIL`].
+    head: Vec<u32>,
+    /// Per-point forward link, or [`NIL`] at a list tail.
+    next: Vec<u32>,
+    /// Per-point backward link, or [`NIL`] at a list head.
+    prev: Vec<u32>,
+    /// Cell each point is currently recorded in, or [`NIL`] if absent.
+    cell: Vec<u32>,
 }
 
 impl Clone for DynamicGrid {
     fn clone(&self) -> Self {
         DynamicGrid {
             cell_size: self.cell_size,
+            inv_cell_size: self.inv_cell_size,
             cols: self.cols,
             rows: self.rows,
-            buckets: self.buckets.clone(),
+            head: self.head.clone(),
+            next: self.next.clone(),
+            prev: self.prev.clone(),
+            cell: self.cell.clone(),
         }
     }
 
-    /// Buffer-reusing copy: once `self` has seen a grid of the same shape,
-    /// no heap allocation happens.
+    /// Buffer-reusing copy — four flat bulk copies; once `self` has seen a
+    /// grid of the same shape, no heap allocation happens.
     fn clone_from(&mut self, src: &Self) {
         self.cell_size = src.cell_size;
+        self.inv_cell_size = src.inv_cell_size;
         self.cols = src.cols;
         self.rows = src.rows;
-        clone_buckets_from(&mut self.buckets, &src.buckets);
+        self.head.clone_from(&src.head);
+        self.next.clone_from(&src.next);
+        self.prev.clone_from(&src.prev);
+        self.cell.clone_from(&src.cell);
     }
 }
 
@@ -452,9 +516,13 @@ impl DynamicGrid {
         let rows = (area.height() / cell_size).ceil().max(1.0) as usize;
         DynamicGrid {
             cell_size,
+            inv_cell_size: cell_size.recip(),
             cols,
             rows,
-            buckets: vec![Vec::new(); cols * rows],
+            head: vec![NIL; cols * rows],
+            next: Vec::new(),
+            prev: Vec::new(),
+            cell: Vec::new(),
         }
     }
 
@@ -464,27 +532,82 @@ impl DynamicGrid {
     }
 
     fn bucket_of(&self, p: Point) -> usize {
-        let (cx, cy) = GridIndex::cell_of(&p, self.cell_size, self.cols, self.rows);
+        let (cx, cy) = GridIndex::cell_of(&p, self.inv_cell_size, self.cols, self.rows);
         cy * self.cols + cx
     }
 
-    /// Clears the grid and re-inserts every point, reusing bucket
-    /// allocations. Out-of-area points clamp into boundary cells, exactly
-    /// like [`GridIndex::build`].
-    pub fn rebuild(&mut self, points: &[Point]) {
-        for bucket in &mut self.buckets {
-            bucket.clear();
+    /// Grows the per-point link arrays to cover index `i`.
+    fn ensure_point(&mut self, i: usize) {
+        assert!(i < u32::MAX as usize, "point index exceeds u32 id space");
+        if i >= self.cell.len() {
+            self.next.resize(i + 1, NIL);
+            self.prev.resize(i + 1, NIL);
+            self.cell.resize(i + 1, NIL);
         }
+    }
+
+    /// Clears the grid and re-inserts every point, reusing the flat
+    /// buffers. Out-of-area points clamp into boundary cells, exactly
+    /// like [`GridIndex::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point count does not fit u32 ids.
+    pub fn rebuild(&mut self, points: &[Point]) {
+        assert!(
+            points.len() < u32::MAX as usize,
+            "point count exceeds u32 id space"
+        );
+        let n = points.len();
+        self.head.fill(NIL);
+        self.next.clear();
+        self.next.resize(n, NIL);
+        self.prev.clear();
+        self.prev.resize(n, NIL);
+        self.cell.clear();
+        self.cell.resize(n, NIL);
         for (i, p) in points.iter().enumerate() {
             let b = self.bucket_of(*p);
-            self.buckets[b].push(i);
+            self.link(i as u32, b);
         }
+    }
+
+    /// Splices point `i` onto the head of cell `b`'s list.
+    #[inline]
+    fn link(&mut self, i: u32, b: usize) {
+        let old_head = self.head[b];
+        self.next[i as usize] = old_head;
+        self.prev[i as usize] = NIL;
+        if old_head != NIL {
+            self.prev[old_head as usize] = i;
+        }
+        self.head[b] = i;
+        self.cell[i as usize] = b as u32;
+    }
+
+    /// Splices point `i` out of its current cell list.
+    #[inline]
+    fn unlink(&mut self, i: u32) {
+        let b = self.cell[i as usize];
+        let nx = self.next[i as usize];
+        let pv = self.prev[i as usize];
+        if pv != NIL {
+            self.next[pv as usize] = nx;
+        } else {
+            self.head[b as usize] = nx;
+        }
+        if nx != NIL {
+            self.prev[nx as usize] = pv;
+        }
+        self.cell[i as usize] = NIL;
     }
 
     /// Records that point `i` sits at `p`.
     pub fn insert(&mut self, i: usize, p: Point) {
+        self.ensure_point(i);
+        debug_assert_eq!(self.cell[i], NIL, "point {i} inserted twice");
         let b = self.bucket_of(p);
-        self.buckets[b].push(i);
+        self.link(i as u32, b);
     }
 
     /// Forgets point `i`, which must currently be recorded at `p`.
@@ -495,16 +618,16 @@ impl DynamicGrid {
     /// from its owner's coordinates).
     pub fn remove(&mut self, i: usize, p: Point) {
         let b = self.bucket_of(p);
-        let bucket = &mut self.buckets[b];
-        let pos = bucket
-            .iter()
-            .position(|&j| j == i)
-            .expect("DynamicGrid::remove: point not in its recorded bucket");
-        bucket.swap_remove(pos);
+        let recorded = self.cell.get(i).copied().unwrap_or(NIL);
+        assert_eq!(
+            recorded as usize, b,
+            "DynamicGrid::remove: point not in its recorded bucket"
+        );
+        self.unlink(i as u32);
     }
 
     /// Moves point `i` from `from` to `to` — a no-op when both map to the
-    /// same cell, one swap-remove plus one push otherwise.
+    /// same cell, two O(1) list splices otherwise.
     ///
     /// # Panics
     ///
@@ -525,14 +648,14 @@ impl DynamicGrid {
         if radius < 0.0 {
             return Candidates {
                 grid: self,
-                bucket: [].iter(),
+                cur: NIL,
                 cursor: CellCursor::empty(),
             };
         }
-        let range = CellRange::covering(center, radius, self.cell_size, self.cols, self.rows);
+        let range = CellRange::covering(center, radius, self.inv_cell_size, self.cols, self.rows);
         Candidates {
             grid: self,
-            bucket: self.buckets[range.first_bucket(self.cols)].iter(),
+            cur: self.head[range.first_bucket(self.cols)],
             cursor: CellCursor::start(range),
         }
     }
@@ -547,30 +670,52 @@ impl DynamicGrid {
         if radius < 0.0 {
             return;
         }
-        let range = CellRange::covering(center, radius, self.cell_size, self.cols, self.rows);
+        let range = CellRange::covering(center, radius, self.inv_cell_size, self.cols, self.rows);
         for cy in range.min_cy..=range.max_cy {
             let row = cy * self.cols;
             for cx in range.min_cx..=range.max_cx {
-                for &i in &self.buckets[row + cx] {
-                    f(i);
+                let mut cur = self.head[row + cx];
+                while cur != NIL {
+                    f(cur as usize);
+                    cur = self.next[cur as usize];
                 }
             }
         }
     }
 
     /// Debug helper: asserts every point is recorded in the bucket its
-    /// coordinate maps to, and that no stale entries remain.
+    /// coordinate maps to, that the intrusive lists are mutually linked,
+    /// and that no stale entries remain.
     ///
     /// # Panics
     ///
     /// Panics when the grid has drifted from `points`.
     pub fn assert_in_sync(&self, points: &[Point]) {
-        let total: usize = self.buckets.iter().map(Vec::len).sum();
+        let mut total = 0usize;
+        for (b, &h) in self.head.iter().enumerate() {
+            let mut cur = h;
+            let mut expected_prev = NIL;
+            while cur != NIL {
+                total += 1;
+                assert!(total <= self.cell.len(), "cycle in cell {b} list");
+                assert_eq!(
+                    self.cell[cur as usize], b as u32,
+                    "point {cur} linked into cell {b} but records another cell"
+                );
+                assert_eq!(
+                    self.prev[cur as usize], expected_prev,
+                    "broken back-link at point {cur} in cell {b}"
+                );
+                expected_prev = cur;
+                cur = self.next[cur as usize];
+            }
+        }
         assert_eq!(total, points.len(), "grid entry count drifted");
         for (i, p) in points.iter().enumerate() {
-            assert!(
-                self.buckets[self.bucket_of(*p)].contains(&i),
-                "point {i} at {p} missing from its bucket"
+            assert_eq!(
+                self.cell[i] as usize,
+                self.bucket_of(*p),
+                "point {i} at {p} not in the bucket its coordinate maps to"
             );
         }
     }
@@ -581,7 +726,8 @@ impl DynamicGrid {
 pub struct Candidates<'a> {
     grid: &'a DynamicGrid,
     cursor: CellCursor,
-    bucket: std::slice::Iter<'a, usize>,
+    /// Current position in the current cell's intrusive list.
+    cur: u32,
 }
 
 impl Iterator for Candidates<'_> {
@@ -589,11 +735,13 @@ impl Iterator for Candidates<'_> {
 
     fn next(&mut self) -> Option<usize> {
         loop {
-            if let Some(&i) = self.bucket.next() {
-                return Some(i);
+            if self.cur != NIL {
+                let i = self.cur;
+                self.cur = self.grid.next[i as usize];
+                return Some(i as usize);
             }
             let bucket = self.cursor.advance(self.grid.cols)?;
-            self.bucket = self.grid.buckets[bucket].iter();
+            self.cur = self.grid.head[bucket];
         }
     }
 }
@@ -629,6 +777,37 @@ mod tests {
             let slow = GridIndex::brute_force_within_radius(&pts, c, r);
             assert_eq!(fast, slow, "mismatch at center {c} radius {r}");
         }
+    }
+
+    #[test]
+    fn within_radius_into_matches_iterator_order() {
+        let area = area100();
+        let pts = random_points(300, 77);
+        let index = GridIndex::build(&area, &pts, 6.0);
+        let mut rng = rng_from_seed(9);
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            let c = Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0));
+            let r = rng.gen_range(0.0..25.0);
+            index.within_radius_into(c, r, &mut buf);
+            let lazy: Vec<u32> = index.within_radius(c, r).map(|i| i as u32).collect();
+            assert_eq!(buf, lazy, "orders diverged at {c} r {r}");
+        }
+    }
+
+    #[test]
+    fn csr_buckets_are_ascending_within_cell() {
+        let area = area100();
+        let pts = random_points(400, 55);
+        let index = GridIndex::build(&area, &pts, 9.0);
+        for b in 0..index.cols * index.rows {
+            let bucket = index.bucket(b);
+            assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "bucket {b} not ascending"
+            );
+        }
+        assert_eq!(index.entries.len(), pts.len());
     }
 
     #[test]
@@ -764,6 +943,23 @@ mod tests {
             }
         }
         assert_eq!(grid.candidates(Point::new(1.0, 1.0), -1.0).count(), 0);
+    }
+
+    #[test]
+    fn dynamic_grid_for_each_matches_lazy_candidates() {
+        let area = area100();
+        let pts = random_points(150, 31);
+        let mut grid = DynamicGrid::new(&area, 8.0);
+        grid.rebuild(&pts);
+        let mut rng = rng_from_seed(6);
+        for _ in 0..40 {
+            let c = Point::new(rng.gen_range(0.0..=100.0), rng.gen_range(0.0..=100.0));
+            let r = rng.gen_range(0.0..20.0);
+            let lazy: Vec<usize> = grid.candidates(c, r).collect();
+            let mut eager = Vec::new();
+            grid.for_each_candidate(c, r, |i| eager.push(i));
+            assert_eq!(lazy, eager, "paths diverged at {c} r {r}");
+        }
     }
 
     #[test]

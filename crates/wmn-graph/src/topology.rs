@@ -77,6 +77,7 @@
 //! [`DynamicGrid`]: crate::spatial::DynamicGrid
 
 use crate::adjacency::{LinkModel, MeshAdjacency};
+use crate::arena::NeighborSlab;
 use crate::components::Components;
 use crate::connectivity::{ConnectivityStats, DynamicConnectivity, RepairOutcome};
 use crate::dsu::UnionFind;
@@ -84,6 +85,7 @@ use crate::spatial::{DynamicGrid, GridIndex};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
+
 use wmn_model::geometry::{Area, Point};
 use wmn_model::instance::ProblemInstance;
 use wmn_model::node::RouterId;
@@ -258,7 +260,13 @@ pub struct WmnTopology {
     ///   within `radii[i]` of the *current* `positions[i]` — so re-adding
     ///   an unmoved router's disk (a giant-membership flip) is free. The
     ///   bit is cleared whenever the router's position changes.
-    disk_clients: Vec<Vec<u32>>,
+    ///
+    /// The per-router client lists live in a [`NeighborSlab`] arena (u32
+    /// client ids, one flat element array — see the
+    /// [`arena`](crate::arena) module docs), so the population-pool state
+    /// copy is a handful of bulk copies instead of one `Vec` clone per
+    /// router.
+    disk_clients: NeighborSlab,
     disk_cached: Vec<bool>,
     /// Connectivity repair strategy (see [`ConnectivityMode`]).
     connectivity_mode: ConnectivityMode,
@@ -273,21 +281,28 @@ pub struct WmnTopology {
 #[derive(Debug, Clone, Default)]
 struct MoveScratch {
     uf: UnionFind,
-    label_of_root: Vec<usize>,
-    old_a: Vec<usize>,
-    new_a: Vec<usize>,
-    old_b: Vec<usize>,
-    new_b: Vec<usize>,
+    label_of_root: Vec<u32>,
+    old_a: Vec<u32>,
+    new_a: Vec<u32>,
+    old_b: Vec<u32>,
+    new_b: Vec<u32>,
     mask: Vec<bool>,
     batch: Vec<BatchEntry>,
-    is_moved: Vec<bool>,
+    /// Epoch-stamped batch-membership marks: router `i` belongs to the
+    /// current batch iff `moved_stamp[i] == move_epoch`. Starting a batch
+    /// bumps the epoch instead of clearing the array (an O(n) fill only on
+    /// the u32 wrap, every ~4 billion batches).
+    moved_stamp: Vec<u32>,
+    move_epoch: u32,
+    /// Reusable disk-query buffer for cache-miss fills of the disk slab.
+    disk_buf: Vec<u32>,
     /// The dynamic connectivity engine (pure scratch: component state
     /// lives in `components`, so copies never need to synchronize it).
     conn: DynamicConnectivity,
     /// Edge insert/delete streams of the current repair, produced by the
     /// old-vs-new neighbor diffs of the grid-local edge repair.
-    ins_events: Vec<(usize, usize)>,
-    del_events: Vec<(usize, usize)>,
+    ins_events: Vec<(u32, u32)>,
+    del_events: Vec<(u32, u32)>,
     /// Always-on work counters of the delta-evaluation engine. Scratch,
     /// like the connectivity engine's: zeroed by `clone`, kept running by
     /// `clone_from` (so per-slot totals accumulate across a GA run).
@@ -316,7 +331,7 @@ struct MoveScratch {
 /// survives in the disk cache, so no pre-batch position is needed).
 #[derive(Debug, Clone, Copy)]
 struct BatchEntry {
-    router: usize,
+    router: u32,
     counted_before: bool,
     counted_after: bool,
 }
@@ -374,7 +389,7 @@ impl Clone for WmnTopology {
         self.cover_count.clone_from(&src.cover_count);
         self.covered.clone_from(&src.covered);
         self.covered_count = src.covered_count;
-        crate::spatial::clone_buckets_from(&mut self.disk_clients, &src.disk_clients);
+        self.disk_clients.clone_from(&src.disk_clients);
         self.disk_cached.clone_from(&src.disk_cached);
         self.connectivity_mode = src.connectivity_mode;
         self.degradation = src.degradation;
@@ -407,6 +422,19 @@ impl WmnTopology {
             .map(|r| r.current_radius())
             .collect();
         let clients = instance.client_positions();
+        // The id-width invariant: router and client ids are u32 throughout
+        // the arena-backed storage (adjacency, disk caches, edge streams).
+        if positions_len >= u32::MAX as usize || clients.len() >= u32::MAX as usize {
+            return Err(wmn_model::ModelError::InvalidSpec {
+                reason: format!(
+                    "instance exceeds the u32 id space: {} routers / {} clients \
+                     (at most {} of each supported)",
+                    positions_len,
+                    clients.len(),
+                    u32::MAX - 1
+                ),
+            });
+        }
         let max_radius = radii.iter().copied().fold(1.0_f64, f64::max);
         let client_index = Arc::new(GridIndex::build(&area, &clients, max_radius));
         let mut router_index =
@@ -428,7 +456,7 @@ impl WmnTopology {
             cover_count: vec![0; clients.len()],
             covered: vec![false; clients.len()],
             covered_count: 0,
-            disk_clients: vec![Vec::new(); positions_len],
+            disk_clients: NeighborSlab::with_nodes(positions_len),
             disk_cached: vec![false; positions_len],
             connectivity_mode: ConnectivityMode::default(),
             degradation: DegradationPolicy::default(),
@@ -716,18 +744,19 @@ impl WmnTopology {
             match donor.filter(|d| d.disk_cached[i] && d.positions[i] == positions[i]) {
                 Some(d) => {
                     scratch.counters.disk_cache_grafts += 1;
-                    disk_clients[i].clone_from(&d.disk_clients[i]);
+                    disk_clients.assign(i, d.disk_clients.get(i));
                 }
                 None => {
                     scratch.counters.disk_grid_queries += 1;
-                    client_index.within_radius_into(positions[i], radii[i], &mut disk_clients[i]);
+                    client_index.within_radius_into(positions[i], radii[i], &mut scratch.disk_buf);
+                    disk_clients.assign(i, &scratch.disk_buf);
                 }
             }
             disk_cached[i] = true;
         } else {
             scratch.counters.disk_cache_hits += 1;
         }
-        for &c in &disk_clients[i] {
+        for &c in disk_clients.get(i) {
             let c = c as usize;
             cover_count[c] += 1;
             if cover_count[c] == 1 {
@@ -749,7 +778,7 @@ impl WmnTopology {
             disk_clients,
             ..
         } = self;
-        for &c in &disk_clients[i] {
+        for &c in disk_clients.get(i) {
             let c = c as usize;
             debug_assert!(cover_count[c] > 0, "cover count underflow");
             cover_count[c] -= 1;
@@ -786,13 +815,9 @@ impl WmnTopology {
     /// Re-derives router `i`'s edges from the router-side grid, writing the
     /// previous (sorted) neighbor set into `old` and the new one into
     /// `new`. Allocation-free once the buffers are warm.
-    fn recompute_router_edges_into(
-        &mut self,
-        i: usize,
-        old: &mut Vec<usize>,
-        new: &mut Vec<usize>,
-    ) {
-        self.adjacency.detach_node_into(i, old);
+    fn recompute_router_edges_into(&mut self, i: usize, old: &mut Vec<u32>, new: &mut Vec<u32>) {
+        old.clear();
+        old.extend_from_slice(self.adjacency.neighbors(i));
         new.clear();
         let model = self.config.link_model;
         let pi = self.positions[i];
@@ -806,11 +831,15 @@ impl WmnTopology {
             }
             let d2 = pi.distance_squared(positions[j]);
             if model.links(d2, ri, radii[j]) {
-                new.push(j);
+                new.push(j as u32);
             }
         });
         new.sort_unstable();
-        self.adjacency.attach_node_from(i, new);
+        // Unchanged lists skip the slab entirely; changed ones pay only for
+        // the edge delta (the merge-diff inside `replace_node_edges`).
+        if old != new {
+            self.adjacency.replace_node_edges(i, old, new);
+        }
     }
 
     /// Resets the per-repair edge-event streams; every mutation entry
@@ -825,7 +854,7 @@ impl WmnTopology {
     /// old-vs-new sorted neighbor lists (a linear merge-diff), feeding the
     /// dynamic connectivity engine. A no-op outside
     /// [`ConnectivityMode::Dynamic`].
-    fn record_edge_diff(&mut self, i: usize, old: &[usize], new: &[usize]) {
+    fn record_edge_diff(&mut self, i: usize, old: &[u32], new: &[u32]) {
         if self.connectivity_mode != ConnectivityMode::Dynamic {
             return;
         }
@@ -834,6 +863,7 @@ impl WmnTopology {
             del_events,
             ..
         } = &mut self.scratch;
+        let i = i as u32;
         let (mut a, mut b) = (0usize, 0usize);
         loop {
             match (old.get(a), new.get(b)) {
@@ -1225,7 +1255,13 @@ impl WmnTopology {
     /// Panics if any router id is out of range.
     pub fn apply_moves_from(&mut self, moves: &[(RouterId, Point)], donor: Option<&WmnTopology>) {
         let donor = donor.filter(|d| {
-            Arc::ptr_eq(&d.client_index, &self.client_index)
+            // Same instance: the shared-Arc check catches topologies related
+            // by adoption (the steady-state GA population); the structural
+            // fallback admits independently built topologies of the same
+            // instance (a first generation after `evaluate_initial`, or any
+            // caller-assembled population), whose grafts are just as valid.
+            (Arc::ptr_eq(&d.client_index, &self.client_index)
+                || d.client_index == self.client_index)
                 && d.positions.len() == self.positions.len()
                 && d.radii == self.radii
         });
@@ -1238,13 +1274,23 @@ impl WmnTopology {
             _ => {}
         }
         // Record each unique moved router with its pre-batch position while
-        // updating positions and grid buckets in order; `is_moved` is both
-        // the O(1) dedup test here and the batch-membership mask the
-        // component rebuild reads later.
+        // updating positions and grid buckets in order; the epoch-stamped
+        // `moved_stamp` array is both the O(1) dedup test here and the
+        // batch-membership mask the component rebuild reads later — a new
+        // batch bumps `move_epoch` instead of clearing the stamps.
         let mut batch = std::mem::take(&mut self.scratch.batch);
         batch.clear();
-        self.scratch.is_moved.clear();
-        self.scratch.is_moved.resize(self.positions.len(), false);
+        if self.scratch.moved_stamp.len() != self.positions.len() {
+            self.scratch.moved_stamp.clear();
+            self.scratch.moved_stamp.resize(self.positions.len(), 0);
+            self.scratch.move_epoch = 0;
+        }
+        if self.scratch.move_epoch == u32::MAX {
+            self.scratch.moved_stamp.fill(0);
+            self.scratch.move_epoch = 0;
+        }
+        self.scratch.move_epoch += 1;
+        let epoch = self.scratch.move_epoch;
         for &(id, to) in moves {
             let i = id.index();
             let old = self.positions[i];
@@ -1252,10 +1298,10 @@ impl WmnTopology {
             self.positions[i] = new;
             self.disk_cached[i] = false;
             self.router_index.relocate(i, old, new);
-            if !self.scratch.is_moved[i] {
-                self.scratch.is_moved[i] = true;
+            if self.scratch.moved_stamp[i] != epoch {
+                self.scratch.moved_stamp[i] = epoch;
                 batch.push(BatchEntry {
-                    router: i,
+                    router: i as u32,
                     counted_before: false,
                     counted_after: false,
                 });
@@ -1281,8 +1327,8 @@ impl WmnTopology {
         let mut new_n = std::mem::take(&mut self.scratch.new_a);
         let mut links_changed = false;
         for e in &batch {
-            self.recompute_router_edges_into(e.router, &mut old_n, &mut new_n);
-            self.record_edge_diff(e.router, &old_n, &new_n);
+            self.recompute_router_edges_into(e.router as usize, &mut old_n, &mut new_n);
+            self.record_edge_diff(e.router as usize, &old_n, &new_n);
             links_changed |= old_n != new_n;
         }
         self.scratch.old_a = old_n;
@@ -1293,6 +1339,7 @@ impl WmnTopology {
             // the moved disks need re-counting.
             self.scratch.counters.link_noop_repairs += 1;
             for &BatchEntry { router: i, .. } in &batch {
+                let i = i as usize;
                 if self.is_counted(i) {
                     self.disk_remove(i);
                     self.disk_add_from(i, donor);
@@ -1303,7 +1350,7 @@ impl WmnTopology {
         }
 
         for e in &mut batch {
-            e.counted_before = self.is_counted(e.router);
+            e.counted_before = self.is_counted(e.router as usize);
         }
         let flipped_others = self.rebuild_components_incremental_batch();
         match self.config.coverage_rule {
@@ -1312,13 +1359,13 @@ impl WmnTopology {
                 self.scratch.counters.coverage_delta_repairs += 1;
                 std::mem::swap(&mut self.giant_mask, &mut self.scratch.mask);
                 for &BatchEntry { router: i, .. } in &batch {
-                    self.disk_remove(i);
-                    self.disk_add_from(i, donor);
+                    self.disk_remove(i as usize);
+                    self.disk_add_from(i as usize, donor);
                 }
             }
             CoverageRule::GiantComponentOnly => {
                 for e in &mut batch {
-                    e.counted_after = self.scratch.mask[e.router];
+                    e.counted_after = self.scratch.mask[e.router as usize];
                 }
                 // Disk-op budget of the exact delta repair (moved disks
                 // plus the non-moved routers whose membership flipped) vs
@@ -1341,28 +1388,29 @@ impl WmnTopology {
                     // usually hit a positionally-valid cache too.
                     for &e in &batch {
                         if e.counted_before {
-                            self.disk_remove(e.router);
+                            self.disk_remove(e.router as usize);
                         }
                     }
                     if flipped_others > 0 {
                         let old_mask = std::mem::take(&mut self.scratch.mask);
-                        let is_moved = std::mem::take(&mut self.scratch.is_moved);
+                        let stamps = std::mem::take(&mut self.scratch.moved_stamp);
+                        let epoch = self.scratch.move_epoch;
                         for j in 0..self.positions.len() {
-                            if !is_moved[j] && old_mask[j] && !self.giant_mask[j] {
+                            if stamps[j] != epoch && old_mask[j] && !self.giant_mask[j] {
                                 self.disk_remove(j);
                             }
                         }
                         for j in 0..self.positions.len() {
-                            if !is_moved[j] && !old_mask[j] && self.giant_mask[j] {
+                            if stamps[j] != epoch && !old_mask[j] && self.giant_mask[j] {
                                 self.disk_add(j);
                             }
                         }
                         self.scratch.mask = old_mask;
-                        self.scratch.is_moved = is_moved;
+                        self.scratch.moved_stamp = stamps;
                     }
                     for &e in &batch {
                         if e.counted_after {
-                            self.disk_add_from(e.router, donor);
+                            self.disk_add_from(e.router as usize, donor);
                         }
                     }
                 } else {
@@ -1377,12 +1425,18 @@ impl WmnTopology {
     /// (WmnTopology::rebuild_components_incremental) but for a batch:
     /// returns how many routers **outside** the batch changed giant
     /// membership (the flip count steering the coverage-repair choice).
-    /// Expects `scratch.is_moved` to hold the batch-membership mask
-    /// [`apply_moves`](WmnTopology::apply_moves) filled while deduplicating.
+    /// Expects `scratch.moved_stamp` to carry the current `move_epoch` on
+    /// exactly the batch's routers — the membership mask
+    /// [`apply_moves`](WmnTopology::apply_moves) stamped while deduplicating.
     fn rebuild_components_incremental_batch(&mut self) -> usize {
         let unchanged = self.repair_components();
         let n = self.positions.len();
-        let MoveScratch { mask, is_moved, .. } = &mut self.scratch;
+        let MoveScratch {
+            mask,
+            moved_stamp,
+            move_epoch,
+            ..
+        } = &mut self.scratch;
         if unchanged {
             mask.clone_from(&self.giant_mask);
             return 0;
@@ -1392,7 +1446,7 @@ impl WmnTopology {
         for (j, &was) in self.giant_mask.iter().enumerate().take(n) {
             let is = self.components.in_giant(j);
             mask.push(is);
-            if is != was && !is_moved[j] {
+            if is != was && moved_stamp[j] != *move_epoch {
                 flipped_others += 1;
             }
         }
@@ -1425,6 +1479,10 @@ impl WmnTopology {
     /// Panics when the incremental state has drifted from the ground truth.
     pub fn assert_consistent(&self) {
         self.router_index.assert_in_sync(&self.positions);
+        // Arena invariants: span bounds, free-list integrity, and exact
+        // tiling of the slab data for both neighbor storage arenas.
+        self.adjacency.assert_arena_invariants();
+        self.disk_clients.assert_invariants();
         // Disk-cache invariants: a positionally-valid cache — and any
         // counted router's cache — must hold exactly the clients of the
         // router's current disk.
@@ -1438,7 +1496,7 @@ impl WmnTopology {
                 .map(|c| c as u32)
                 .collect();
             expect.sort_unstable();
-            let mut got = self.disk_clients[i].clone();
+            let mut got = self.disk_clients.get(i).to_vec();
             got.sort_unstable();
             assert_eq!(
                 got, expect,

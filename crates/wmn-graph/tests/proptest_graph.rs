@@ -118,7 +118,7 @@ proptest! {
         let c = Components::from_adjacency(&adj);
         prop_assert!(c.giant_size() >= 1);
         prop_assert!(c.giant_size() <= pts.len());
-        prop_assert_eq!(c.sizes().iter().sum::<usize>(), pts.len());
+        prop_assert_eq!(c.sizes().iter().map(|&s| s as usize).sum::<usize>(), pts.len());
     }
 
     #[test]

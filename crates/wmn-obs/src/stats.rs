@@ -30,6 +30,10 @@ pub struct ConnectivityStats {
     pub splits: u64,
     /// Total edge visits performed by the bidirectional searches.
     pub bfs_edge_visits: u64,
+    /// Deletions settled by the triangle fast path: a neighbor shared by
+    /// both endpoints in the final adjacency proves they stay connected,
+    /// so no search runs at all.
+    pub triangle_shortcuts: u64,
     /// Repairs that exceeded the cost cap and fell back to the
     /// whole-graph DSU rescan.
     pub fallbacks: u64,
@@ -50,6 +54,7 @@ impl ConnectivityStats {
         self.merges += other.merges;
         self.splits += other.splits;
         self.bfs_edge_visits += other.bfs_edge_visits;
+        self.triangle_shortcuts += other.triangle_shortcuts;
         self.fallbacks += other.fallbacks;
     }
 
@@ -64,6 +69,9 @@ impl ConnectivityStats {
             merges: self.merges.saturating_sub(earlier.merges),
             splits: self.splits.saturating_sub(earlier.splits),
             bfs_edge_visits: self.bfs_edge_visits.saturating_sub(earlier.bfs_edge_visits),
+            triangle_shortcuts: self
+                .triangle_shortcuts
+                .saturating_sub(earlier.triangle_shortcuts),
             fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
         }
     }
@@ -77,6 +85,7 @@ impl ConnectivityStats {
         f("merges", self.merges);
         f("splits", self.splits);
         f("bfs_edge_visits", self.bfs_edge_visits);
+        f("triangle_shortcuts", self.triangle_shortcuts);
         f("fallbacks", self.fallbacks);
     }
 }
@@ -481,6 +490,7 @@ fn qualified_connectivity_name(name: &'static str) -> &'static str {
         "merges" => "connectivity.merges",
         "splits" => "connectivity.splits",
         "bfs_edge_visits" => "connectivity.bfs_edge_visits",
+        "triangle_shortcuts" => "connectivity.triangle_shortcuts",
         "fallbacks" => "connectivity.fallbacks",
         other => other,
     }
@@ -579,10 +589,10 @@ mod tests {
         e.connectivity.repairs = 2;
         let mut names = Vec::new();
         e.for_each(|name, _| names.push(name));
-        assert_eq!(names.len(), 12 + 7 + 4, "every field appears exactly once");
+        assert_eq!(names.len(), 12 + 8 + 4, "every field appears exactly once");
         assert_eq!(names[0], "topology.single_moves");
         assert_eq!(names[12], "connectivity.repairs");
-        assert_eq!(names[19], "degrade.audits");
+        assert_eq!(names[20], "degrade.audits");
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();
