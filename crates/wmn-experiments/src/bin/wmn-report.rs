@@ -1,0 +1,22 @@
+//! Telemetry analysis CLI: flamegraphs, counter diffs, and run digests
+//! over the artifacts `--telemetry <dir>` writes. All logic lives in
+//! [`wmn_experiments::analyze`]; this binary only maps arguments and
+//! exit codes (0 clean, 1 counter drift from `diff`, 2 usage/input
+//! errors).
+
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match wmn_experiments::analyze::run(&args) {
+        Ok(report) => {
+            print!("{}", report.stdout);
+            let _ = std::io::stdout().flush();
+            std::process::exit(report.exit_code);
+        }
+        Err(e) => {
+            eprintln!("wmn-report: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -43,6 +43,12 @@ pub enum ExperimentError {
         /// What was wrong with it.
         detail: String,
     },
+    /// `wmn-report` was invoked with bad arguments or fed a document it
+    /// cannot analyze (the detail names the offending input).
+    Report {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -66,6 +72,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Checkpoint { path, detail } => {
                 write!(f, "cannot resume from {}: {detail}", path.display())
             }
+            ExperimentError::Report { detail } => write!(f, "{detail}"),
         }
     }
 }
@@ -75,7 +82,9 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::Model(e) => Some(e),
             ExperimentError::Io { source, .. } => Some(source),
-            ExperimentError::Cell { .. } | ExperimentError::Checkpoint { .. } => None,
+            ExperimentError::Cell { .. }
+            | ExperimentError::Checkpoint { .. }
+            | ExperimentError::Report { .. } => None,
         }
     }
 }
@@ -92,6 +101,13 @@ impl ExperimentError {
         ExperimentError::Io {
             path: path.into(),
             source,
+        }
+    }
+
+    /// A `wmn-report` usage or analysis failure.
+    pub fn report(detail: impl Into<String>) -> Self {
+        ExperimentError::Report {
+            detail: detail.into(),
         }
     }
 }

@@ -28,11 +28,18 @@
 //! Experiment grids execute on the `wmn-runtime` worker pool; per-cell RNG
 //! seeds are derived from grid coordinates, so output is bit-identical
 //! regardless of thread count.
+//!
+//! The `wmn-report` binary (see [`analyze`]) reads the telemetry
+//! artifacts back: `wmn-report flame <dir>` renders the counter-weighted
+//! flamegraph, `wmn-report diff <baseline> <run>` powers the
+//! `scripts/check_counters.sh` perf gate, and `wmn-report summarize`
+//! digests a run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
 pub mod ascii_plot;
 pub mod checkpoint;
 pub mod cli;

@@ -4,20 +4,30 @@
 //! profile of its run into a [`TelemetryRecorder`] and write two files:
 //!
 //! * `telemetry.json` — one JSON object:
-//!   `{"schema":"wmn-telemetry/v1","bin":...,"config":{...},"counters":{...},"histograms":{...}}`.
-//!   Only deterministic data goes here — counters and histograms of work
-//!   counts — so the file is **byte-identical for every thread count**
-//!   (the per-job recorders merge in job-index order; see
+//!   `{"schema":"wmn-telemetry/v2","bin":...,"config":{...},"counters":{...},"histograms":{...},"attribution":{...}}`.
+//!   Only deterministic data goes here — counters, histograms of work
+//!   counts, and the phase-attribution tree (counter deltas rolled up
+//!   under nested phase scopes; see `wmn_obs::PhaseNode`) — so the file
+//!   is **byte-identical for every thread count** (the per-job recorders
+//!   merge in job-index order; see
 //!   `wmn_runtime::pool::Runtime::execute_recorded`). The `config` block
 //!   deliberately excludes the thread knobs for the same reason: two runs
 //!   that differ only in parallelism produce the same document.
-//! * `spans.jsonl` — one `{"span":name,"nanos":N}` line per recorded
-//!   wall-clock span, in arrival order. Spans are nondeterministic by
-//!   nature and are kept out of the byte-compared JSON.
+//! * `spans.jsonl` — one
+//!   `{"span":name,"path":...,"parent":...,"depth":D,"index":I,"nanos":N}`
+//!   line per recorded wall-clock span, sorted by `(path, index)` with
+//!   the phase-derived parentage made explicit. Spans are
+//!   nondeterministic by nature and are kept out of the byte-compared
+//!   JSON.
 //!
 //! `scripts/check_counters.sh` diffs `telemetry.json`'s counters against
-//! the committed `COUNTERS_baseline.json`, turning the counter profile of
-//! a fixed-seed workload into a deterministic perf-regression gate.
+//! the committed `COUNTERS_baseline.json` via `wmn-report diff`, turning
+//! the counter profile of a fixed-seed workload into a deterministic
+//! perf-regression gate; `wmn-report flame` renders the attribution tree
+//! as a counter-weighted flamegraph. The v1 → v2 schema bump is a
+//! breaking reader change (new `attribution` member, restructured
+//! spans), so readers reject mismatched schema strings loudly instead of
+//! guessing.
 
 use crate::cli::CliOptions;
 use crate::error::{create_dir, write_file, ExperimentError};
@@ -27,7 +37,7 @@ use std::time::Instant;
 use wmn_obs::TelemetryRecorder;
 
 /// Identifier (and version) of the `telemetry.json` document shape.
-pub const SCHEMA: &str = "wmn-telemetry/v1";
+pub const SCHEMA: &str = "wmn-telemetry/v2";
 
 /// Renders the determinism-relevant configuration block. Thread counts
 /// (`threads`, `runner_threads`) are excluded on purpose: counters are
@@ -135,6 +145,10 @@ mod tests {
     fn sample_recorder() -> TelemetryRecorder {
         let mut rec = TelemetryRecorder::new();
         rec.counter("ga.generations", 40);
+        {
+            let mut ga = wmn_obs::phase(&mut rec, "ga");
+            ga.counter("topology.single_moves", 7);
+        }
         rec.value("ga.generation.diff_routers", 12);
         rec.span("run", 1234);
         rec
@@ -143,11 +157,14 @@ mod tests {
     #[test]
     fn document_shape_is_stable() {
         let doc = render_telemetry_json("fig3", &ExperimentConfig::quick(), &sample_recorder());
-        assert!(doc.starts_with("{\"schema\":\"wmn-telemetry/v1\",\"bin\":\"fig3\","));
+        assert!(doc.starts_with("{\"schema\":\"wmn-telemetry/v2\",\"bin\":\"fig3\","));
         assert!(doc.contains("\"config\":{\"instance_seed\":2009,"));
         assert!(doc.contains("\"connectivity\":\"dynamic\""));
-        assert!(doc.contains("\"counters\":{\"ga.generations\":40}"));
+        assert!(doc.contains("\"counters\":{\"ga.generations\":40,\"topology.single_moves\":7}"));
         assert!(doc.contains("\"histograms\":{\"ga.generation.diff_routers\":"));
+        assert!(doc.contains(
+            "\"attribution\":{\"ga\":{\"counters\":{\"topology.single_moves\":7},\"children\":{}}}"
+        ));
         // Spans (wall-clock, nondeterministic) never leak into the JSON,
         // and the thread knobs are excluded from the config block.
         assert!(!doc.contains("nanos"));
@@ -179,7 +196,10 @@ mod tests {
         assert!(doc.ends_with("}\n"));
         assert_eq!(doc.trim_end().len(), doc.len() - 1);
         let spans = std::fs::read_to_string(dir.join("spans.jsonl")).unwrap();
-        assert_eq!(spans, "{\"span\":\"run\",\"nanos\":1234}\n");
+        assert_eq!(
+            spans,
+            "{\"span\":\"run\",\"path\":\"run\",\"parent\":\"\",\"depth\":0,\"index\":0,\"nanos\":1234}\n"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,6 +12,8 @@
 //!    profiles** — the property `scripts/check_counters.sh` turns into a
 //!    perf-regression gate.
 
+use std::path::Path;
+use wmn_experiments::analyze::{flame, parse_doc};
 use wmn_experiments::figures::{run_ga_figure_recorded, run_ns_figure_recorded};
 use wmn_experiments::scenario::{ExperimentConfig, Scenario};
 use wmn_experiments::telemetry::render_telemetry_json;
@@ -65,6 +67,41 @@ fn ns_figure_telemetry_is_byte_identical_across_thread_counts() {
     for runner in [2, 8] {
         config.runner_threads = runner;
         assert_eq!(telemetry(&config), reference, "runner_threads = {runner}");
+    }
+}
+
+/// The phase-attribution tree — and the flamegraph rendered from it — is
+/// as thread-invariant as the flat counters: the GA run's work lands in
+/// the `ga > evaluate > apply_moves > {edge_repair, component_repair,
+/// coverage}` scopes with identical weights at every thread count, so
+/// `wmn-report flame` output is a reproducible artifact.
+#[test]
+fn phase_attribution_and_flame_are_thread_invariant() {
+    let mut config = small();
+    config.runner_threads = 1;
+    config.threads = 1;
+    let reference = ga_telemetry(&config);
+    let doc = parse_doc(Path::new("fig3.json"), &reference).unwrap();
+    let apply = &doc.attribution.children["ga"].children["evaluate"].children["apply_moves"];
+    for bucket in ["edge_repair", "component_repair", "coverage"] {
+        assert!(
+            apply.children[bucket].total() > 0,
+            "{bucket} should hold attributed work"
+        );
+    }
+    // Attribution re-partitions the flat counters; it never invents work.
+    assert!(doc.attribution.total() <= doc.counter_total());
+    let reference_flame = flame(&doc).unwrap();
+    for (runner, ga) in [(2, 2), (8, 4)] {
+        config.runner_threads = runner;
+        config.threads = ga;
+        let rendered = ga_telemetry(&config);
+        let doc = parse_doc(Path::new("fig3.json"), &rendered).unwrap();
+        assert_eq!(
+            flame(&doc).unwrap(),
+            reference_flame,
+            "runner_threads = {runner}, ga threads = {ga}"
+        );
     }
 }
 

@@ -45,7 +45,7 @@ use wmn_graph::topology::ConnectivityMode;
 use wmn_metrics::evaluator::{EvalWorkspace, Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
-use wmn_obs::{EngineStats, NoopRecorder, Recorder};
+use wmn_obs::{phase, ApplyPhases, EngineStats, NoopRecorder, Recorder};
 use wmn_search::movement::MoveAction;
 
 /// How the engine evaluates the individuals of each generation.
@@ -408,7 +408,19 @@ impl<'e, 'i> GaEngine<'e, 'i> {
     /// Like [`run`](Self::run), additionally emitting run telemetry to
     /// `recorder`: `ga.*` counters, per-generation engine work deltas (as
     /// value histograms), and the total engine work-counter profile summed
-    /// over the evaluation slots in slot order.
+    /// over the evaluation slots in slot order — attributed to a nested
+    /// phase tree. The run opens a `ga` phase with `init` / `evaluate`
+    /// child scopes; inside `evaluate`, the batch-repair work reported by
+    /// the slot topologies' [`ApplyPhases`] buckets telescopes into
+    /// `apply_moves` → `edge_repair` / `component_repair` / `coverage`
+    /// scopes (component repair further staged into connectivity
+    /// `insert` / `delete`), and whatever evaluation work the buckets
+    /// don't cover (`clone_from` state copies, single-move diffs, full
+    /// rebuilds of the `Rebuild` oracle) stays attributed to `evaluate`
+    /// itself. The per-phase slices sum to exactly the flat totals, so
+    /// the flat counter profile is byte-identical to what earlier
+    /// versions emitted in one call. Wall-clock reproduce/evaluate spans
+    /// are recorded under the same phases, informational-only.
     ///
     /// Results are bit-identical to [`run`](Self::run); with a disabled
     /// recorder the extra cost is one branch per generation. Under the
@@ -432,8 +444,13 @@ impl<'e, 'i> GaEngine<'e, 'i> {
             init.build(self.evaluator.instance(), self.config.population_size, rng);
         let mut backend =
             EvalBackend::new(self.config.eval_mode, self.config.connectivity_cost_cap);
+        let init_clock = recorder.enabled().then(std::time::Instant::now);
         backend.evaluate_initial(self.evaluator, &mut population, self.config.threads)?;
+        let init_nanos = elapsed_nanos(init_clock);
         let mut engine_prev = recorder.enabled().then(|| backend.engine_totals());
+        let init_totals = engine_prev.unwrap_or_default();
+        let mut reproduce_nanos = 0u64;
+        let mut evaluate_nanos = 0u64;
 
         let mut trace = GaTrace::new();
         self.record(0, &population, &mut trace);
@@ -445,8 +462,11 @@ impl<'e, 'i> GaEngine<'e, 'i> {
         let mut best_evaluation = population.best_evaluation().expect("evaluated");
 
         for generation in 1..=self.config.generations {
+            let clock = engine_prev.is_some().then(std::time::Instant::now);
             let (next, lineage) = self.reproduce(&population, rng);
+            reproduce_nanos += elapsed_nanos(clock);
             let parents = std::mem::replace(&mut population, next);
+            let clock = engine_prev.is_some().then(std::time::Instant::now);
             backend.evaluate_generation(
                 self.evaluator,
                 &parents,
@@ -454,6 +474,7 @@ impl<'e, 'i> GaEngine<'e, 'i> {
                 &lineage,
                 self.config.threads,
             )?;
+            evaluate_nanos += elapsed_nanos(clock);
             self.record(generation, &population, &mut trace);
             if let Some(prev) = engine_prev.as_mut() {
                 let now = backend.engine_totals();
@@ -482,7 +503,28 @@ impl<'e, 'i> GaEngine<'e, 'i> {
                 "ga.children_evaluated",
                 (self.config.generations * self.config.population_size) as u64,
             );
-            backend.engine_totals().record_counters(recorder);
+            // Telescoped emission: the engine totals split into per-phase
+            // slices that sum to exactly the one-call totals, so the flat
+            // counter profile (and any committed baseline of it) is
+            // unchanged — only the attribution tree gains structure.
+            let totals = backend.engine_totals();
+            let phases = backend.phase_totals();
+            let mut ga = phase(recorder, "ga");
+            ga.span("reproduce", reproduce_nanos);
+            {
+                let mut init_phase = phase(&mut ga, "init");
+                init_phase.span("evaluate_initial", init_nanos);
+                init_totals.record_counters(&mut init_phase);
+            }
+            {
+                let mut eval = phase(&mut ga, "evaluate");
+                eval.span("evaluate_generations", evaluate_nanos);
+                let generation_work = totals.delta_since(&init_totals);
+                let residual = generation_work.delta_since(&phases.attributed());
+                residual.record_counters(&mut eval);
+                let mut apply = phase(&mut eval, "apply_moves");
+                phases.record_counters(&mut apply);
+            }
         }
 
         Ok(GaOutcome {
@@ -492,6 +534,14 @@ impl<'e, 'i> GaEngine<'e, 'i> {
             final_population: population,
         })
     }
+}
+
+/// The nanoseconds since `clock`, or 0 for `None` (the disabled-recorder
+/// path, which never reads the clock at all).
+fn elapsed_nanos(clock: Option<std::time::Instant>) -> u64 {
+    clock.map_or(0, |c| {
+        u64::try_from(c.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    })
 }
 
 /// The engine's per-run evaluation state: either the topology-backed slot
@@ -584,6 +634,28 @@ impl EvalBackend {
             }
         }
         let mut total = EngineStats::default();
+        match self {
+            EvalBackend::Incremental { slots, spare, .. } => {
+                sum_into(&mut total, slots);
+                sum_into(&mut total, spare);
+            }
+            EvalBackend::Rebuild { workspaces } => sum_into(&mut total, workspaces),
+        }
+        total
+    }
+
+    /// Sums the live topologies' batch-repair phase buckets
+    /// ([`ApplyPhases`]) in the same deterministic workspace order as
+    /// [`engine_totals`](Self::engine_totals).
+    fn phase_totals(&self) -> ApplyPhases {
+        fn sum_into(total: &mut ApplyPhases, workspaces: &[EvalWorkspace]) {
+            for ws in workspaces {
+                if let Some(phases) = ws.apply_phases() {
+                    total.merge(&phases);
+                }
+            }
+        }
+        let mut total = ApplyPhases::default();
         match self {
             EvalBackend::Incremental { slots, spare, .. } => {
                 sum_into(&mut total, slots);

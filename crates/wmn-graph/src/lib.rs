@@ -64,4 +64,4 @@ pub use spatial::{DynamicGrid, GridIndex};
 pub use topology::{
     ConnectivityMode, CoverageRule, DegradationPolicy, TopologyConfig, WmnTopology,
 };
-pub use wmn_obs::{EngineStats, TopologyStats};
+pub use wmn_obs::{ApplyPhases, EngineStats, TopologyStats};

@@ -90,7 +90,7 @@ use wmn_model::geometry::{Area, Point};
 use wmn_model::instance::ProblemInstance;
 use wmn_model::node::RouterId;
 use wmn_model::placement::Placement;
-use wmn_obs::{DegradeStats, EngineStats, TopologyStats};
+use wmn_obs::{ApplyPhases, DegradeStats, EngineStats, TopologyStats};
 
 /// Which routers count for client coverage.
 ///
@@ -310,6 +310,11 @@ struct MoveScratch {
     /// Degradation-ladder counters (audits, demotions); scratch like
     /// `counters`.
     degrade: DegradeStats,
+    /// Per-phase buckets partitioning the batch-repair engine work
+    /// (edge repair / component repair / coverage, see [`ApplyPhases`]);
+    /// scratch like `counters`, and always-on for the same reason: the
+    /// buckets are snapshots of counters the engine maintains anyway.
+    phases: ApplyPhases,
     /// Repairs since the last partition audit.
     repairs_since_audit: u64,
     /// Consecutive deletion repairs that each hit the cost-cap fallback.
@@ -643,13 +648,28 @@ impl WmnTopology {
         stats
     }
 
-    /// Zeroes every engine counter (topology, connectivity, degradation),
-    /// starting a fresh measurement window — per-generation or per-phase
-    /// deltas without lifetime bookkeeping.
+    /// The per-phase buckets partitioning the engine work done *inside*
+    /// batch repairs ([`apply_moves`](WmnTopology::apply_moves) with ≥ 2
+    /// distinct routers): edge repair, component repair, coverage, and
+    /// the `FullRebuild`-mode escape hatch. Buckets are scratch state
+    /// with the same lifecycle as [`engine_stats`]
+    /// (WmnTopology::engine_stats) — zeroed on construction and `clone`,
+    /// kept running by `clone_from` — and always sum to at most the
+    /// engine-stats totals; the difference is work done outside batch
+    /// repairs (single moves, `clone_from` copies, `reset_placement`).
+    pub fn apply_phases(&self) -> ApplyPhases {
+        self.scratch.phases
+    }
+
+    /// Zeroes every engine counter (topology, connectivity, degradation)
+    /// and the per-phase batch-repair buckets, starting a fresh
+    /// measurement window — per-generation or per-phase deltas without
+    /// lifetime bookkeeping.
     pub fn reset_engine_stats(&mut self) {
         self.scratch.counters.reset();
         self.scratch.conn.reset_stats();
         self.scratch.degrade.reset();
+        self.scratch.phases.reset();
     }
 
     /// Arms (or, with the all-zero default, disarms) the connectivity
@@ -1273,6 +1293,11 @@ impl WmnTopology {
             }
             _ => {}
         }
+        // Section boundaries of the phase buckets: every engine counter
+        // incremented between two snapshots is attributed to the section
+        // that ran in between (`scratch.phases`). The snapshots are Copy
+        // struct reads, amortized over the whole batch repair.
+        let section_start = self.engine_stats();
         // Record each unique moved router with its pre-batch position while
         // updating positions and grid buckets in order; the epoch-stamped
         // `moved_stamp` array is both the O(1) dedup test here and the
@@ -1312,6 +1337,8 @@ impl WmnTopology {
         if self.connectivity_mode == ConnectivityMode::FullRebuild {
             self.scratch.batch = batch;
             self.rebuild_full();
+            let delta = self.engine_stats().delta_since(&section_start);
+            self.scratch.phases.full_rebuild.merge(&delta);
             return;
         }
 
@@ -1333,6 +1360,9 @@ impl WmnTopology {
         }
         self.scratch.old_a = old_n;
         self.scratch.new_a = new_n;
+        let after_edges = self.engine_stats();
+        let edge_delta = after_edges.delta_since(&section_start);
+        self.scratch.phases.edge_repair.merge(&edge_delta);
 
         if !links_changed {
             // Identical graph ⇒ identical components and membership; only
@@ -1346,6 +1376,8 @@ impl WmnTopology {
                 }
             }
             self.scratch.batch = batch;
+            let delta = self.engine_stats().delta_since(&after_edges);
+            self.scratch.phases.coverage.merge(&delta);
             return;
         }
 
@@ -1353,6 +1385,9 @@ impl WmnTopology {
             e.counted_before = self.is_counted(e.router as usize);
         }
         let flipped_others = self.rebuild_components_incremental_batch();
+        let after_components = self.engine_stats();
+        let component_delta = after_components.delta_since(&after_edges);
+        self.scratch.phases.component_repair.merge(&component_delta);
         match self.config.coverage_rule {
             CoverageRule::AnyRouter => {
                 // Membership is irrelevant: only the moved disks changed.
@@ -1419,6 +1454,8 @@ impl WmnTopology {
             }
         }
         self.scratch.batch = batch;
+        let delta = self.engine_stats().delta_since(&after_components);
+        self.scratch.phases.coverage.merge(&delta);
     }
 
     /// Like [`rebuild_components_incremental`]
@@ -2099,5 +2136,56 @@ mod tests {
             stats.connectivity.repairs, 0,
             "full rebuild must bypass the dynamic engine"
         );
+    }
+
+    #[test]
+    fn apply_phases_partition_the_batch_repair_work() {
+        let (_instance, mut topo) = paper_topology(41);
+        topo.reset_engine_stats();
+        let mut rng = rng_from_seed(11);
+        for _ in 0..12 {
+            let k = rng.gen_range(2..8);
+            let moves: Vec<(RouterId, Point)> = (0..k)
+                .map(|_| {
+                    (
+                        RouterId(rng.gen_range(0..topo.router_count())),
+                        Point::new(rng.gen_range(0.0..=128.0), rng.gen_range(0.0..=128.0)),
+                    )
+                })
+                .collect();
+            topo.apply_moves(&moves);
+        }
+        let totals = topo.engine_stats();
+        let phases = topo.apply_phases();
+        // Every move went through the batch path, so the buckets account
+        // for all engine work; generally they only lower-bound it.
+        assert_eq!(phases.attributed(), totals);
+        assert_eq!(
+            phases.edge_repair.topology.batch_repairs, 12,
+            "batch bookkeeping lands in the edge-repair section"
+        );
+        assert!(phases.component_repair.connectivity.repairs > 0);
+        assert!(
+            phases.coverage.topology.disk_grid_queries > 0
+                || phases.coverage.topology.disk_cache_hits > 0
+        );
+        assert_eq!(phases.full_rebuild, EngineStats::default());
+        // Single moves bypass the batch pipeline: totals grow, buckets
+        // don't — the residual is the caller's to attribute.
+        topo.move_router(RouterId(0), Point::new(5.0, 5.0));
+        assert_eq!(topo.apply_phases(), phases);
+        assert_ne!(topo.engine_stats(), totals);
+        // `reset_engine_stats` opens a fresh window for the buckets too.
+        topo.reset_engine_stats();
+        assert_eq!(topo.apply_phases(), ApplyPhases::default());
+        // `FullRebuild` mode routes batch work into its escape bucket.
+        topo.set_connectivity_mode(ConnectivityMode::FullRebuild);
+        topo.apply_moves(&[
+            (RouterId(1), Point::new(20.0, 20.0)),
+            (RouterId(2), Point::new(30.0, 30.0)),
+        ]);
+        let phases = topo.apply_phases();
+        assert_eq!(phases.full_rebuild.topology.full_rebuilds, 1);
+        assert_eq!(phases.attributed(), topo.engine_stats());
     }
 }

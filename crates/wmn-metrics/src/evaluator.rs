@@ -122,6 +122,14 @@ impl EvalWorkspace {
         self.topo.as_ref().map(WmnTopology::engine_stats)
     }
 
+    /// The stored topology's per-phase batch-repair buckets (edge repair
+    /// / component repair / coverage — see
+    /// [`ApplyPhases`](wmn_graph::ApplyPhases)), if a topology exists.
+    /// Same lifecycle as [`engine_stats`](Self::engine_stats).
+    pub fn apply_phases(&self) -> Option<wmn_graph::ApplyPhases> {
+        self.topo.as_ref().map(WmnTopology::apply_phases)
+    }
+
     /// Zeroes the stored topology's work counters, starting a fresh
     /// measurement window (e.g. per GA generation instead of lifetime
     /// totals). A no-op when no topology has been built yet.

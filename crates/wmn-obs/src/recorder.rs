@@ -1,5 +1,5 @@
-//! The opt-in telemetry layer: [`Recorder`], its no-op default, and the
-//! collecting [`TelemetryRecorder`].
+//! The opt-in telemetry layer: [`Recorder`], its no-op default, the
+//! collecting [`TelemetryRecorder`], and scoped phase attribution.
 //!
 //! Instrumented code takes `&mut dyn Recorder` and follows two rules
 //! that make the disabled path free and the enabled path deterministic:
@@ -13,22 +13,45 @@
 //!    pre-aggregated emit (per-generation delta sweeps, span timing via
 //!    `std::time::Instant`) runs only when the recorder asks for it.
 //!
+//! # Phases: a counter-weighted flamegraph of work
+//!
+//! Wall-clock flamegraphs are noise on shared 1-core hardware, so the
+//! profiling primitive here is *counter attribution*: a scoped **phase
+//! stack** ([`Recorder::phase_enter`] / [`Recorder::phase_exit`], or the
+//! RAII [`phase`] guard). Counters emitted while phases are open are
+//! recorded twice — once in the flat counter map (unchanged totals, so
+//! committed counter baselines survive instrumentation), and once in an
+//! **attribution tree** ([`PhaseNode`]) under the current phase path.
+//! Because the weights are deterministic work counts, the resulting
+//! flamegraph is byte-identical across runs and thread counts for a
+//! fixed seed — `wmn-report flame` renders it with percentages. Phase
+//! names are single path segments and must not contain `'.'`; the
+//! dot-joined display form (`phase.ga.evaluate.apply_moves.<counter>`)
+//! belongs to renderers, not to storage.
+//!
+//! Spans gain the same nesting: a span recorded under open phases
+//! remembers its ancestor path, and [`render_spans_jsonl`] emits a
+//! parented v2 stream (`path` / `parent` / `depth` / `index` fields)
+//! sorted by `(path, index)` so span output of equal-thread-count runs
+//! diffs cleanly. Span durations stay wall-clock and informational-only.
+//!
 //! [`TelemetryRecorder`] keeps counters and histograms in `BTreeMap`s
 //! keyed by `&'static str`, so iteration — and therefore the rendered
 //! JSON — is deterministic. Merging two recorders is field-wise addition
-//! plus span concatenation; merging per-job recorders in job-index order
-//! (what `wmn-runtime` does) yields byte-identical documents for every
-//! thread count. Span entries carry wall-clock nanoseconds and are the
-//! one nondeterministic stream, so [`TelemetryRecorder::render_json`]
-//! excludes them; [`TelemetryRecorder::render_spans_jsonl`] renders them
-//! separately.
+//! plus recursive attribution-tree merge plus span concatenation;
+//! merging per-job recorders in job-index order (what `wmn-runtime`
+//! does) yields byte-identical documents for every thread count. Span
+//! entries carry wall-clock nanoseconds and are the one nondeterministic
+//! stream, so [`TelemetryRecorder::render_json`] excludes them;
+//! [`render_spans_jsonl`] renders them separately.
 //!
 //! [`EngineStats`]: crate::EngineStats
+//! [`render_spans_jsonl`]: TelemetryRecorder::render_spans_jsonl
 
 use std::collections::BTreeMap;
 
 /// A sink for instrumentation events: monotonic counters, value
-/// histograms, and span timings.
+/// histograms, span timings, and phase scopes.
 ///
 /// Implementations must be order-insensitive for counters and histogram
 /// values (addition and min/max/sum/count are commutative), which is what
@@ -40,16 +63,31 @@ pub trait Recorder {
     /// code computes.
     fn enabled(&self) -> bool;
 
-    /// Adds `delta` to the monotonic counter `name`.
+    /// Adds `delta` to the monotonic counter `name`. While phases are
+    /// open (see [`phase_enter`](Recorder::phase_enter)), collecting
+    /// implementations additionally attribute the delta to the current
+    /// phase path; the flat counter total is unaffected.
     fn counter(&mut self, name: &'static str, delta: u64);
 
     /// Records one observation of the value distribution `name`.
     fn value(&mut self, name: &'static str, value: u64);
 
     /// Records one completed span of `name` lasting `nanos` wall-clock
-    /// nanoseconds. Spans are nondeterministic by nature and must never
-    /// feed deterministic artifacts.
+    /// nanoseconds, nested under the currently open phases. Spans are
+    /// nondeterministic by nature and must never feed deterministic
+    /// artifacts.
     fn span(&mut self, name: &'static str, nanos: u64);
+
+    /// Opens a phase scope named `name` (a single path segment — must
+    /// not contain `'.'`). Subsequent counters attribute under it until
+    /// the matching [`phase_exit`](Recorder::phase_exit). Prefer the
+    /// RAII [`phase`] guard, which balances the exit even on unwind.
+    fn phase_enter(&mut self, _name: &'static str) {}
+
+    /// Closes the innermost open phase scope. Calling with no phase open
+    /// is a no-op (tolerated so unwind-driven guard drops can never
+    /// fail), but balanced enter/exit is the contract.
+    fn phase_exit(&mut self) {}
 }
 
 impl std::fmt::Debug for dyn Recorder + '_ {
@@ -74,9 +112,73 @@ impl Recorder for NoopRecorder {
     fn span(&mut self, _name: &'static str, _nanos: u64) {}
 }
 
+/// An RAII phase scope: created by [`phase`], closes its scope on drop —
+/// including drops driven by panic unwinding, so a panicking job under a
+/// retrying runtime can never leave a recorder's phase stack unbalanced.
+///
+/// The guard itself implements [`Recorder`] by delegation, so nested
+/// phases and instrumented calls compose naturally:
+///
+/// ```
+/// use wmn_obs::{phase, Recorder, TelemetryRecorder};
+///
+/// let mut rec = TelemetryRecorder::new();
+/// {
+///     let mut ga = phase(&mut rec, "ga");
+///     let mut eval = phase(&mut ga, "evaluate");
+///     eval.counter("topology.single_moves", 3);
+/// }
+/// let node = rec.attribution().get(&["ga", "evaluate"]).unwrap();
+/// assert_eq!(node.counters["topology.single_moves"], 3);
+/// ```
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    rec: &'a mut (dyn Recorder + 'a),
+}
+
+/// Opens the phase `name` on `recorder` and returns the guard that
+/// closes it. `name` is one path segment and must not contain `'.'`.
+pub fn phase<'a>(recorder: &'a mut (dyn Recorder + 'a), name: &'static str) -> PhaseGuard<'a> {
+    recorder.phase_enter(name);
+    PhaseGuard { rec: recorder }
+}
+
+impl Recorder for PhaseGuard<'_> {
+    fn enabled(&self) -> bool {
+        self.rec.enabled()
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.rec.counter(name, delta);
+    }
+
+    fn value(&mut self, name: &'static str, value: u64) {
+        self.rec.value(name, value);
+    }
+
+    fn span(&mut self, name: &'static str, nanos: u64) {
+        self.rec.span(name, nanos);
+    }
+
+    fn phase_enter(&mut self, name: &'static str) {
+        self.rec.phase_enter(name);
+    }
+
+    fn phase_exit(&mut self) {
+        self.rec.phase_exit();
+    }
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.phase_exit();
+    }
+}
+
 /// Times `f` into `recorder` as a span named `name` — but only reads the
 /// clock when the recorder is enabled, so the disabled path is exactly
-/// one virtual call around `f`.
+/// one virtual call around `f`. The span nests under whatever phases are
+/// open at the time of the call.
 pub fn time_span<R>(recorder: &mut dyn Recorder, name: &'static str, f: impl FnOnce() -> R) -> R {
     if !recorder.enabled() {
         return f();
@@ -126,21 +228,125 @@ impl Histogram {
     }
 }
 
-/// One recorded span: a name and its wall-clock duration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One node of the phase-attribution tree: the counters emitted directly
+/// in this phase, and the child phases opened under it. Weights are
+/// deterministic work counts, so the tree — and any flamegraph rendered
+/// from it — is byte-stable across thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseNode {
+    /// Counter deltas attributed directly to this phase (not including
+    /// descendants), keyed by the flat counter name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Child phases, keyed by phase segment name.
+    pub children: BTreeMap<&'static str, PhaseNode>,
+}
+
+impl PhaseNode {
+    /// Whether the node holds no counters and no children.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.children.is_empty()
+    }
+
+    /// The node's weight: its own counters plus every descendant's.
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum::<u64>()
+            + self.children.values().map(PhaseNode::total).sum::<u64>()
+    }
+
+    /// The descendant at `path` (`&[]` is the node itself).
+    pub fn get(&self, path: &[&str]) -> Option<&PhaseNode> {
+        match path.split_first() {
+            None => Some(self),
+            Some((seg, rest)) => self.children.get(*seg)?.get(rest),
+        }
+    }
+
+    /// Visits every attributed counter as a dot-joined flat key
+    /// (`phase.<path>.<counter>`) in deterministic order — the display
+    /// convention renderers and tests use.
+    pub fn for_each_flat(&self, f: &mut impl FnMut(&str, u64)) {
+        self.walk_flat("phase", f);
+    }
+
+    fn walk_flat(&self, prefix: &str, f: &mut impl FnMut(&str, u64)) {
+        for (name, v) in &self.counters {
+            f(&format!("{prefix}.{name}"), *v);
+        }
+        for (seg, child) in &self.children {
+            child.walk_flat(&format!("{prefix}.{seg}"), f);
+        }
+    }
+
+    fn add(&mut self, path: &[&'static str], name: &'static str, delta: u64) {
+        let mut node = self;
+        for seg in path {
+            node = node.children.entry(seg).or_default();
+        }
+        *node.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn merge(&mut self, other: PhaseNode) {
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (seg, child) in other.children {
+            self.children.entry(seg).or_default().merge(child);
+        }
+    }
+
+    fn render_json_into(&self, out: &mut String) {
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str("},\"children\":{");
+        for (i, (seg, child)) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{seg}\":"));
+            child.render_json_into(out);
+        }
+        out.push_str("}}");
+    }
+}
+
+/// One recorded span: a name, the phase path it was recorded under, and
+/// its wall-clock duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEntry {
-    /// The span's name.
+    /// The span's name (may contain dots; only *phase* segments may not).
     pub name: &'static str,
+    /// The phase segments open when the span was recorded (outermost
+    /// first); empty for a top-level span.
+    pub path: Vec<&'static str>,
     /// Wall-clock duration in nanoseconds.
     pub nanos: u64,
 }
 
+impl SpanEntry {
+    /// The dot-joined full path, ancestors then name.
+    pub fn full_path(&self) -> String {
+        if self.path.is_empty() {
+            self.name.to_string()
+        } else {
+            format!("{}.{}", self.path.join("."), self.name)
+        }
+    }
+}
+
 /// A collecting [`Recorder`]: counters and histograms in deterministic
-/// `BTreeMap`s, spans in arrival order.
+/// `BTreeMap`s, phase attribution in a [`PhaseNode`] tree, spans in
+/// arrival order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TelemetryRecorder {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    attribution: PhaseNode,
+    phase_stack: Vec<&'static str>,
     spans: Vec<SpanEntry>,
 }
 
@@ -160,14 +366,28 @@ impl TelemetryRecorder {
         &self.histograms
     }
 
+    /// The phase-attribution tree (the root node is anonymous; top-level
+    /// phases are its children).
+    pub fn attribution(&self) -> &PhaseNode {
+        &self.attribution
+    }
+
+    /// How many phases are currently open (0 when balanced at rest).
+    pub fn phase_depth(&self) -> usize {
+        self.phase_stack.len()
+    }
+
     /// The collected spans, in arrival order.
     pub fn spans(&self) -> &[SpanEntry] {
         &self.spans
     }
 
-    /// Folds `other` into `self`: counters add, histograms merge, spans
-    /// append. Merging per-job recorders in job-index order produces the
-    /// same counters and histograms as a serial run.
+    /// Folds `other` into `self`: counters add, histograms merge, the
+    /// attribution trees merge recursively (commutative addition at
+    /// every node), spans append. Merging per-job recorders in job-index
+    /// order produces the same counters, histograms, and attribution as
+    /// a serial run. Merge recorders *at rest* — `other`'s open phase
+    /// stack (if any) is discarded, not adopted.
     pub fn merge(&mut self, other: TelemetryRecorder) {
         for (name, v) in other.counters {
             *self.counters.entry(name).or_insert(0) += v;
@@ -180,12 +400,13 @@ impl TelemetryRecorder {
                 }
             }
         }
+        self.attribution.merge(other.attribution);
         self.spans.extend(other.spans);
     }
 
-    /// Renders the **deterministic** portion — counters and histograms —
-    /// as one JSON object:
-    /// `{"counters":{...},"histograms":{"name":{"count":..,"sum":..,"min":..,"max":..},...}}`.
+    /// Renders the **deterministic** portion — counters, histograms, and
+    /// the attribution tree — as one JSON object:
+    /// `{"counters":{...},"histograms":{...},"attribution":{"<phase>":{"counters":{...},"children":{...}},...}}`.
     /// Keys appear in `BTreeMap` (lexicographic) order, so equal
     /// recorders render byte-identically. Spans are deliberately absent.
     pub fn render_json(&self) -> String {
@@ -206,20 +427,52 @@ impl TelemetryRecorder {
                 h.count, h.sum, h.min, h.max
             ));
         }
+        out.push_str("},\"attribution\":{");
+        for (i, (seg, child)) in self.attribution.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{seg}\":"));
+            child.render_json_into(&mut out);
+        }
         out.push_str("}}");
         out
     }
 
-    /// Renders the spans as JSON Lines, one
-    /// `{"span":"name","nanos":N}` object per line (empty string when no
-    /// spans were recorded). Wall-clock durations are nondeterministic;
-    /// keep this out of byte-compared artifacts.
+    /// Renders the spans as JSON Lines v2, one
+    /// `{"span":name,"path":...,"parent":...,"depth":D,"index":I,"nanos":N}`
+    /// object per line (empty string when no spans were recorded).
+    /// `path` is the dot-joined phase path plus the span name, `parent`
+    /// the path without the name, `depth` the number of enclosing
+    /// phases, and `index` the 0-based arrival rank among same-path
+    /// spans. Lines are sorted by `(path, index)`, so runs of equal
+    /// structure diff cleanly regardless of completion order. Wall-clock
+    /// durations are nondeterministic; keep this out of byte-compared
+    /// artifacts.
     pub fn render_spans_jsonl(&self) -> String {
+        let mut occurrence: BTreeMap<String, u64> = BTreeMap::new();
+        let mut rows: Vec<(String, u64, &SpanEntry)> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let full = s.full_path();
+                let slot = occurrence.entry(full.clone()).or_insert(0);
+                let index = *slot;
+                *slot += 1;
+                (full, index, s)
+            })
+            .collect();
+        rows.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
         let mut out = String::new();
-        for s in &self.spans {
+        for (full, index, s) in rows {
             out.push_str(&format!(
-                "{{\"span\":\"{}\",\"nanos\":{}}}\n",
-                s.name, s.nanos
+                "{{\"span\":\"{}\",\"path\":\"{}\",\"parent\":\"{}\",\"depth\":{},\"index\":{},\"nanos\":{}}}\n",
+                s.name,
+                full,
+                s.path.join("."),
+                s.path.len(),
+                index,
+                s.nanos
             ));
         }
         out
@@ -233,6 +486,9 @@ impl Recorder for TelemetryRecorder {
 
     fn counter(&mut self, name: &'static str, delta: u64) {
         *self.counters.entry(name).or_insert(0) += delta;
+        if !self.phase_stack.is_empty() {
+            self.attribution.add(&self.phase_stack, name, delta);
+        }
     }
 
     fn value(&mut self, name: &'static str, value: u64) {
@@ -245,7 +501,23 @@ impl Recorder for TelemetryRecorder {
     }
 
     fn span(&mut self, name: &'static str, nanos: u64) {
-        self.spans.push(SpanEntry { name, nanos });
+        self.spans.push(SpanEntry {
+            name,
+            path: self.phase_stack.clone(),
+            nanos,
+        });
+    }
+
+    fn phase_enter(&mut self, name: &'static str) {
+        debug_assert!(
+            !name.contains('.'),
+            "phase names are single path segments, got {name:?}"
+        );
+        self.phase_stack.push(name);
+    }
+
+    fn phase_exit(&mut self) {
+        self.phase_stack.pop();
     }
 }
 
@@ -260,6 +532,8 @@ mod tests {
         rec.counter("x", 1);
         rec.value("y", 2);
         rec.span("z", 3);
+        rec.phase_enter("p");
+        rec.phase_exit();
     }
 
     #[test]
@@ -270,7 +544,7 @@ mod tests {
         rec.counter("b", 3);
         assert_eq!(
             rec.render_json(),
-            "{\"counters\":{\"a\":1,\"b\":5},\"histograms\":{}}"
+            "{\"counters\":{\"a\":1,\"b\":5},\"histograms\":{},\"attribution\":{}}"
         );
     }
 
@@ -292,31 +566,130 @@ mod tests {
         let mut a = TelemetryRecorder::new();
         a.counter("n", 1);
         a.value("v", 10);
+        {
+            let mut p = phase(&mut a, "work");
+            p.counter("n", 4);
+        }
         let mut b = TelemetryRecorder::new();
         b.counter("n", 2);
         b.counter("m", 7);
         b.value("v", 4);
+        {
+            let mut p = phase(&mut b, "work");
+            p.counter("n", 5);
+        }
 
         let mut ab = a.clone();
         ab.merge(b.clone());
         let mut ba = b;
         ba.merge(a);
         assert_eq!(ab.render_json(), ba.render_json());
-        assert_eq!(ab.counters()["n"], 3);
+        assert_eq!(ab.counters()["n"], 12);
+        assert_eq!(ab.attribution().get(&["work"]).unwrap().counters["n"], 9);
     }
 
     #[test]
-    fn spans_render_separately_as_jsonl() {
+    fn phases_attribute_without_disturbing_flat_totals() {
+        let mut rec = TelemetryRecorder::new();
+        rec.counter("engine.work", 1);
+        {
+            let mut outer = phase(&mut rec, "outer");
+            outer.counter("engine.work", 2);
+            {
+                let mut inner = phase(&mut outer, "inner");
+                inner.counter("engine.work", 4);
+            }
+            outer.counter("engine.other", 8);
+        }
+        assert_eq!(rec.counters()["engine.work"], 7, "flat total is the sum");
+        assert_eq!(rec.phase_depth(), 0, "guards balanced the stack");
+        let root = rec.attribution();
+        assert!(root.counters.is_empty(), "unscoped counters stay flat-only");
+        let outer = root.get(&["outer"]).unwrap();
+        assert_eq!(outer.counters["engine.work"], 2);
+        assert_eq!(outer.counters["engine.other"], 8);
+        assert_eq!(
+            root.get(&["outer", "inner"]).unwrap().counters["engine.work"],
+            4
+        );
+        assert_eq!(outer.total(), 14);
+
+        let mut flat = Vec::new();
+        root.for_each_flat(&mut |k, v| flat.push((k.to_string(), v)));
+        assert_eq!(
+            flat,
+            vec![
+                ("phase.outer.engine.other".to_string(), 8),
+                ("phase.outer.engine.work".to_string(), 2),
+                ("phase.outer.inner.engine.work".to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn unbalanced_phase_exit_is_a_tolerated_noop() {
+        let mut rec = TelemetryRecorder::new();
+        rec.phase_exit();
+        rec.phase_exit();
+        assert_eq!(rec.phase_depth(), 0);
+        rec.phase_enter("p");
+        rec.counter("c", 1);
+        rec.phase_exit();
+        rec.phase_exit();
+        assert_eq!(rec.phase_depth(), 0);
+        assert_eq!(rec.attribution().get(&["p"]).unwrap().counters["c"], 1);
+    }
+
+    #[test]
+    fn phase_guard_balances_on_panic_unwind() {
+        let mut rec = TelemetryRecorder::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = phase(&mut rec, "doomed");
+            g.counter("before", 1);
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(rec.phase_depth(), 0, "guard drop closed the phase");
+        assert_eq!(
+            rec.attribution().get(&["doomed"]).unwrap().counters["before"],
+            1
+        );
+    }
+
+    #[test]
+    fn spans_render_separately_as_sorted_parented_jsonl() {
         let mut rec = TelemetryRecorder::new();
         rec.span("run", 1234);
+        {
+            let mut g = phase(&mut rec, "ga");
+            g.span("reproduce", 9);
+            g.span("reproduce", 11);
+        }
         assert_eq!(
             rec.render_spans_jsonl(),
-            "{\"span\":\"run\",\"nanos\":1234}\n"
+            concat!(
+                "{\"span\":\"reproduce\",\"path\":\"ga.reproduce\",\"parent\":\"ga\",\"depth\":1,\"index\":0,\"nanos\":9}\n",
+                "{\"span\":\"reproduce\",\"path\":\"ga.reproduce\",\"parent\":\"ga\",\"depth\":1,\"index\":1,\"nanos\":11}\n",
+                "{\"span\":\"run\",\"path\":\"run\",\"parent\":\"\",\"depth\":0,\"index\":0,\"nanos\":1234}\n"
+            )
         );
         assert!(
             !rec.render_json().contains("span"),
             "spans stay out of the deterministic doc"
         );
+    }
+
+    #[test]
+    fn span_sort_is_by_path_then_arrival_index() {
+        let mut rec = TelemetryRecorder::new();
+        rec.span("b", 2);
+        rec.span("a", 1);
+        rec.span("b", 3);
+        let rendered = rec.render_spans_jsonl();
+        let lines: Vec<&str> = rendered.lines().map(|l| l.trim()).collect();
+        assert!(lines[0].contains("\"span\":\"a\""));
+        assert!(lines[1].contains("\"nanos\":2") && lines[1].contains("\"index\":0"));
+        assert!(lines[2].contains("\"nanos\":3") && lines[2].contains("\"index\":1"));
     }
 
     #[test]

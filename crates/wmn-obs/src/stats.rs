@@ -88,6 +88,31 @@ impl ConnectivityStats {
         f("triangle_shortcuts", self.triangle_shortcuts);
         f("fallbacks", self.fallbacks);
     }
+
+    /// Splits the profile into its two repair stages — the phase
+    /// taxonomy of `DynamicConnectivity::repair`. Every counter belongs
+    /// statically to exactly one stage: insertions and the merges they
+    /// cause happen in the insert sweep; deletions and everything they
+    /// trigger (splits, search edge visits, triangle shortcuts, rescan
+    /// fallbacks) in the delete sweep. `repairs` counts whole calls and
+    /// belongs to neither stage (attribute it to the parent phase).
+    #[must_use]
+    pub fn stage_split(&self) -> (ConnectivityStats, ConnectivityStats) {
+        let insert = ConnectivityStats {
+            insertions: self.insertions,
+            merges: self.merges,
+            ..ConnectivityStats::default()
+        };
+        let delete = ConnectivityStats {
+            deletions: self.deletions,
+            splits: self.splits,
+            bfs_edge_visits: self.bfs_edge_visits,
+            triangle_shortcuts: self.triangle_shortcuts,
+            fallbacks: self.fallbacks,
+            ..ConnectivityStats::default()
+        };
+        (insert, delete)
+    }
 }
 
 /// Cumulative counters of `WmnTopology`'s delta-evaluation engine:
@@ -455,6 +480,126 @@ impl EngineStats {
         self.for_each(|name, v| {
             if v != 0 {
                 recorder.counter(name, v);
+            }
+        });
+    }
+
+    /// Like [`record_counters`](EngineStats::record_counters), but
+    /// attributes connectivity work one level deeper: topology,
+    /// degradation, and `connectivity.repairs` counters emit at the
+    /// recorder's current phase, while the per-stage connectivity
+    /// counters (see [`ConnectivityStats::stage_split`]) emit under
+    /// child phases `insert` / `delete`. Flat totals are identical to a
+    /// single `record_counters` call — only the attribution differs.
+    pub fn record_counters_staged(&self, recorder: &mut dyn crate::Recorder) {
+        let parent = EngineStats {
+            topology: self.topology,
+            connectivity: ConnectivityStats {
+                repairs: self.connectivity.repairs,
+                ..ConnectivityStats::default()
+            },
+            degrade: self.degrade,
+        };
+        parent.record_counters(recorder);
+        let (insert, delete) = self.connectivity.stage_split();
+        if insert != ConnectivityStats::default() {
+            let mut g = crate::recorder::phase(recorder, "insert");
+            EngineStats::new(TopologyStats::default(), insert).record_counters(&mut g);
+        }
+        if delete != ConnectivityStats::default() {
+            let mut g = crate::recorder::phase(recorder, "delete");
+            EngineStats::new(TopologyStats::default(), delete).record_counters(&mut g);
+        }
+    }
+}
+
+/// Per-phase work buckets of `WmnTopology::apply_moves` — the batch
+/// repair pipeline split along its three sections (plus the
+/// `FullRebuild`-mode escape hatch). Buckets are always-on scratch
+/// state like the flat counters they partition: each bucket is the
+/// [`EngineStats`] delta accumulated while its section ran, so the four
+/// buckets sum to exactly the engine work done inside batch repairs.
+/// Work done outside `apply_moves` (single-router moves, `clone_from`
+/// copies, full `reset_placement` rebuilds) lands in no bucket and is
+/// the caller's to attribute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ApplyPhases {
+    /// Per-router grid-local link recomputation and edge diffing.
+    pub edge_repair: EngineStats,
+    /// Incremental component repair (the connectivity engine's insert /
+    /// delete sweeps, or the DSU rescan under `DsuRescan` mode).
+    pub component_repair: EngineStats,
+    /// Coverage maintenance: disk-cache refills and the per-disk delta
+    /// vs. full-recompute coverage repair.
+    pub coverage: EngineStats,
+    /// Whole-topology rebuilds taken instead of the incremental pipeline
+    /// (`FullRebuild` connectivity mode). Zero on the default pipeline.
+    pub full_rebuild: EngineStats,
+}
+
+impl ApplyPhases {
+    /// Resets every bucket to zero.
+    pub fn reset(&mut self) {
+        *self = ApplyPhases::default();
+    }
+
+    /// Adds `other`'s buckets into `self` (order-independent).
+    pub fn merge(&mut self, other: &ApplyPhases) {
+        self.edge_repair.merge(&other.edge_repair);
+        self.component_repair.merge(&other.component_repair);
+        self.coverage.merge(&other.coverage);
+        self.full_rebuild.merge(&other.full_rebuild);
+    }
+
+    /// The buckets accumulated since `earlier` was captured (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &ApplyPhases) -> ApplyPhases {
+        ApplyPhases {
+            edge_repair: self.edge_repair.delta_since(&earlier.edge_repair),
+            component_repair: self.component_repair.delta_since(&earlier.component_repair),
+            coverage: self.coverage.delta_since(&earlier.coverage),
+            full_rebuild: self.full_rebuild.delta_since(&earlier.full_rebuild),
+        }
+    }
+
+    /// The sum of all buckets: the engine work that happened *inside*
+    /// batch repairs. Subtract from an overall [`EngineStats`] delta to
+    /// get the unattributed residual.
+    #[must_use]
+    pub fn attributed(&self) -> EngineStats {
+        let mut sum = self.edge_repair;
+        sum.merge(&self.component_repair);
+        sum.merge(&self.coverage);
+        sum.merge(&self.full_rebuild);
+        sum
+    }
+
+    /// Visits every bucket as a `(phase-name, bucket)` pair in pipeline
+    /// order. Names are single phase segments (no dots).
+    pub fn for_each_bucket(&self, mut f: impl FnMut(&'static str, &EngineStats)) {
+        f("edge_repair", &self.edge_repair);
+        f("component_repair", &self.component_repair);
+        f("coverage", &self.coverage);
+        f("full_rebuild", &self.full_rebuild);
+    }
+
+    /// Emits every non-zero bucket into `recorder`, each under a child
+    /// phase named after its pipeline section; the `component_repair`
+    /// bucket additionally splits its connectivity work into `insert` /
+    /// `delete` stage phases. Flat counter totals equal one
+    /// `attributed().record_counters(..)` call — only attribution
+    /// differs.
+    pub fn record_counters(&self, recorder: &mut dyn crate::Recorder) {
+        self.for_each_bucket(|name, bucket| {
+            if *bucket == EngineStats::default() {
+                return;
+            }
+            let mut g = crate::recorder::phase(&mut *recorder, name);
+            if name == "component_repair" {
+                bucket.record_counters_staged(&mut g);
+            } else {
+                bucket.record_counters(&mut g);
             }
         });
     }

@@ -846,6 +846,55 @@ mod tests {
     }
 
     #[test]
+    fn phase_attribution_merges_thread_invariantly_through_mid_phase_panics() {
+        use crate::fault::FaultPlan;
+        // Each sabotaged first attempt dies by panic while two phase
+        // scopes are still open: the unwind must drop both guards, the
+        // doomed attempt's recorder must be discarded whole, and the
+        // surviving per-job attribution trees must merge (in job-index
+        // order) to the same document the fault-free serial run writes.
+        let plan = FaultPlan::parse("seed=11;blowup@repair:p=0.6,n=1").unwrap();
+        let work = |ctx: JobContext, x: &u64, rec: &mut dyn Recorder| -> Result<u64, String> {
+            let mut job = wmn_obs::phase(rec, "job");
+            job.counter("jobs", 1);
+            let mut evaluate = wmn_obs::phase(&mut job, "evaluate");
+            evaluate.counter("work", x + 1);
+            if ctx.sabotage {
+                panic!("mid-phase panic in job {}", ctx.index);
+            }
+            Ok(x * 2)
+        };
+        let run = |threads: usize, plan: Option<&FaultPlan>| {
+            let jobs: Vec<u64> = (0..24).collect();
+            let mut stats = RobustnessStats::default();
+            let mut recorder = TelemetryRecorder::new();
+            let out = Runtime::new(threads)
+                .try_execute_isolated_recorded(
+                    jobs,
+                    RetryPolicy::new(2),
+                    plan,
+                    &mut stats,
+                    &mut recorder,
+                    work,
+                )
+                .unwrap();
+            (out, recorder.render_json(), stats.fault.caught_panics)
+        };
+        let (clean_out, clean_json, clean_panics) = run(1, None);
+        assert_eq!(clean_panics, 0);
+        assert!(
+            clean_json.contains("\"attribution\":{\"job\":"),
+            "{clean_json}"
+        );
+        for threads in [1, 2, 8] {
+            let (out, json, caught_panics) = run(threads, Some(&plan));
+            assert_eq!(out, clean_out, "threads = {threads}");
+            assert_eq!(json, clean_json, "threads = {threads}");
+            assert!(caught_panics > 0, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn try_execute_recorded_merges_telemetry_even_on_error() {
         let mut recorder = TelemetryRecorder::new();
         let jobs: Vec<usize> = (0..8).collect();

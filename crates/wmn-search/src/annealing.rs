@@ -12,6 +12,7 @@ use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::phase as obs_phase;
 use wmn_obs::{NoopRecorder, Recorder};
 
 /// Configuration for [`SimulatedAnnealing`].
@@ -186,15 +187,25 @@ impl<'e, 'i> SimulatedAnnealing<'e, 'i> {
         }
 
         if let Some(before) = engine_before {
-            recorder.counter("search.sa.phases", trace.len() as u64);
-            recorder.counter(
-                "search.sa.moves_proposed",
-                (self.config.phases * self.config.moves_per_phase) as u64,
-            );
-            recorder.counter("search.sa.moves_accepted", accepted_moves as u64);
-            topo.engine_stats()
-                .delta_since(&before)
-                .record_counters(recorder);
+            let delta = topo.engine_stats().delta_since(&before);
+            let mut scope = obs_phase(recorder, "search");
+            let mut driver = obs_phase(&mut scope, "sa");
+            driver.counter("search.sa.phases", trace.len() as u64);
+            {
+                let mut propose = obs_phase(&mut driver, "propose");
+                propose.counter(
+                    "search.sa.moves_proposed",
+                    (self.config.phases * self.config.moves_per_phase) as u64,
+                );
+            }
+            {
+                let mut apply = obs_phase(&mut driver, "apply");
+                delta.record_counters_staged(&mut apply);
+            }
+            {
+                let mut evaluate = obs_phase(&mut driver, "evaluate");
+                evaluate.counter("search.sa.moves_accepted", accepted_moves as u64);
+            }
         }
 
         AnnealingOutcome {

@@ -13,6 +13,7 @@ use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::phase as obs_phase;
 use wmn_obs::{NoopRecorder, Recorder};
 
 /// Configuration for [`HillClimb`].
@@ -163,12 +164,22 @@ impl<'e, 'i> HillClimb<'e, 'i> {
         }
 
         if let Some(before) = engine_before {
-            recorder.counter("search.hc.phases", trace.len() as u64);
-            recorder.counter("search.hc.moves_proposed", proposed);
-            recorder.counter("search.hc.moves_accepted", trace.accepted_count() as u64);
-            topo.engine_stats()
-                .delta_since(&before)
-                .record_counters(recorder);
+            let delta = topo.engine_stats().delta_since(&before);
+            let mut scope = obs_phase(recorder, "search");
+            let mut driver = obs_phase(&mut scope, "hc");
+            driver.counter("search.hc.phases", trace.len() as u64);
+            {
+                let mut propose = obs_phase(&mut driver, "propose");
+                propose.counter("search.hc.moves_proposed", proposed);
+            }
+            {
+                let mut apply = obs_phase(&mut driver, "apply");
+                delta.record_counters_staged(&mut apply);
+            }
+            {
+                let mut evaluate = obs_phase(&mut driver, "evaluate");
+                evaluate.counter("search.hc.moves_accepted", trace.accepted_count() as u64);
+            }
         }
 
         HillClimbOutcome {

@@ -15,6 +15,7 @@ use wmn_graph::topology::WmnTopology;
 use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::phase as obs_phase;
 use wmn_obs::{NoopRecorder, Recorder};
 
 /// Stopping behaviour of the search.
@@ -173,7 +174,9 @@ impl<'e, 'i> NeighborhoodSearch<'e, 'i> {
     /// Like [`run_with_topology`](Self::run_with_topology), additionally
     /// emitting run telemetry to `recorder`: `search.ns.*` move counters
     /// plus the engine work-counter delta (`topology.*` / `connectivity.*`)
-    /// attributable to this run. With a disabled recorder the extra cost is
+    /// attributable to this run, all attributed under a nested
+    /// `search` → `ns` → propose/apply/evaluate phase scope (flat totals
+    /// unchanged). With a disabled recorder the extra cost is
     /// one branch per run — results are bit-identical either way.
     pub fn run_with_topology_recorded(
         &self,
@@ -223,12 +226,26 @@ impl<'e, 'i> NeighborhoodSearch<'e, 'i> {
         }
 
         if let Some(before) = engine_before {
-            recorder.counter("search.ns.phases", trace.len() as u64);
-            recorder.counter("search.ns.moves_proposed", proposed);
-            recorder.counter("search.ns.moves_accepted", trace.accepted_count() as u64);
-            topo.engine_stats()
-                .delta_since(&before)
-                .record_counters(recorder);
+            // Nested phase attribution (flat totals unchanged): the run's
+            // counters land under `search.ns` with the propose/apply/
+            // evaluate split of the phase loop; the engine-work delta is
+            // the apply stage's, with connectivity staged insert/delete.
+            let delta = topo.engine_stats().delta_since(&before);
+            let mut scope = obs_phase(recorder, "search");
+            let mut driver = obs_phase(&mut scope, "ns");
+            driver.counter("search.ns.phases", trace.len() as u64);
+            {
+                let mut propose = obs_phase(&mut driver, "propose");
+                propose.counter("search.ns.moves_proposed", proposed);
+            }
+            {
+                let mut apply = obs_phase(&mut driver, "apply");
+                delta.record_counters_staged(&mut apply);
+            }
+            {
+                let mut evaluate = obs_phase(&mut driver, "evaluate");
+                evaluate.counter("search.ns.moves_accepted", trace.accepted_count() as u64);
+            }
         }
 
         SearchOutcome {

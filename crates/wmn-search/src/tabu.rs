@@ -15,6 +15,7 @@ use wmn_metrics::evaluator::{Evaluation, Evaluator};
 use wmn_model::node::RouterId;
 use wmn_model::placement::Placement;
 use wmn_model::ModelError;
+use wmn_obs::phase as obs_phase;
 use wmn_obs::{NoopRecorder, Recorder};
 
 /// Configuration for [`TabuSearch`].
@@ -204,16 +205,26 @@ impl<'e, 'i> TabuSearch<'e, 'i> {
         }
 
         if let Some(before) = engine_before {
-            recorder.counter("search.tabu.phases", trace.len() as u64);
-            recorder.counter(
-                "search.tabu.moves_proposed",
-                (self.config.phases * self.config.candidates_per_phase) as u64,
-            );
-            recorder.counter("search.tabu.moves_accepted", trace.accepted_count() as u64);
-            recorder.counter("search.tabu.aspirations", aspirations as u64);
-            topo.engine_stats()
-                .delta_since(&before)
-                .record_counters(recorder);
+            let delta = topo.engine_stats().delta_since(&before);
+            let mut scope = obs_phase(recorder, "search");
+            let mut driver = obs_phase(&mut scope, "tabu");
+            driver.counter("search.tabu.phases", trace.len() as u64);
+            {
+                let mut propose = obs_phase(&mut driver, "propose");
+                propose.counter(
+                    "search.tabu.moves_proposed",
+                    (self.config.phases * self.config.candidates_per_phase) as u64,
+                );
+            }
+            {
+                let mut apply = obs_phase(&mut driver, "apply");
+                delta.record_counters_staged(&mut apply);
+            }
+            {
+                let mut evaluate = obs_phase(&mut driver, "evaluate");
+                evaluate.counter("search.tabu.moves_accepted", trace.accepted_count() as u64);
+                evaluate.counter("search.tabu.aspirations", aspirations as u64);
+            }
         }
 
         TabuOutcome {

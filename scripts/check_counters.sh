@@ -3,14 +3,14 @@
 #
 # Runs the fixed-seed fig3 --quick workload (seeds 2009/42, one runner
 # thread, one GA thread) with --telemetry, and compares the resulting
-# counter profile against the committed COUNTERS_baseline.json. Because
-# every counter is a deterministic work count — moves applied, coverage
-# repairs by strategy, disk-cache hits, connectivity BFS edge visits —
-# the snapshot is byte-stable across machines and thread counts, so any
-# drift is a real change in how much work the engine does, not timing
-# noise. A pessimized build (e.g. WMN_CHECK_CONNECTIVITY=full, which
-# forces the full-rebuild oracle) fails the gate; CI relies on that as
-# the negative test.
+# counter profile against the committed COUNTERS_baseline.json with
+# `wmn-report diff`. Because every counter is a deterministic work
+# count — moves applied, coverage repairs by strategy, disk-cache hits,
+# connectivity BFS edge visits — the snapshot is byte-stable across
+# machines and thread counts, so any drift is a real change in how much
+# work the engine does, not timing noise. A pessimized build (e.g.
+# WMN_CHECK_CONNECTIVITY=full, which forces the full-rebuild oracle)
+# fails the gate; CI relies on that as the negative test.
 #
 # Usage: scripts/check_counters.sh [--refresh]
 #   --refresh   rewrite COUNTERS_baseline.json from the current build
@@ -22,8 +22,12 @@
 #                            "dynamic"; "rescan"/"full" select the oracle
 #                            pipelines — useful as a should-fail probe)
 #
-# Requires jq; shared plumbing lives in scripts/bench_lib.sh.
-source "$(dirname "$0")/bench_lib.sh"
+# The comparison and the baseline rewrite both go through the wmn-report
+# binary (crates/wmn-experiments/src/analyze.rs), so this script needs
+# nothing beyond cargo.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
 
 baseline=COUNTERS_baseline.json
 mode="${WMN_CHECK_CONNECTIVITY:-dynamic}"
@@ -45,36 +49,25 @@ cargo run --release -p wmn-experiments --bin fig3 -- \
   --telemetry "$tmp/telemetry" --out "$tmp/results" >/dev/null
 
 telemetry="$tmp/telemetry/telemetry.json"
-assert_artifact_schema "$telemetry" '
-  .schema == "wmn-telemetry/v1" and .bin == "fig3"
-  and (.counters | (type == "object" and length > 0))
-  and (.histograms | type == "object")
-  and (.config.connectivity | type == "string")
-'
+report() {
+  cargo run --release -q -p wmn-experiments --bin wmn-report -- "$@"
+}
 
 if [ "$refresh" -eq 1 ]; then
-  jq '{
-    schema: "wmn-counters-baseline/v1",
-    workload: "fig3 --quick --threads 1 --ga-threads 1 (fixed seeds 2009/42)",
-    refresh: "scripts/check_counters.sh --refresh",
-    connectivity: .config.connectivity,
-    counters: .counters
-  }' "$telemetry" >"$baseline"
-  echo "refreshed $baseline ($(jq '.counters | length' "$baseline") counters, connectivity=$mode)"
+  report baseline "$telemetry" --out "$baseline"
+  echo "refreshed $baseline (connectivity=$mode)"
   exit 0
 fi
 
-if jq -e -n --slurpfile run "$telemetry" --slurpfile base "$baseline" \
-  '$run[0].counters == $base[0].counters' >/dev/null; then
-  echo "counter profile matches $baseline ($(jq '.counters | length' "$baseline") counters)"
-else
-  echo "counter profile drifted from $baseline:" >&2
-  jq -r -n --slurpfile run "$telemetry" --slurpfile base "$baseline" '
-    $run[0].counters as $r | $base[0].counters as $b |
-    ([($r | keys[]), ($b | keys[])] | unique[]) as $k
-    | select(($r[$k] // 0) != ($b[$k] // 0))
-    | "  \($k): baseline \($b[$k] // 0) -> run \($r[$k] // 0)"
-  ' >&2
-  echo "if the new work profile is intentional: scripts/check_counters.sh --refresh" >&2
-  exit 1
-fi
+status=0
+report diff "$baseline" "$telemetry" >"$tmp/diff.txt" || status=$?
+case "$status" in
+  0) echo "counter profile matches $baseline" ;;
+  1)
+    echo "counter profile drifted from $baseline:" >&2
+    cat "$tmp/diff.txt" >&2
+    echo "if the new work profile is intentional: scripts/check_counters.sh --refresh" >&2
+    exit 1
+    ;;
+  *) exit "$status" ;;
+esac
